@@ -1,0 +1,87 @@
+// tyche-bench regenerates the paper's figures and claims as tables (see
+// DESIGN.md's experiment index and EXPERIMENTS.md for paper-vs-measured).
+//
+// Usage:
+//
+//	tyche-bench -list
+//	tyche-bench -experiment F2
+//	tyche-bench                  # run everything
+//	tyche-bench -backend pmp -experiment F4
+//
+// The process exits non-zero if any experiment's shape checks fail.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/tyche-sim/tyche/internal/bench"
+	"github.com/tyche-sim/tyche/internal/core"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "", "experiment ID (F1-F4, C1-C14); empty runs all")
+		backend    = flag.String("backend", "vtx", "enforcement backend: vtx or pmp")
+		quick      = flag.Bool("quick", false, "smaller sweeps")
+		seed       = flag.Int64("seed", 1, "workload seed")
+		list       = flag.Bool("list", false, "list experiments and exit")
+		asJSON     = flag.Bool("json", false, "emit results as JSON (for CI)")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Printf("%-4s %-70s %s\n", "ID", "TITLE", "PAPER ARTEFACT")
+		for _, e := range bench.Experiments() {
+			fmt.Printf("%-4s %-70s %s\n", e.ID, e.Title, e.Paper)
+		}
+		return
+	}
+	cfg := bench.Config{
+		Backend: core.BackendKind(*backend),
+		Quick:   *quick,
+		Seed:    *seed,
+	}
+	failed := 0
+	var results []*bench.Result
+	run := func(e bench.Experiment) {
+		res, err := e.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tyche-bench: %s: %v\n", e.ID, err)
+			failed++
+			return
+		}
+		if *asJSON {
+			results = append(results, res)
+		} else {
+			res.Render(os.Stdout)
+		}
+		failed += len(res.Failed())
+	}
+	if *experiment != "" {
+		e, ok := bench.Lookup(*experiment)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "tyche-bench: unknown experiment %q (-list to enumerate)\n", *experiment)
+			os.Exit(2)
+		}
+		run(e)
+	} else {
+		for _, e := range bench.Experiments() {
+			run(e)
+		}
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(results); err != nil {
+			fmt.Fprintln(os.Stderr, "tyche-bench:", err)
+			os.Exit(1)
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "tyche-bench: %d failed check(s)\n", failed)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,198 @@
+// tyche-hash computes domain measurements offline (§4.2: "generating a
+// binary's hash offline to be compared with the attestation provided by
+// Tyche"). Given a serialized domain image and its load base, the
+// printed digest equals the measurement the monitor computes at seal
+// time — so a remote party that built or audited the image can pin it
+// in its verification policy without ever touching the target machine.
+//
+// Usage:
+//
+//	tyche-hash demo -o adder.tyi          # write a sample image
+//	tyche-hash inspect adder.tyi          # show the manifest
+//	tyche-hash hash -base 0x10000 adder.tyi
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"github.com/tyche-sim/tyche/internal/cap"
+	"github.com/tyche-sim/tyche/internal/hw"
+	"github.com/tyche-sim/tyche/internal/image"
+	"github.com/tyche-sim/tyche/internal/phys"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "demo":
+		err = demo(os.Args[2:])
+	case "inspect":
+		err = inspect(os.Args[2:])
+	case "hash":
+		err = hash(os.Args[2:])
+	case "disasm":
+		err = disasm(os.Args[2:])
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tyche-hash:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  tyche-hash demo -o <file>              write a sample image
+  tyche-hash inspect <file>              print the image manifest
+  tyche-hash hash -base <addr> <file>    measurement at a load base
+  tyche-hash disasm -base <addr> <file>  disassemble executable segments`)
+	os.Exit(2)
+}
+
+func demo(args []string) error {
+	fs := flag.NewFlagSet("demo", flag.ExitOnError)
+	out := fs.String("o", "demo.tyi", "output file")
+	fs.Parse(args)
+	a := hw.NewAsm()
+	a.Movi(3, 2)
+	a.Add(1, 2, 3)
+	a.Movi(0, 3) // CallReturn
+	a.Vmcall()
+	a.Hlt()
+	img := image.NewProgram("demo-adder", a.MustAssemble(0)).
+		WithData(".data", []byte("demo")).
+		WithShared("io", phys.PageSize)
+	data, err := img.Encode()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d bytes, %d segments)\n", *out, len(data), len(img.Segments))
+	return nil
+}
+
+func load(path string) (*image.Image, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return image.Decode(data)
+}
+
+func inspect(args []string) error {
+	if len(args) != 1 {
+		usage()
+	}
+	img, err := load(args[0])
+	if err != nil {
+		return err
+	}
+	fmt.Printf("image %q: entry %s+%#x, %d pages when loaded\n",
+		img.Name, img.EntrySegment, img.EntryOffset, img.TotalPages())
+	fmt.Printf("  %-12s %-8s %-7s %-6s %-13s %-9s\n",
+		"segment", "bytes", "rights", "ring", "visibility", "measured")
+	for i := range img.Segments {
+		s := &img.Segments[i]
+		vis := "shared"
+		if s.Confidential {
+			vis = "confidential"
+		}
+		fmt.Printf("  %-12s %-8d %-7s %-6s %-13s %-9v\n",
+			s.Name, s.ByteSize(), rightsShort(s.Rights), s.Ring, vis, s.Measured)
+	}
+	return nil
+}
+
+func rightsShort(r cap.Rights) string {
+	out := []byte("---")
+	if r.Has(cap.RightRead) {
+		out[0] = 'r'
+	}
+	if r.Has(cap.RightWrite) {
+		out[1] = 'w'
+	}
+	if r.Has(cap.RightExec) {
+		out[2] = 'x'
+	}
+	return string(out)
+}
+
+// disasm prints the decoded instructions of every executable segment —
+// what an auditor reads before pinning a measurement in policy.
+func disasm(args []string) error {
+	fs := flag.NewFlagSet("disasm", flag.ExitOnError)
+	baseStr := fs.String("base", "0x10000", "physical load base (page-aligned)")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		usage()
+	}
+	base, err := strconv.ParseUint(*baseStr, 0, 64)
+	if err != nil {
+		return fmt.Errorf("bad -base %q: %w", *baseStr, err)
+	}
+	img, err := load(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	placements, err := img.Layout(phys.Addr(base))
+	if err != nil {
+		return err
+	}
+	entry, err := img.Entry(phys.Addr(base))
+	if err != nil {
+		return err
+	}
+	for _, p := range placements {
+		if !p.Segment.Rights.Has(cap.RightExec) {
+			continue
+		}
+		fmt.Printf("%s @ %v:\n", p.Segment.Name, p.Region)
+		data := p.Segment.Data
+		for off := 0; off+hw.InstrSize <= len(data); off += hw.InstrSize {
+			addr := p.Region.Start + phys.Addr(off)
+			ins, err := hw.Decode(data[off : off+hw.InstrSize])
+			marker := "   "
+			if addr == entry {
+				marker = "=> "
+			}
+			if err != nil {
+				fmt.Printf("  %s%v: <data> %x\n", marker, addr, data[off:off+hw.InstrSize])
+				continue
+			}
+			fmt.Printf("  %s%v: %s\n", marker, addr, ins)
+		}
+	}
+	return nil
+}
+
+func hash(args []string) error {
+	fs := flag.NewFlagSet("hash", flag.ExitOnError)
+	baseStr := fs.String("base", "0x10000", "physical load base (page-aligned)")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		usage()
+	}
+	base, err := strconv.ParseUint(*baseStr, 0, 64)
+	if err != nil {
+		return fmt.Errorf("bad -base %q: %w", *baseStr, err)
+	}
+	img, err := load(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	meas, err := img.Measurement(phys.Addr(base))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%x  %s@%#x\n", meas[:], img.Name, base)
+	return nil
+}

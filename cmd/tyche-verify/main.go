@@ -1,0 +1,81 @@
+// tyche-verify is the remote verifier (the judiciary's relying party):
+// it checks an attestation bundle produced by tyche-sim — TPM quote,
+// monitor identity, domain report, optional expected measurement — and
+// prints the attested resource enumeration with reference counts.
+//
+// Usage:
+//
+//	tyche-sim -emit evidence.json
+//	tyche-verify evidence.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/tyche-sim/tyche/internal/attest"
+	"github.com/tyche-sim/tyche/internal/cap"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: tyche-verify <bundle.json>\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0)); err != nil {
+		fmt.Fprintln(os.Stderr, "tyche-verify: VERIFICATION FAILED:", err)
+		os.Exit(1)
+	}
+}
+
+func run(path string) error {
+	b, err := attest.LoadBundle(path)
+	if err != nil {
+		return err
+	}
+	steps, err := b.Verify()
+	for _, s := range steps {
+		fmt.Println("  ok:", s)
+	}
+	if err != nil {
+		return err
+	}
+	r := b.Report
+	fmt.Printf("\nDOMAIN %d (%s)\n", r.Domain, r.Name)
+	fmt.Printf("  sealed:      %v\n", r.Sealed)
+	fmt.Printf("  entry:       %v\n", r.Entry)
+	fmt.Printf("  measurement: %x\n", r.Measurement[:])
+	fmt.Printf("  report data: %x\n", r.ReportData[:])
+	fmt.Println("  resources:")
+	for _, rec := range r.Resources {
+		sharing := "EXCLUSIVE"
+		if rec.RefCount > 1 {
+			sharing = fmt.Sprintf("shared with %d other(s)", rec.RefCount-1)
+		}
+		fmt.Printf("    %-24s rights=%-18s refs=%d  %s\n",
+			rec.Resource, rec.Rights, rec.RefCount, sharing)
+	}
+	// Headline policy summary.
+	if err := attest.RequireSealed(r); err == nil {
+		fmt.Println("  policy: domain is sealed (resource set frozen)")
+	}
+	exclusive := true
+	for _, rec := range r.Resources {
+		if rec.Resource.Kind == cap.ResMemory && rec.RefCount > 1 {
+			exclusive = false
+		}
+	}
+	if exclusive {
+		fmt.Println("  policy: all memory exclusively owned (confidentiality + integrity while in use)")
+	} else {
+		fmt.Println("  policy: domain shares memory; cross-check peers with their reports")
+	}
+	fmt.Println("\nVERDICT: TRUSTED (chain of trust verified end to end)")
+	return nil
+}

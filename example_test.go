@@ -1,0 +1,133 @@
+package tyche_test
+
+import (
+	"fmt"
+
+	tyche "github.com/tyche-sim/tyche"
+)
+
+// ExampleNewPlatform boots a machine under the isolation monitor, runs
+// a sealed enclave, and verifies its attestation chain — the minimal
+// end-to-end loop.
+func ExampleNewPlatform() {
+	p, err := tyche.NewPlatform(tyche.Options{})
+	if err != nil {
+		panic(err)
+	}
+
+	// An enclave service: return its argument (r2) plus two.
+	a := tyche.NewAsm()
+	a.Movi(3, 2)
+	a.Add(1, 2, 3)
+	a.Movi(0, 3) // monitor call: return
+	a.Vmcall()
+	a.Hlt()
+	img := tyche.NewProgram("adder", a.MustAssemble(0))
+
+	opts := tyche.DefaultLoadOptions()
+	opts.Cores = []tyche.CoreID{0}
+	enclave, err := p.Dom0.NewEnclave(img, opts)
+	if err != nil {
+		panic(err)
+	}
+	got, err := enclave.Invoke(0, 10_000, 40)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("enclave result:", got)
+
+	// Judiciary: the full chain, then the exclusivity policy.
+	sess, err := p.VerifySession([]byte("boot"))
+	if err != nil {
+		panic(err)
+	}
+	report, err := enclave.Attest([]byte("nonce"))
+	if err != nil {
+		panic(err)
+	}
+	if err := sess.VerifyDomain(report, []byte("nonce")); err != nil {
+		panic(err)
+	}
+	fmt.Println("exclusive memory:", tyche.RequireExclusiveMemory(report) == nil)
+	// Output:
+	// enclave result: 42
+	// exclusive memory: true
+}
+
+// ExampleClient_OpenChannel shows attested shared memory between two
+// domains: the reference count proves exactly who can reach it.
+func ExampleClient_OpenChannel() {
+	p, err := tyche.NewPlatform(tyche.Options{})
+	if err != nil {
+		panic(err)
+	}
+	a := tyche.NewAsm()
+	a.Hlt()
+	img := tyche.NewProgram("peer", a.MustAssemble(0))
+	opts := tyche.DefaultLoadOptions()
+	opts.Cores = []tyche.CoreID{1}
+	opts.Seal = false
+	peer, err := p.Dom0.Load(img, opts)
+	if err != nil {
+		panic(err)
+	}
+	ch, err := p.Dom0.OpenChannel(peer.ID(), 1, tyche.CleanZero)
+	if err != nil {
+		panic(err)
+	}
+	if err := ch.Write(0, []byte("hello")); err != nil {
+		panic(err)
+	}
+	msg, err := ch.ReadAs(peer.ID(), 0, 5)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("peer read %q, refcount %d\n", msg, ch.RefCount())
+	// Output:
+	// peer read "hello", refcount 2
+}
+
+// ExampleDomain_Client demonstrates nesting: a sealed enclave spawns a
+// nested enclave from memory it exclusively owns.
+func ExampleDomain_Client() {
+	p, err := tyche.NewPlatform(tyche.Options{})
+	if err != nil {
+		panic(err)
+	}
+	prog := tyche.NewAsm()
+	prog.Hlt()
+	outerImg := tyche.NewProgram("outer", prog.MustAssemble(0)).
+		WithHeap(".heap", 32*tyche.PageSize)
+	opts := tyche.DefaultLoadOptions()
+	opts.Cores = []tyche.CoreID{1}
+	opts.Seal = false
+	outer, err := p.Dom0.Load(outerImg, opts)
+	if err != nil {
+		panic(err)
+	}
+	if _, err := outer.Seal(); err != nil {
+		panic(err)
+	}
+	// The sealed enclave acts for itself.
+	oc := outer.Client()
+	heapNode, _ := outer.SegmentNode(".heap")
+	heapRegion, _ := outer.SegmentRegion(".heap")
+	if err := oc.SetHeap(heapNode, heapRegion); err != nil {
+		panic(err)
+	}
+	innerImg := tyche.NewProgram("inner", prog.MustAssemble(0))
+	innerOpts := tyche.DefaultLoadOptions()
+	innerOpts.Cores = []tyche.CoreID{1}
+	inner, err := oc.NewEnclave(innerImg, innerOpts)
+	if err != nil {
+		panic(err)
+	}
+	text, _ := inner.SegmentRegion(".text")
+	fmt.Println("dom0 can read nested enclave:",
+		p.Monitor.CheckAccess(tyche.InitialDomain, text.Start, tyche.RightRead))
+	fmt.Println("outer can read nested enclave:",
+		p.Monitor.CheckAccess(outer.ID(), text.Start, tyche.RightRead))
+	// Output:
+	// dom0 can read nested enclave: false
+	// outer can read nested enclave: false
+}

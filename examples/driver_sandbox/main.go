@@ -1,0 +1,121 @@
+// Driver sandbox: the commodity OS (running as the initial domain)
+// moves its NIC driver into a kernel compartment — a trust domain with
+// the device granted DMA rights. The driver and its device can then
+// only touch the compartment's memory: a compromised driver can no
+// longer scribble over the kernel, and the NIC cannot DMA kernel or
+// process memory. Meanwhile ordinary processes keep running — the OS
+// keeps its own abstractions (§3.5).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	tyche "github.com/tyche-sim/tyche"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	p, err := tyche.NewPlatform(tyche.Options{})
+	if err != nil {
+		return err
+	}
+	fmt.Println(p)
+
+	// Boot the mini OS inside dom0 (sharing dom0's allocator).
+	os, err := tyche.NewOSWithClient(p.Monitor, p.Dom0)
+	if err != nil {
+		return err
+	}
+
+	// Two ordinary processes.
+	hello := func(tag uint32) func(base tyche.Addr) []byte {
+		return func(base tyche.Addr) []byte {
+			a := tyche.NewAsm()
+			a.Movi(0, 2).Movi(1, tag).Syscall() // SysLog tag
+			a.Movi(0, 1).Movi(1, 0).Syscall()   // SysExit 0
+			return a.MustAssemble(base)
+		}
+	}
+	p1, err := os.Spawn("web", hello(100), 1, 1)
+	if err != nil {
+		return err
+	}
+	p2, err := os.Spawn("db", hello(200), 1, 1)
+	if err != nil {
+		return err
+	}
+	if err := os.RunAll(0, 1000, 8); err != nil {
+		return err
+	}
+	_ = p2
+	printProcs(os)
+
+	// The NIC driver compartment: code + a DMA pool, plus the NIC
+	// (device 1) granted with DMA rights.
+	driverImg := tyche.NewProgram("nic-driver", tyche.NewAsm().Hlt().MustAssemble(0)).
+		WithBSS(".dmapool", 4*tyche.PageSize)
+	driver, err := os.Client().NewKernelCompartment(driverImg, []tyche.DeviceID{1}, tyche.DefaultLoadOptions())
+	if err != nil {
+		return err
+	}
+	pool, _ := driver.SegmentRegion(".dmapool")
+	fmt.Printf("nic driver compartment: domain %d, DMA pool %v, owns the NIC\n", driver.ID(), pool)
+
+	nic := p.Machine.Device(1)
+	// Legitimate driver I/O: packets DMA into the pool.
+	if err := nic.DMAWrite(pool.Start, []byte("incoming-packet")); err != nil {
+		return fmt.Errorf("legitimate driver DMA failed: %v", err)
+	}
+	fmt.Println("NIC DMA into the driver's pool: ok")
+
+	// Attack 1: the (compromised) driver directs its NIC at kernel
+	// memory.
+	if err := nic.DMARead(4*tyche.PageSize, make([]byte, 64)); err == nil {
+		return fmt.Errorf("BUG: NIC read kernel memory")
+	}
+	fmt.Println("NIC DMA against kernel memory: denied by the IOMMU")
+
+	// Attack 2: ...or at a process's data.
+	victim, err := os.Process(p1)
+	if err != nil {
+		return err
+	}
+	if err := nic.DMARead(victim.DataRegion().Start, make([]byte, 64)); err == nil {
+		return fmt.Errorf("BUG: NIC read process memory")
+	}
+	fmt.Println("NIC DMA against process memory: denied by the IOMMU")
+
+	// Attack 3: the kernel pokes the compartment (a buggy kernel can no
+	// longer corrupt the isolated driver either — isolation cuts both
+	// ways).
+	if _, err := os.KernelRead(pool.Start, 8); err == nil {
+		return fmt.Errorf("BUG: kernel read the compartment")
+	}
+	fmt.Println("kernel read of the driver compartment: denied by the monitor")
+
+	// The GPU (device 0, still the kernel's) cannot reach the
+	// compartment either.
+	if err := p.Machine.Device(0).DMARead(pool.Start, make([]byte, 8)); err == nil {
+		return fmt.Errorf("BUG: foreign device read the compartment")
+	}
+	fmt.Println("foreign device DMA against the compartment: denied")
+
+	fmt.Println("driver sandbox complete: processes ran, driver confined, DMA attacks stopped")
+	return nil
+}
+
+func printProcs(os *tyche.OS) {
+	for _, pid := range os.Processes() {
+		p, err := os.Process(pid)
+		if err != nil {
+			continue
+		}
+		fmt.Printf("process %d (%s): %v, logs=%v\n", p.Pid(), p.Name(), p.State(), p.Logs())
+	}
+}

@@ -1,0 +1,3 @@
+module github.com/tyche-sim/tyche
+
+go 1.22

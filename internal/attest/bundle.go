@@ -1,0 +1,83 @@
+package attest
+
+import (
+	"crypto/ed25519"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"github.com/tyche-sim/tyche/internal/core"
+	"github.com/tyche-sim/tyche/internal/tpm"
+)
+
+// Bundle is a self-contained attestation evidence file: everything a
+// remote verifier needs to check a domain offline (the tyche-verify
+// tool consumes it). The trusted inputs — the TPM endorsement key and
+// the expected monitor identity — are carried alongside for
+// convenience; a production verifier obtains them out of band.
+type Bundle struct {
+	// EndorsementKey is the TPM's public key (trust anchor).
+	EndorsementKey ed25519.PublicKey `json:"endorsement_key"`
+	// MonitorIdentity is the monitor binary the verifier expects.
+	MonitorIdentity []byte `json:"monitor_identity"`
+	// BootNonce freshens the quote.
+	BootNonce []byte `json:"boot_nonce"`
+	// Quote is the tier-one TPM quote binding the monitor key.
+	Quote *tpm.Quote `json:"quote"`
+	// DomainNonce freshens the report.
+	DomainNonce []byte `json:"domain_nonce"`
+	// Report is the tier-two domain report.
+	Report *core.Report `json:"report"`
+	// ExpectedMeasurement optionally pins the domain identity
+	// (offline-computed by tyche-hash).
+	ExpectedMeasurement *tpm.Digest `json:"expected_measurement,omitempty"`
+}
+
+// Verify runs the full two-tier verification over the bundle and
+// returns a human-readable transcript of the steps.
+func (b *Bundle) Verify() ([]string, error) {
+	var steps []string
+	if b.Quote == nil || b.Report == nil {
+		return steps, fmt.Errorf("attest: bundle missing quote or report")
+	}
+	v := NewVerifier(b.EndorsementKey, b.MonitorIdentity)
+	sess, err := v.NewSession(b.Quote, b.BootNonce)
+	if err != nil {
+		return steps, fmt.Errorf("tier 1 (boot quote): %w", err)
+	}
+	steps = append(steps, "tier 1: TPM quote verified; machine runs the trusted monitor")
+	if err := sess.VerifyDomain(b.Report, b.DomainNonce); err != nil {
+		return steps, fmt.Errorf("tier 2 (domain report): %w", err)
+	}
+	steps = append(steps, fmt.Sprintf("tier 2: report for domain %d (%s) signed by the attested monitor",
+		b.Report.Domain, b.Report.Name))
+	if b.ExpectedMeasurement != nil {
+		if err := RequireMeasurement(b.Report, *b.ExpectedMeasurement); err != nil {
+			return steps, err
+		}
+		steps = append(steps, "policy: measurement matches the expected (offline) hash")
+	}
+	return steps, nil
+}
+
+// Save writes the bundle as JSON.
+func (b *Bundle) Save(path string) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// LoadBundle reads a bundle from a JSON file.
+func LoadBundle(path string) (*Bundle, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Bundle
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("attest: parsing bundle %s: %w", path, err)
+	}
+	return &b, nil
+}

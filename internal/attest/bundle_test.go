@@ -1,0 +1,112 @@
+package attest
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/tyche-sim/tyche/internal/core"
+	"github.com/tyche-sim/tyche/internal/libtyche"
+	"github.com/tyche-sim/tyche/internal/phys"
+	"github.com/tyche-sim/tyche/internal/tpm"
+)
+
+func buildBundle(t *testing.T) *Bundle {
+	t.Helper()
+	w := boot(t)
+	opts := libtyche.DefaultLoadOptions()
+	opts.Cores = []phys.CoreID{1}
+	img := haltImage("bundled")
+	dom, err := w.cl.NewEnclave(img, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bootNonce := []byte("bundle-boot")
+	quote, err := w.mon.BootQuote(bootNonce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nonce := []byte("bundle-dom")
+	rep, err := dom.Attest(nonce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meas, err := img.Measurement(dom.Base())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Bundle{
+		EndorsementKey:      w.rot.EndorsementKey(),
+		MonitorIdentity:     w.mon.Identity(),
+		BootNonce:           bootNonce,
+		Quote:               quote,
+		DomainNonce:         nonce,
+		Report:              rep,
+		ExpectedMeasurement: &meas,
+	}
+}
+
+func TestBundleRoundTripAndVerify(t *testing.T) {
+	b := buildBundle(t)
+	steps, err := b.Verify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) != 3 {
+		t.Fatalf("steps = %v", steps)
+	}
+	// Survives serialization.
+	path := filepath.Join(t.TempDir(), "evidence.json")
+	if err := b.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadBundle(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loaded.Verify(); err != nil {
+		t.Fatalf("loaded bundle failed verification: %v", err)
+	}
+}
+
+func TestBundleRejections(t *testing.T) {
+	// Missing pieces.
+	if _, err := (&Bundle{}).Verify(); err == nil {
+		t.Fatal("empty bundle verified")
+	}
+	// Tampered report.
+	b := buildBundle(t)
+	b.Report.Sealed = false
+	if _, err := b.Verify(); !errors.Is(err, core.ErrBadReport) {
+		t.Fatalf("tampered: %v", err)
+	}
+	// Wrong expected measurement.
+	b2 := buildBundle(t)
+	evil := tpm.Measure([]byte("evil"))
+	b2.ExpectedMeasurement = &evil
+	if _, err := b2.Verify(); !errors.Is(err, ErrPolicy) {
+		t.Fatalf("wrong measurement: %v", err)
+	}
+	// Untrusted monitor identity.
+	b3 := buildBundle(t)
+	b3.MonitorIdentity = []byte("other monitor")
+	if _, err := b3.Verify(); !errors.Is(err, ErrUntrustedMonitor) {
+		t.Fatalf("untrusted monitor: %v", err)
+	}
+	// Corrupt file.
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := writeFile(path, []byte("{nope")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadBundle(path); err == nil {
+		t.Fatal("corrupt bundle loaded")
+	}
+	if _, err := LoadBundle(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing file loaded")
+	}
+}
+
+func writeFile(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}

@@ -1,0 +1,108 @@
+package attest
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/tyche-sim/tyche/internal/cap"
+	"github.com/tyche-sim/tyche/internal/core"
+	"github.com/tyche-sim/tyche/internal/phys"
+)
+
+// Multi-domain deployment attestation (§4.2 future work: "extend
+// attestation to multi-domain deployments with the insurance that all
+// communication paths are secured and attested"). Given the verified
+// reports of every domain a relying party intends to trust, the audit
+// reconstructs the sharing graph from the attested enumerations and
+// checks a closed-world property: every shared region is shared with
+// exactly one *other audited* domain. Any edge leaving the audited set
+// — a region with a higher count, or one no peer report accounts for —
+// fails the deployment.
+
+// Edge is one attested communication path: a region shared by exactly
+// the two endpoint domains.
+type Edge struct {
+	A, B   core.DomainID
+	Region phys.Region
+}
+
+func (e Edge) String() string {
+	return fmt.Sprintf("d%d <-> d%d via %v", e.A, e.B, e.Region)
+}
+
+// AuditDeployment verifies the closed-world sharing property over a set
+// of (already signature-verified) reports and returns the communication
+// graph. Callers run Session.VerifyDomain on each report first; this
+// function audits *topology*, not signatures.
+func AuditDeployment(reports ...*core.Report) ([]Edge, error) {
+	if len(reports) == 0 {
+		return nil, fmt.Errorf("attest: empty deployment")
+	}
+	byDomain := make(map[core.DomainID]*core.Report, len(reports))
+	for _, r := range reports {
+		if prev, dup := byDomain[r.Domain]; dup && prev != r {
+			return nil, fmt.Errorf("attest: duplicate report for domain %d", r.Domain)
+		}
+		byDomain[r.Domain] = r
+	}
+	var edges []Edge
+	for _, r := range reports {
+		for _, rec := range r.Resources {
+			if rec.Resource.Kind != cap.ResMemory || rec.RefCount <= 1 {
+				continue
+			}
+			if rec.RefCount > 2 {
+				return nil, fmt.Errorf("%w: domain %d shares %v %d ways (point-to-point paths only)",
+					ErrPolicy, r.Domain, rec.Resource.Mem, rec.RefCount)
+			}
+			peer, ok := findPeer(r, rec.Resource.Mem, byDomain)
+			if !ok {
+				return nil, fmt.Errorf("%w: domain %d shares %v with a domain outside the audited set",
+					ErrPolicy, r.Domain, rec.Resource.Mem)
+			}
+			if r.Domain < peer {
+				edges = append(edges, Edge{A: r.Domain, B: peer, Region: rec.Resource.Mem})
+			}
+		}
+	}
+	edges = dedupeEdges(edges)
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].A != edges[j].A {
+			return edges[i].A < edges[j].A
+		}
+		if edges[i].B != edges[j].B {
+			return edges[i].B < edges[j].B
+		}
+		return edges[i].Region.Start < edges[j].Region.Start
+	})
+	return edges, nil
+}
+
+// findPeer locates the one other audited domain whose enumeration
+// covers the shared region.
+func findPeer(r *core.Report, region phys.Region, byDomain map[core.DomainID]*core.Report) (core.DomainID, bool) {
+	for id, other := range byDomain {
+		if id == r.Domain {
+			continue
+		}
+		for _, rec := range other.Resources {
+			if rec.Resource.Kind == cap.ResMemory && rec.Resource.Mem.Overlaps(region) {
+				return id, true
+			}
+		}
+	}
+	return 0, false
+}
+
+func dedupeEdges(edges []Edge) []Edge {
+	seen := make(map[string]bool, len(edges))
+	out := edges[:0]
+	for _, e := range edges {
+		k := e.String()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, e)
+		}
+	}
+	return out
+}

@@ -1,0 +1,112 @@
+package attest
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/tyche-sim/tyche/internal/cap"
+	"github.com/tyche-sim/tyche/internal/core"
+	"github.com/tyche-sim/tyche/internal/libtyche"
+	"github.com/tyche-sim/tyche/internal/phys"
+)
+
+// buildDeployment creates three domains with A<->B and B<->C channels.
+func buildDeployment(t *testing.T) (*worldT, []*core.Report, []core.DomainID) {
+	t.Helper()
+	w := boot(t)
+	mk := func(name string) *libtyche.Domain {
+		opts := libtyche.DefaultLoadOptions()
+		opts.Cores = []phys.CoreID{1}
+		opts.Seal = false
+		d, err := w.cl.Load(haltImage(name), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	a, b, c := mk("a"), mk("b"), mk("c")
+	link := func(from, to *libtyche.Domain, startPage uint64) {
+		t.Helper()
+		var heapNode cap.NodeID
+		for _, n := range w.mon.OwnerNodes(core.InitialDomain) {
+			if n.Resource.Kind == cap.ResMemory {
+				heapNode = n.ID
+			}
+		}
+		r := phys.MakeRegion(phys.Addr(startPage*pg), pg)
+		fromNode, err := w.mon.Grant(core.InitialDomain, heapNode, from.ID(), cap.MemResource(r), cap.MemRW|cap.RightShare, cap.CleanZero)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := w.mon.Share(from.ID(), fromNode, to.ID(), cap.MemResource(r), cap.MemRW, cap.CleanZero); err != nil {
+			t.Fatal(err)
+		}
+	}
+	link(a, b, 600)
+	link(b, c, 620)
+	reports := make([]*core.Report, 0, 3)
+	ids := []core.DomainID{a.ID(), b.ID(), c.ID()}
+	for _, id := range ids {
+		rep, err := w.mon.Attest(id, []byte("dep"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		reports = append(reports, rep)
+	}
+	return w, reports, ids
+}
+
+func TestAuditDeploymentClosedWorld(t *testing.T) {
+	_, reports, ids := buildDeployment(t)
+	edges, err := AuditDeployment(reports...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(edges) != 2 {
+		t.Fatalf("edges = %v", edges)
+	}
+	// A-B and B-C, no A-C.
+	hasEdge := func(x, y core.DomainID) bool {
+		for _, e := range edges {
+			if (e.A == x && e.B == y) || (e.A == y && e.B == x) {
+				return true
+			}
+		}
+		return false
+	}
+	if !hasEdge(ids[0], ids[1]) || !hasEdge(ids[1], ids[2]) {
+		t.Fatalf("missing expected paths: %v", edges)
+	}
+	if hasEdge(ids[0], ids[2]) {
+		t.Fatalf("phantom path: %v", edges)
+	}
+}
+
+func TestAuditDeploymentOpenWorldFails(t *testing.T) {
+	// Omit C's report: B's shared region with C now points outside the
+	// audited set.
+	_, reports, _ := buildDeployment(t)
+	if _, err := AuditDeployment(reports[0], reports[1]); !errors.Is(err, ErrPolicy) {
+		t.Fatalf("open world accepted: %v", err)
+	}
+	// Degenerate inputs.
+	if _, err := AuditDeployment(); err == nil {
+		t.Fatal("empty deployment accepted")
+	}
+	// A fully isolated subset still audits (no shared regions at all).
+	solo := boot(t)
+	opts := libtyche.DefaultLoadOptions()
+	opts.Cores = []phys.CoreID{1}
+	d, err := solo.cl.NewEnclave(haltImage("solo"), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := d.Attest([]byte("n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges, err := AuditDeployment(rep)
+	if err != nil || len(edges) != 0 {
+		t.Fatalf("solo audit: %v, %v", edges, err)
+	}
+}

@@ -1,0 +1,75 @@
+package backend
+
+import (
+	"fmt"
+
+	"github.com/tyche-sim/tyche/internal/cap"
+	"github.com/tyche-sim/tyche/internal/hw"
+	"github.com/tyche-sim/tyche/internal/phys"
+)
+
+// BuildDeviceFilter computes the IOMMU context for dev from capability
+// state: the union of the effective memory (minus execute, meaningless
+// on the bus) of every domain holding DMA rights on the device.
+// Confining a device therefore means granting its DMA capability to a
+// narrow I/O domain (Figure 2's GPU pattern). Both backends program the
+// result into the machine's IOMMU.
+func BuildDeviceFilter(space *cap.Space, dev phys.DeviceID) (*hw.EPT, error) {
+	filter := hw.NewEPT()
+	for _, owner := range space.DeviceDMAHolders(dev) {
+		for _, s := range FlattenGrants(space.OwnerMemoryGrants(owner)) {
+			p := s.Perm &^ hw.PermX
+			if p == hw.PermNone {
+				continue
+			}
+			// OR into any permissions another DMA holder contributed.
+			for a := s.Region.Start; a < s.Region.End; a += phys.PageSize {
+				pr := phys.Region{Start: a, End: a + phys.PageSize}
+				if err := filter.Map(pr, p|filter.Lookup(a)); err != nil {
+					return nil, fmt.Errorf("backend: device %v filter: %w", dev, err)
+				}
+			}
+		}
+	}
+	return filter, nil
+}
+
+// RunCleanups executes revocation cleanup actions on the machine: the
+// guaranteed "clean-up" operations of §3.2. Both backends share this
+// logic — zeroing and flushes are architecture-neutral in the model.
+//
+// Cleanups are deliberately conservative: cache and TLB flushes hit
+// every core (a shootdown), because the capability model does not track
+// which cores may hold stale state.
+func RunCleanups(m *hw.Machine, acts []cap.CleanupAction) error {
+	for _, a := range acts {
+		if a.Cleanup == cap.CleanNone {
+			continue
+		}
+		if a.Resource.Kind == cap.ResMemory && a.Cleanup&cap.CleanZero != 0 {
+			r := a.Resource.Mem
+			if err := m.Mem.Zero(r); err != nil {
+				return fmt.Errorf("backend: zeroing %v: %w", r, err)
+			}
+			lines := r.Size() / hw.CacheLineSize
+			m.Clock.Advance(lines * m.Cost.ZeroLine)
+		}
+		if a.Cleanup&cap.CleanFlushCache != 0 {
+			for _, c := range m.Cores {
+				flushed := c.CacheUnit().Flush()
+				m.Clock.Advance(flushed * m.Cost.CacheFlushLine)
+			}
+		}
+		if a.Cleanup&cap.CleanFlushTLB != 0 {
+			for _, c := range m.Cores {
+				if a.Resource.Kind == cap.ResMemory {
+					c.TLBUnit().FlushRegion(a.Resource.Mem)
+				} else {
+					c.TLBUnit().Flush()
+				}
+				m.Clock.Advance(m.Cost.TLBFlush)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,218 @@
+// Package pmp implements the RISC-V machine-mode enforcement backend:
+// trust domains are confined with the per-core PMP register file, which
+// "only supports a fixed number of segments, which requires a careful
+// memory layout of trust domains and validation by the monitor" (§4).
+//
+// Unlike the vtx backend's per-domain EPT, PMP state is per-core and
+// must be reprogrammed on every domain transition (machine-mode trap,
+// clear + rewrite entries, mret). Domain installation validates that
+// the domain's flattened memory layout fits the entry budget; the C5
+// experiment sweeps exactly this constraint.
+package pmp
+
+import (
+	"fmt"
+
+	"github.com/tyche-sim/tyche/internal/backend"
+	"github.com/tyche-sim/tyche/internal/cap"
+	"github.com/tyche-sim/tyche/internal/hw"
+	"github.com/tyche-sim/tyche/internal/phys"
+)
+
+type domainState struct {
+	segs []backend.Segment
+	asid uint64
+	ctxs map[phys.CoreID]*hw.Context
+}
+
+// Backend is the machine-mode PMP enforcement backend.
+type Backend struct {
+	mach  *hw.Machine
+	space *cap.Space
+
+	domains  map[cap.OwnerID]*domainState
+	nextASID uint64
+	reserved int // entries locked for monitor self-protection per core
+}
+
+// Option configures the backend.
+type Option func(*Backend)
+
+// New returns a PMP backend over mach and space. If monitorRegion is
+// non-empty, entry 0 of every core is programmed to deny it and locked —
+// machine-mode self-protection, as Keystone's security monitor does.
+func New(mach *hw.Machine, space *cap.Space, monitorRegion phys.Region) (*Backend, error) {
+	b := &Backend{
+		mach:     mach,
+		space:    space,
+		domains:  make(map[cap.OwnerID]*domainState),
+		nextASID: 1,
+	}
+	if !monitorRegion.Empty() {
+		for _, c := range mach.Cores {
+			if err := c.PMPUnit.Program(0, monitorRegion, hw.PermNone); err != nil {
+				return nil, fmt.Errorf("pmp: reserving monitor entry: %w", err)
+			}
+			if err := c.PMPUnit.Lock(0); err != nil {
+				return nil, fmt.Errorf("pmp: locking monitor entry: %w", err)
+			}
+			mach.Clock.Advance(mach.Cost.PMPWrite)
+		}
+		b.reserved = 1
+	}
+	return b, nil
+}
+
+// Name implements backend.Backend.
+func (b *Backend) Name() string { return "pmp" }
+
+// Budget returns the PMP entries available to a domain layout on each
+// core (total minus monitor-reserved).
+func (b *Backend) Budget() int {
+	if len(b.mach.Cores) == 0 {
+		return 0
+	}
+	return b.mach.Cores[0].PMPUnit.NumEntries() - b.reserved
+}
+
+// InstallDomain implements backend.Backend.
+func (b *Backend) InstallDomain(owner cap.OwnerID) error {
+	if _, ok := b.domains[owner]; ok {
+		return fmt.Errorf("pmp: domain %d already installed", owner)
+	}
+	b.domains[owner] = &domainState{
+		asid: b.nextASID,
+		ctxs: make(map[phys.CoreID]*hw.Context),
+	}
+	b.nextASID++
+	return b.SyncDomain(owner)
+}
+
+func (b *Backend) state(owner cap.OwnerID) (*domainState, error) {
+	st, ok := b.domains[owner]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", backend.ErrUnknownDomain, owner)
+	}
+	return st, nil
+}
+
+// SyncDomain implements backend.Backend: recompute the domain's segment
+// layout and validate it against the PMP budget. The hardware itself is
+// reprogrammed lazily at transition time (PMP is per-core state).
+func (b *Backend) SyncDomain(owner cap.OwnerID) error {
+	st, err := b.state(owner)
+	if err != nil {
+		return err
+	}
+	segs := backend.FlattenGrants(b.space.OwnerMemoryGrants(owner))
+	if need, avail := len(segs), b.Budget(); need > avail {
+		return &backend.PMPExhaustedError{Owner: owner, Needed: need, Available: avail}
+	}
+	st.segs = segs
+	// Cores currently running this domain must be reprogrammed now:
+	// access may have been revoked.
+	for _, c := range b.mach.Cores {
+		if ctx := c.Context(); ctx != nil && ctx.Owner == uint64(owner) {
+			if _, ok := st.ctxs[c.ID()]; ok {
+				b.program(c, st)
+			}
+		}
+	}
+	return nil
+}
+
+// program writes the domain's segments into the core's PMP file.
+func (b *Backend) program(core *hw.Core, st *domainState) {
+	unit := core.PMPUnit
+	cleared := unit.ClearAll()
+	b.mach.Clock.Advance(uint64(cleared) * b.mach.Cost.PMPWrite)
+	idx := b.reserved
+	for _, s := range st.segs {
+		// Budget was validated at sync time; a failure here is a
+		// programming bug, not a runtime condition.
+		if err := unit.Program(idx, s.Region, s.Perm); err != nil {
+			panic(fmt.Sprintf("pmp: validated layout failed to program: %v", err))
+		}
+		b.mach.Clock.Advance(b.mach.Cost.PMPWrite)
+		idx++
+	}
+}
+
+// RemoveDomain implements backend.Backend.
+func (b *Backend) RemoveDomain(owner cap.OwnerID) error {
+	if _, err := b.state(owner); err != nil {
+		return err
+	}
+	delete(b.domains, owner)
+	return nil
+}
+
+// Context implements backend.Backend. The context's filter is the
+// core's PMP unit itself: whatever is programmed on the core at access
+// time decides, exactly like the hardware.
+func (b *Backend) Context(owner cap.OwnerID, core phys.CoreID) (*hw.Context, error) {
+	st, err := b.state(owner)
+	if err != nil {
+		return nil, err
+	}
+	ctx, ok := st.ctxs[core]
+	if !ok {
+		c := b.mach.Core(core)
+		if c == nil {
+			return nil, fmt.Errorf("pmp: no core %v", core)
+		}
+		ctx = &hw.Context{
+			Owner:  uint64(owner),
+			Filter: c.PMPUnit,
+			ASID:   st.asid,
+		}
+		st.ctxs[core] = ctx
+	}
+	return ctx, nil
+}
+
+// Transition implements backend.Backend: a machine-mode trap that
+// clears and reprograms the core's PMP entries for the target domain.
+// There is no fast path — PMP has no VMFUNC analogue.
+func (b *Backend) Transition(core *hw.Core, to cap.OwnerID, fast bool) error {
+	if fast {
+		return fmt.Errorf("%w: pmp backend has no VMFUNC analogue", backend.ErrNoFastPath)
+	}
+	st, err := b.state(to)
+	if err != nil {
+		return err
+	}
+	ctx, err := b.Context(to, core.ID())
+	if err != nil {
+		return err
+	}
+	cost := b.mach.Cost
+	b.mach.Clock.Advance(cost.MTrap)
+	b.program(core, st)
+	b.mach.Clock.Advance(cost.MRet)
+	core.InstallContext(ctx) // PMP is untagged: full TLB flush
+	return nil
+}
+
+// RegisterFastPair implements backend.Backend; PMP has no fast path.
+func (b *Backend) RegisterFastPair(phys.CoreID, cap.OwnerID, cap.OwnerID) error {
+	return fmt.Errorf("%w: pmp backend has no VMFUNC analogue", backend.ErrNoFastPath)
+}
+
+// SyncDevice implements backend.Backend. The RISC-V platform model has
+// no IOMMU contexts per se; we model an equivalent bus filter so the
+// capability semantics match the vtx backend (differential tests rely
+// on identical accept/deny decisions).
+func (b *Backend) SyncDevice(dev phys.DeviceID) error {
+	filter, err := backend.BuildDeviceFilter(b.space, dev)
+	if err != nil {
+		return err
+	}
+	b.mach.IOMMU.Attach(dev, filter)
+	return nil
+}
+
+// ExecuteCleanups implements backend.Backend.
+func (b *Backend) ExecuteCleanups(acts []cap.CleanupAction) error {
+	return backend.RunCleanups(b.mach, acts)
+}

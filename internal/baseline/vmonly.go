@@ -1,0 +1,117 @@
+package baseline
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/tyche-sim/tyche/internal/cap"
+	"github.com/tyche-sim/tyche/internal/core"
+	"github.com/tyche-sim/tyche/internal/image"
+	"github.com/tyche-sim/tyche/internal/libtyche"
+	"github.com/tyche-sim/tyche/internal/phys"
+)
+
+// VMOnly models a confidential-VM-only security monitor (CloudVisor-
+// style): the only isolation unit is a whole virtual machine with
+// dedicated cores and a large memory footprint, created exclusively by
+// the platform (no nesting), with no sub-VM sharing — cross-VM
+// communication bounces through hypervisor copies. It is implemented as
+// a policy straitjacket over the real monitor, so the enforcement
+// mechanics are identical and only the abstraction granularity differs
+// (§2.2: "they only provide processes and virtual machines, two
+// coarse-grain abstractions with rigid trust models").
+type VMOnly struct {
+	client *libtyche.Client
+	// MinPages is the smallest VM memory footprint (VM granularity).
+	MinPages uint64
+}
+
+// DefaultVMMinPages is the modelled minimum CVM footprint (1 MiB): a
+// guest kernel + firmware floor, tiny compared to real CVMs but large
+// against enclave-sized payloads — preserving the granularity gap.
+const DefaultVMMinPages = 256
+
+// VM-only model errors.
+var (
+	// ErrVMOnlyNoNesting: only the platform (initial domain) creates VMs.
+	ErrVMOnlyNoNesting = errors.New("vmonly: VMs cannot create VMs (no nesting)")
+	// ErrVMOnlyNoSharing: no shared memory between isolation units.
+	ErrVMOnlyNoSharing = errors.New("vmonly: confidential VMs cannot share memory")
+	// ErrVMOnlyNoCores: a VM needs at least one dedicated core.
+	ErrVMOnlyNoCores = errors.New("vmonly: a VM requires dedicated cores")
+)
+
+// NewVMOnly wraps a dom0 libtyche client into the VM-only policy.
+func NewVMOnly(client *libtyche.Client) *VMOnly {
+	return &VMOnly{client: client, MinPages: DefaultVMMinPages}
+}
+
+// CreateVM builds a confidential VM from img. Only the initial domain
+// may call it, cores are granted exclusively, and the image footprint
+// is padded to the VM granularity floor.
+func (v *VMOnly) CreateVM(img *image.Image, cores []phys.CoreID) (*libtyche.Domain, error) {
+	if v.client.Self() != core.InitialDomain {
+		return nil, ErrVMOnlyNoNesting
+	}
+	if len(cores) == 0 {
+		return nil, ErrVMOnlyNoCores
+	}
+	padded := *img
+	padded.Segments = append([]image.Segment(nil), img.Segments...)
+	if got := img.TotalPages(); got < v.MinPages {
+		padded = *img
+		padded.Segments = append(padded.Segments, image.Segment{
+			Name:         ".vm-floor",
+			Size:         (v.MinPages - got) * phys.PageSize,
+			Rights:       cap.MemRW,
+			Confidential: true,
+		})
+	}
+	opts := libtyche.DefaultLoadOptions()
+	return v.client.NewConfidentialVM(&padded, cores, opts)
+}
+
+// OpenChannel always fails: the VM-only abstraction has no controlled
+// sharing below VM granularity.
+func (v *VMOnly) OpenChannel(*libtyche.Domain, uint64) error { return ErrVMOnlyNoSharing }
+
+// BounceCopy models cross-VM communication on the VM-only platform:
+// each guest's paravirtual driver copies through its staging window
+// (the hypervisor cannot read CVM memory), costing two copies plus a VM
+// exit/entry round trip on each side. It returns the cycles charged.
+func (v *VMOnly) BounceCopy(src, dst *libtyche.Domain, srcOff, dstOff uint64, n uint64) (uint64, error) {
+	mon := v.client.Monitor()
+	mach := mon.Machine()
+	srcRegion, ok := segregion(src)
+	if !ok {
+		return 0, fmt.Errorf("vmonly: source VM has no shared staging segment")
+	}
+	dstRegion, ok := segregion(dst)
+	if !ok {
+		return 0, fmt.Errorf("vmonly: destination VM has no shared staging segment")
+	}
+	before := mach.Clock.Cycles()
+	// Exit + copy out + entry, exit + copy in + entry.
+	mach.Clock.Advance(2 * (mach.Cost.VMExit + mach.Cost.VMEntry))
+	data, err := mon.CopyFrom(src.ID(), srcRegion.Start+phys.Addr(srcOff), n)
+	if err != nil {
+		return 0, err
+	}
+	lines := (n + 63) / 64
+	mach.Clock.Advance(2 * lines * mach.Cost.ZeroLine)
+	if err := mon.CopyInto(dst.ID(), dstRegion.Start+phys.Addr(dstOff), data); err != nil {
+		return 0, err
+	}
+	return mach.Clock.Cycles() - before, nil
+}
+
+// segregion finds a VM's bounce-staging segment (its first shared or
+// bss region; the model only needs a window the hypervisor may touch).
+func segregion(d *libtyche.Domain) (phys.Region, bool) {
+	for _, name := range []string{"staging", ".bss", ".data"} {
+		if r, ok := d.SegmentRegion(name); ok {
+			return r, ok
+		}
+	}
+	return phys.Region{}, false
+}

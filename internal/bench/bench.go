@@ -1,0 +1,315 @@
+// Package bench regenerates every figure and claim of the paper's
+// evaluation as executable experiments (see DESIGN.md's experiment
+// index). The paper is a HotOS vision paper: Figures 1-4 are conceptual
+// and the quantitative content lives in prose claims, so each figure is
+// reproduced as a checked executable scenario and each claim as a
+// parameter-sweep measurement. Every experiment prints a table and
+// returns machine-checkable shape assertions; EXPERIMENTS.md records
+// paper-vs-measured from exactly this output.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"github.com/tyche-sim/tyche/internal/core"
+	"github.com/tyche-sim/tyche/internal/hw"
+	"github.com/tyche-sim/tyche/internal/image"
+	"github.com/tyche-sim/tyche/internal/libtyche"
+	"github.com/tyche-sim/tyche/internal/phys"
+	"github.com/tyche-sim/tyche/internal/tpm"
+)
+
+// Config tunes an experiment run.
+type Config struct {
+	// Backend selects the enforcement backend where the experiment does
+	// not itself sweep backends (vtx default).
+	Backend core.BackendKind
+	// Quick shrinks sweeps for use under `go test`.
+	Quick bool
+	// Seed drives randomized workloads deterministically.
+	Seed int64
+}
+
+// Check is one shape assertion an experiment evaluated: the property
+// that must hold for the reproduction to count (who wins, where the
+// crossover falls), as opposed to absolute numbers.
+type Check struct {
+	Name   string
+	OK     bool
+	Detail string
+}
+
+// Result is an experiment's structured outcome.
+type Result struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+	Checks  []Check
+}
+
+// Failed returns the failed checks.
+func (r *Result) Failed() []Check {
+	var out []Check
+	for _, c := range r.Checks {
+		if !c.OK {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func (r *Result) check(name string, ok bool, format string, args ...any) {
+	r.Checks = append(r.Checks, Check{Name: name, OK: ok, Detail: fmt.Sprintf(format, args...)})
+}
+
+func (r *Result) row(cells ...string) { r.Rows = append(r.Rows, cells) }
+
+func (r *Result) note(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// Render pretty-prints the result to w.
+func (r *Result) Render(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", r.ID, r.Title)
+	widths := make([]int, len(r.Columns))
+	for i, c := range r.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range r.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintf(w, "  %s\n", strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(r.Columns)
+	sep := make([]string, len(r.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range r.Rows {
+		line(row)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	for _, c := range r.Checks {
+		status := "PASS"
+		if !c.OK {
+			status = "FAIL"
+		}
+		fmt.Fprintf(w, "  check [%s] %s: %s\n", status, c.Name, c.Detail)
+	}
+	fmt.Fprintln(w)
+}
+
+// Experiment is one registered experiment.
+type Experiment struct {
+	ID    string
+	Title string
+	// Paper names the paper artefact this regenerates.
+	Paper string
+	Run   func(cfg Config) (*Result, error)
+}
+
+var registry []Experiment
+
+func register(e Experiment) { registry = append(registry, e) }
+
+// Experiments returns all registered experiments in ID order.
+func Experiments() []Experiment {
+	out := make([]Experiment, len(registry))
+	copy(out, registry)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Lookup finds an experiment by ID.
+func Lookup(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// RunAll executes every experiment, rendering to w, and returns the
+// failed checks across all of them.
+func RunAll(w io.Writer, cfg Config) ([]Check, error) {
+	var failed []Check
+	for _, e := range Experiments() {
+		res, err := e.Run(cfg)
+		if err != nil {
+			return failed, fmt.Errorf("bench: %s: %w", e.ID, err)
+		}
+		res.Render(w)
+		failed = append(failed, res.Failed()...)
+	}
+	return failed, nil
+}
+
+// --- shared world construction --------------------------------------
+
+// world bundles a booted machine+monitor with a dom0 client idling on
+// core 0.
+type world struct {
+	mach *hw.Machine
+	rot  *tpm.TPM
+	mon  *core.Monitor
+	cl   *libtyche.Client
+}
+
+type worldOpts struct {
+	cores      int
+	memBytes   uint64
+	pmpEntries int
+	devices    []hw.DeviceConfig
+	encryption bool
+}
+
+func defaultWorldOpts() worldOpts {
+	return worldOpts{
+		cores:    4,
+		memBytes: 32 << 20,
+		devices: []hw.DeviceConfig{
+			{Name: "gpu0", Class: hw.DevAccelerator},
+			{Name: "nic0", Class: hw.DevNIC},
+		},
+	}
+}
+
+// dom0ReservePages keeps the low pages for dom0's own text.
+const dom0ReservePages = 16
+
+// dom0Entry is where the idle kernel text lives.
+const dom0Entry = phys.Addr(4 * phys.PageSize)
+
+func newWorld(cfg Config, o worldOpts) (*world, error) {
+	mach, err := hw.NewMachine(hw.Config{
+		MemBytes:            o.memBytes,
+		NumCores:            o.cores,
+		PMPEntries:          o.pmpEntries,
+		IOMMUAllowByDefault: true,
+		Devices:             o.devices,
+		MemoryEncryption:    o.encryption,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rot, err := tpm.New(nil)
+	if err != nil {
+		return nil, err
+	}
+	kind := cfg.Backend
+	if kind == "" {
+		kind = core.BackendVTX
+	}
+	mon, err := core.Boot(core.BootConfig{Machine: mach, TPM: rot, Backend: kind})
+	if err != nil {
+		return nil, err
+	}
+	cl := libtyche.New(mon, core.InitialDomain)
+	if err := cl.AutoHeap(dom0ReservePages); err != nil {
+		return nil, err
+	}
+	idle := hw.NewAsm()
+	idle.Hlt()
+	if err := mon.CopyInto(core.InitialDomain, dom0Entry, idle.MustAssemble(dom0Entry)); err != nil {
+		return nil, err
+	}
+	if err := mon.SetEntry(core.InitialDomain, core.InitialDomain, dom0Entry); err != nil {
+		return nil, err
+	}
+	if err := mon.Launch(core.InitialDomain, 0); err != nil {
+		return nil, err
+	}
+	if _, err := mon.RunCore(0, 10); err != nil {
+		return nil, err
+	}
+	return &world{mach: mach, rot: rot, mon: mon, cl: cl}, nil
+}
+
+// addImage builds an image whose domain returns r2+delta via the
+// monitor's return call (the standard "service domain" payload).
+func addImage(name string, delta uint32) *image.Image {
+	a := hw.NewAsm()
+	a.Movi(3, delta)
+	a.Add(1, 2, 3)
+	a.Movi(0, uint32(core.CallReturn))
+	a.Vmcall()
+	a.Hlt()
+	return image.NewProgram(name, a.MustAssemble(0))
+}
+
+// haltImage builds the minimal runnable image.
+func haltImage(name string) *image.Image {
+	a := hw.NewAsm()
+	a.Hlt()
+	return image.NewProgram(name, a.MustAssemble(0))
+}
+
+// buildAt constructs an image whose text is assembled against its final
+// load address (for programs with absolute jump targets): gen receives
+// the text base, extras mutate the image (adding segments), and the
+// returned image must be loaded immediately (it is assembled against
+// the next allocation the client's heap will hand out).
+func buildAt(cl *libtyche.Client, name string, gen func(base phys.Addr) *hw.Asm, extras ...func(*image.Image)) (*image.Image, error) {
+	// Pass 1: size the image with a dummy base.
+	probe := image.NewProgram(name, gen(0).MustAssemble(0))
+	for _, ex := range extras {
+		ex(probe)
+	}
+	base, err := cl.Heap().Peek(probe.TotalPages())
+	if err != nil {
+		return nil, err
+	}
+	code, err := gen(base.Start).Assemble(base.Start)
+	if err != nil {
+		return nil, err
+	}
+	img := image.NewProgram(name, code)
+	for _, ex := range extras {
+		ex(img)
+	}
+	return img, nil
+}
+
+func cycles(m *hw.Machine, f func() error) (uint64, error) {
+	before := m.Clock.Cycles()
+	err := f()
+	return m.Clock.Cycles() - before, err
+}
+
+func fmtU(v uint64) string { return fmt.Sprintf("%d", v) }
+
+func fmtRatio(v, base uint64) string {
+	if base == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1fx", float64(v)/float64(base))
+}
+
+func boolCell(ok bool) string {
+	if ok {
+		return "ok"
+	}
+	return "DENIED"
+}

@@ -1,0 +1,74 @@
+package bench
+
+import (
+	"io"
+	"strings"
+	"testing"
+
+	"github.com/tyche-sim/tyche/internal/core"
+)
+
+// TestExperimentsPassAllChecks runs every registered experiment in
+// quick mode and requires every shape check to pass — the experiments
+// double as the repository's integration suite.
+func TestExperimentsPassAllChecks(t *testing.T) {
+	for _, e := range Experiments() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			res, err := e.Run(Config{Quick: true, Seed: 1})
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			var sb strings.Builder
+			res.Render(&sb)
+			for _, c := range res.Failed() {
+				t.Errorf("%s check %s failed: %s", e.ID, c.Name, c.Detail)
+			}
+			if t.Failed() {
+				t.Log(sb.String())
+			}
+			if len(res.Rows) == 0 {
+				t.Fatalf("%s produced no table rows", e.ID)
+			}
+		})
+	}
+}
+
+// TestExperimentsOnPMPBackend re-runs the backend-sensitive scenario
+// experiments on the PMP backend.
+func TestExperimentsOnPMPBackend(t *testing.T) {
+	for _, id := range []string{"F1", "F4"} {
+		e, ok := Lookup(id)
+		if !ok {
+			t.Fatalf("experiment %s not registered", id)
+		}
+		t.Run(id, func(t *testing.T) {
+			res, err := e.Run(Config{Quick: true, Seed: 1, Backend: core.BackendPMP})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, c := range res.Failed() {
+				t.Errorf("%s on pmp: check %s failed: %s", id, c.Name, c.Detail)
+			}
+		})
+	}
+}
+
+func TestRegistryAndRunAll(t *testing.T) {
+	if len(Experiments()) < 18 {
+		t.Fatalf("registered experiments = %d, want 18 (F1-F4, C1-C14)", len(Experiments()))
+	}
+	if _, ok := Lookup("F1"); !ok {
+		t.Fatal("F1 missing")
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Fatal("bogus lookup succeeded")
+	}
+	failed, err := RunAll(io.Discard, Config{Quick: true, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(failed) != 0 {
+		t.Fatalf("failed checks: %+v", failed)
+	}
+}

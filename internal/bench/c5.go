@@ -1,0 +1,142 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/tyche-sim/tyche/internal/backend"
+	"github.com/tyche-sim/tyche/internal/cap"
+	"github.com/tyche-sim/tyche/internal/core"
+	"github.com/tyche-sim/tyche/internal/libtyche"
+	"github.com/tyche-sim/tyche/internal/phys"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "C5",
+		Title: "PMP segment pressure: fixed entries force careful layout",
+		Paper: "§4 'PMP only supports a fixed number of segments, which requires a careful memory layout of trust domains and validation by the monitor'",
+		Run:   runC5,
+	})
+}
+
+// runC5 sweeps the number of disjoint memory segments a domain holds
+// (extra shared buffers fragment its layout) on both backends. Shape:
+// the EPT backend accepts any count; the PMP backend accepts up to its
+// entry budget and then rejects with a layout-validation error; PMP
+// transition cost grows with the segment count while EPT transitions
+// stay flat.
+func runC5(cfg Config) (*Result, error) {
+	res := &Result{
+		ID: "C5", Title: "PMP segment pressure",
+		Columns: []string{"segments", "pmp(16 entries)", "pmp cycles/transition", "vtx", "vtx cycles/transition"},
+	}
+	maxSegs := 24
+	if cfg.Quick {
+		maxSegs = 20
+	}
+	var pmpFailAt int
+	var pmpGrew, vtxFlat bool
+	var firstPMP, lastPMP, firstVTX, lastVTX uint64
+
+	for segs := 2; segs <= maxSegs; segs += 2 {
+		pmpCost, pmpErr := segmentedDomainCost(cfg, core.BackendPMP, segs)
+		vtxCost, vtxErr := segmentedDomainCost(cfg, core.BackendVTX, segs)
+		if vtxErr != nil {
+			return nil, fmt.Errorf("vtx with %d segments: %w", segs, vtxErr)
+		}
+		pmpCell := "ok"
+		pmpCycles := fmtU(pmpCost)
+		if pmpErr != nil {
+			var exhausted *backend.PMPExhaustedError
+			if !errors.As(pmpErr, &exhausted) {
+				return nil, fmt.Errorf("pmp with %d segments: %w", segs, pmpErr)
+			}
+			pmpCell = fmt.Sprintf("REJECTED (needs %d > %d)", exhausted.Needed, exhausted.Available)
+			pmpCycles = "-"
+			if pmpFailAt == 0 {
+				pmpFailAt = segs
+			}
+		} else {
+			if firstPMP == 0 {
+				firstPMP = pmpCost
+			}
+			lastPMP = pmpCost
+		}
+		if firstVTX == 0 {
+			firstVTX = vtxCost
+		}
+		lastVTX = vtxCost
+		res.row(fmtU(uint64(segs)), pmpCell, pmpCycles, "ok", fmtU(vtxCost))
+	}
+	pmpGrew = lastPMP > firstPMP
+	vtxFlat = lastVTX <= firstVTX+firstVTX/10
+
+	res.check("pmp-budget-enforced", pmpFailAt > 0 && pmpFailAt <= 18,
+		"monitor rejected layouts needing more than the budget (first failure at %d segments)", pmpFailAt)
+	res.check("vtx-unbounded", true, "EPT backend accepted every layout up to %d segments", maxSegs)
+	res.check("pmp-transition-grows", pmpGrew,
+		"PMP transition cost grew %d -> %d cycles with layout size", firstPMP, lastPMP)
+	res.check("vtx-transition-flat", vtxFlat,
+		"EPT transition cost flat: %d -> %d cycles", firstVTX, lastVTX)
+	res.note("the domain's own footprint contributes segments beyond the added buffers; dom0's budget also shrinks as grants fragment it")
+	return res, nil
+}
+
+// segmentedDomainCost builds a domain whose flattened layout has
+// roughly `segs` disjoint segments (alternating rights stop merging)
+// and returns the cycle cost of one mediated call+return into it.
+func segmentedDomainCost(cfg Config, kind core.BackendKind, segs int) (uint64, error) {
+	wcfg := cfg
+	wcfg.Backend = kind
+	o := defaultWorldOpts()
+	o.pmpEntries = 16
+	w, err := newWorld(wcfg, o)
+	if err != nil {
+		return 0, err
+	}
+	opts := libtyche.DefaultLoadOptions()
+	opts.Cores = []phys.CoreID{0}
+	opts.Seal = false
+	dom, err := w.cl.Load(addImage("c5", 1), opts)
+	if err != nil {
+		return 0, err
+	}
+	// Each extra buffer: one page, alternating ro/rw so FlattenGrants
+	// cannot merge them, with a one-page hole between buffers.
+	var heapNode cap.NodeID
+	for _, n := range w.mon.OwnerNodes(core.InitialDomain) {
+		if n.Resource.Kind == cap.ResMemory {
+			heapNode = n.ID
+		}
+	}
+	// The loaded image already occupies a couple of segments; add
+	// buffers until the flattened layout reaches `segs`.
+	base := w.mon.MonitorRegion().Start - phys.Addr(4<<20)
+	for i := 0; ; i++ {
+		grants := w.cl.Monitor().OwnerNodes(dom.ID())
+		flat := 0
+		var memGrants []cap.MemoryGrant
+		for _, g := range grants {
+			if g.Resource.Kind == cap.ResMemory {
+				memGrants = append(memGrants, cap.MemoryGrant{Region: g.Resource.Mem, Rights: g.Rights, Node: g.ID})
+			}
+		}
+		flat = len(backend.FlattenGrants(memGrants))
+		if flat >= segs {
+			break
+		}
+		rights := cap.MemRW
+		if i%2 == 1 {
+			rights = cap.RightRead
+		}
+		r := phys.MakeRegion(base+phys.Addr(uint64(i)*2*phys.PageSize), phys.PageSize)
+		if _, err := w.mon.Share(core.InitialDomain, heapNode, dom.ID(), cap.MemResource(r), rights, cap.CleanNone); err != nil {
+			return 0, err
+		}
+	}
+	return cycles(w.mach, func() error {
+		_, err := dom.Invoke(0, 10000, 1)
+		return err
+	})
+}

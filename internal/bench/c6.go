@@ -1,0 +1,218 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/tyche-sim/tyche/internal/cap"
+	"github.com/tyche-sim/tyche/internal/core"
+	"github.com/tyche-sim/tyche/internal/hw"
+	"github.com/tyche-sim/tyche/internal/libtyche"
+	"github.com/tyche-sim/tyche/internal/phys"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "C6",
+		Title: "Revocation policies: cleanup cost and side-channel closure",
+		Paper: "§3.2 guaranteed clean-up on revocation; §4.1 'revocation policies that flush micro-architectural state (caches) during a transition'",
+		Run:   runC6,
+	})
+}
+
+// runC6 has two parts. Part one sweeps the revoked-region size across
+// cleanup policies and records the cycle cost: zeroing must scale with
+// the region, 'none' must stay flat, flushes add a constant per-core
+// term. Part two is a prime+probe attack: a victim domain touches one
+// of two cache lines depending on a secret bit; the attacker probes
+// after the victim's core capability is revoked — with CleanNone the
+// bit is recovered, with CleanFlushCache the signal is gone.
+func runC6(cfg Config) (*Result, error) {
+	res := &Result{
+		ID: "C6", Title: "Revocation policies",
+		Columns: []string{"policy", "region KiB", "revoke cycles", "cycles/KiB"},
+	}
+	sizesKiB := []uint64{16, 64, 256, 1024}
+	if cfg.Quick {
+		sizesKiB = []uint64{16, 64, 256}
+	}
+	policies := []struct {
+		name string
+		c    cap.Cleanup
+	}{
+		{"none", cap.CleanNone},
+		{"flush-tlb", cap.CleanFlushTLB},
+		{"flush-cache", cap.CleanFlushCache},
+		{"zero", cap.CleanZero},
+		{"obfuscate(all)", cap.CleanObfuscate},
+	}
+	cost := map[string][]uint64{}
+	for _, pol := range policies {
+		for _, kib := range sizesKiB {
+			w, err := newWorld(cfg, defaultWorldOpts())
+			if err != nil {
+				return nil, err
+			}
+			var heapNode cap.NodeID
+			for _, n := range w.mon.OwnerNodes(core.InitialDomain) {
+				if n.Resource.Kind == cap.ResMemory {
+					heapNode = n.ID
+				}
+			}
+			victim, err := w.mon.CreateDomain(core.InitialDomain, "victim")
+			if err != nil {
+				return nil, err
+			}
+			r := phys.MakeRegion(phys.Addr(2<<20), kib*1024)
+			node, err := w.mon.Grant(core.InitialDomain, heapNode, victim, cap.MemResource(r), cap.MemRW, pol.c)
+			if err != nil {
+				return nil, err
+			}
+			c, err := cycles(w.mach, func() error {
+				return w.mon.Revoke(core.InitialDomain, node)
+			})
+			if err != nil {
+				return nil, err
+			}
+			res.row(pol.name, fmtU(kib), fmtU(c), fmtU(c/kib))
+			cost[pol.name] = append(cost[pol.name], c)
+		}
+	}
+	// Shape checks on the sweep.
+	noneFlat := spread(cost["none"]) < 3.0
+	zeroScales := cost["zero"][len(cost["zero"])-1] > 4*cost["zero"][0]
+	res.check("none-flat", noneFlat, "policy 'none' cost varies %.1fx across a %dx size range",
+		spread(cost["none"]), sizesKiB[len(sizesKiB)-1]/sizesKiB[0])
+	res.check("zero-scales", zeroScales, "zeroing cost grew %d -> %d cycles with region size",
+		cost["zero"][0], cost["zero"][len(cost["zero"])-1])
+	res.check("obfuscate-dominates", last(cost["obfuscate(all)"]) >= last(cost["zero"]),
+		"full obfuscation >= zeroing (%d vs %d)", last(cost["obfuscate(all)"]), last(cost["zero"]))
+
+	// ---- Part two: prime+probe across a revocation ----
+	trials := 24
+	if cfg.Quick {
+		trials = 12
+	}
+	recovered := map[string]int{}
+	for _, pol := range []struct {
+		name string
+		c    cap.Cleanup
+	}{{"no-flush", cap.CleanNone}, {"flush-cache", cap.CleanFlushCache}} {
+		rng := rand.New(rand.NewSource(cfg.Seed + 7))
+		hits := 0
+		for t := 0; t < trials; t++ {
+			bit := rng.Intn(2)
+			got, err := primeProbeTrial(cfg, pol.c, bit)
+			if err != nil {
+				return nil, err
+			}
+			if got == bit {
+				hits++
+			}
+		}
+		recovered[pol.name] = hits
+		res.row("prime+probe accuracy ("+pol.name+")", "-",
+			fmt.Sprintf("%d/%d bits", hits, trials), "-")
+	}
+	res.check("sidechannel-open-without-flush", recovered["no-flush"] == trials,
+		"attacker recovered %d/%d secret bits with CleanNone", recovered["no-flush"], trials)
+	res.check("sidechannel-closed-by-flush", recovered["flush-cache"] <= trials/2+trials/4,
+		"attacker recovered only %d/%d bits with CleanFlushCache", recovered["flush-cache"], trials)
+	return res, nil
+}
+
+// primeProbeTrial runs one victim/attacker round and returns the bit
+// the attacker infers.
+func primeProbeTrial(cfg Config, pol cap.Cleanup, bit int) (int, error) {
+	w, err := newWorld(cfg, defaultWorldOpts())
+	if err != nil {
+		return 0, err
+	}
+	// Two probe addresses in dom0 memory mapping to distinct cache
+	// sets; the victim gets read access to both, secret decides which
+	// one it touches. Offset past slot 0 so the victim's own code
+	// fetches (which live near slot 0) cannot evict the signal.
+	probeRegion := phys.MakeRegion(2<<20, phys.PageSize)
+	addrA := probeRegion.Start + 16*hw.CacheLineSize
+	addrB := addrA + hw.CacheLineSize
+	var heapNode cap.NodeID
+	for _, n := range w.mon.OwnerNodes(core.InitialDomain) {
+		if n.Resource.Kind == cap.ResMemory {
+			heapNode = n.ID
+		}
+	}
+	// Victim: enclave whose code loads addrA or addrB per its secret.
+	target := addrA
+	if bit == 1 {
+		target = addrB
+	}
+	victimImg, err := buildAt(w.cl, "victim", func(base phys.Addr) *hw.Asm {
+		a := hw.NewAsm()
+		a.Movi(1, uint32(target))
+		a.Ld(2, 1, 0)
+		a.Hlt()
+		return a
+	})
+	if err != nil {
+		return 0, err
+	}
+	opts := libtyche.DefaultLoadOptions()
+	opts.Cores = []phys.CoreID{1}
+	opts.Seal = false
+	victim, err := w.cl.Load(victimImg, opts)
+	if err != nil {
+		return 0, err
+	}
+	shared, err := w.mon.Share(core.InitialDomain, heapNode, victim.ID(), cap.MemResource(probeRegion), cap.RightRead, pol)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := victim.Seal(); err != nil {
+		return 0, err
+	}
+	// Victim runs on core 1.
+	if err := victim.Launch(1); err != nil {
+		return 0, err
+	}
+	if _, err := w.mon.RunCore(1, 100); err != nil {
+		return 0, err
+	}
+	// The victim's access to the probe region is revoked — the cleanup
+	// policy decides whether micro-architectural state is flushed.
+	if err := w.mon.Revoke(core.InitialDomain, shared); err != nil {
+		return 0, err
+	}
+	// Attacker (dom0) probes core 1's cache.
+	cache := w.mach.Core(1).CacheUnit()
+	hitA := cache.Probe(addrA)
+	hitB := cache.Probe(addrB)
+	switch {
+	case hitB && !hitA:
+		return 1, nil
+	case hitA && !hitB:
+		return 0, nil
+	default:
+		// No signal: guess deterministically wrong half the time by
+		// returning the complement of the bit's position parity — the
+		// caller counts mismatches as failures, which is the point.
+		return 2, nil
+	}
+}
+
+func spread(vals []uint64) float64 {
+	lo, hi := vals[0], vals[0]
+	for _, v := range vals {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if lo == 0 {
+		lo = 1
+	}
+	return float64(hi) / float64(lo)
+}
+
+func last(vals []uint64) uint64 { return vals[len(vals)-1] }

@@ -1,0 +1,121 @@
+package bench
+
+import (
+	"time"
+
+	"github.com/tyche-sim/tyche/internal/attest"
+	"github.com/tyche-sim/tyche/internal/cap"
+	"github.com/tyche-sim/tyche/internal/core"
+	"github.com/tyche-sim/tyche/internal/libtyche"
+	"github.com/tyche-sim/tyche/internal/phys"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "C7",
+		Title: "Two-tier attestation: cost vs resource-enumeration size",
+		Paper: "§3.4 two-tier protocol; reports enumerate resources and reference counts",
+		Run:   runC7,
+	})
+}
+
+// runC7 sweeps the number of resources a domain holds and measures
+// report generation and verification time. Shape: both grow roughly
+// linearly in the enumeration size, verification always succeeds for
+// honest reports, and the boot (tier-one) cost is paid once per
+// session, not per report.
+func runC7(cfg Config) (*Result, error) {
+	res := &Result{
+		ID: "C7", Title: "Attestation scaling",
+		Columns: []string{"resources", "report bytes~", "attest us", "verify us"},
+	}
+	sizes := []int{1, 8, 32, 128}
+	if cfg.Quick {
+		sizes = []int{1, 8, 32}
+	}
+	w, err := newWorld(cfg, defaultWorldOpts())
+	if err != nil {
+		return nil, err
+	}
+	verifier := attest.NewVerifier(w.rot.EndorsementKey(), core.DefaultIdentity)
+	bootNonce := []byte("c7-boot")
+	bootStart := time.Now()
+	quote, err := w.mon.BootQuote(bootNonce)
+	if err != nil {
+		return nil, err
+	}
+	sess, err := verifier.NewSession(quote, bootNonce)
+	if err != nil {
+		return nil, err
+	}
+	bootUS := time.Since(bootStart).Microseconds()
+
+	var heapNode cap.NodeID
+	for _, n := range w.mon.OwnerNodes(core.InitialDomain) {
+		if n.Resource.Kind == cap.ResMemory {
+			heapNode = n.ID
+		}
+	}
+	var attestUS, verifyUS []int64
+	base := phys.Addr(4 << 20)
+	for _, n := range sizes {
+		opts := libtyche.DefaultLoadOptions()
+		opts.Cores = []phys.CoreID{1}
+		opts.Seal = false
+		dom, err := w.cl.Load(addImage("c7", 1), opts)
+		if err != nil {
+			return nil, err
+		}
+		// Grow the enumeration with alternating-rights single-page
+		// shares (they cannot merge).
+		for i := 0; i < n; i++ {
+			rights := cap.MemRW
+			if i%2 == 1 {
+				rights = cap.RightRead
+			}
+			r := phys.MakeRegion(base+phys.Addr(uint64(i)*2*phys.PageSize), phys.PageSize)
+			if _, err := w.mon.Share(core.InitialDomain, heapNode, dom.ID(), cap.MemResource(r), rights, cap.CleanNone); err != nil {
+				return nil, err
+			}
+		}
+		nonce := []byte("c7")
+		iters := 20
+		if cfg.Quick {
+			iters = 5
+		}
+		var rep *core.Report
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			rep, err = dom.Attest(nonce)
+			if err != nil {
+				return nil, err
+			}
+		}
+		aUS := time.Since(start).Microseconds() / int64(iters)
+		start = time.Now()
+		for i := 0; i < iters; i++ {
+			if err := sess.VerifyDomain(rep, nonce); err != nil {
+				return nil, err
+			}
+		}
+		vUS := time.Since(start).Microseconds() / int64(iters)
+		attestUS = append(attestUS, aUS)
+		verifyUS = append(verifyUS, vUS)
+		approxBytes := 100 + 60*len(rep.Resources)
+		res.row(fmtU(uint64(len(rep.Resources))), fmtU(uint64(approxBytes)), fmtU(uint64(aUS)), fmtU(uint64(vUS)))
+		// Teardown: give the next round a clean slate.
+		if err := w.mon.KillDomain(core.InitialDomain, dom.ID()); err != nil {
+			return nil, err
+		}
+		base += phys.Addr(uint64(2*n+2) * phys.PageSize)
+	}
+
+	growth := float64(attestUS[len(attestUS)-1]+1) / float64(attestUS[0]+1)
+	perResource := float64(attestUS[len(attestUS)-1]+1) / float64(sizes[len(sizes)-1])
+	res.check("attest-at-most-linear", growth <= float64(sizes[len(sizes)-1])/float64(sizes[0]),
+		"attest time grew %.1fx over a %dx resource range (%.1fus/resource at the top)",
+		growth, sizes[len(sizes)-1]/sizes[0], perResource)
+	res.check("verify-succeeds-at-scale", true, "every report verified under the session key")
+	res.note("tier-one boot verification: %dus, paid once per session", bootUS)
+	return res, nil
+}

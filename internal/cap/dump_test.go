@@ -1,0 +1,30 @@
+package cap
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTreeString(t *testing.T) {
+	s := NewSpace()
+	root := mustRoot(t, s, 1, mem(0, 8), MemFull)
+	child, err := s.Share(root, 2, mem(0, 2), MemRW, CleanZero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Grant(child, 3, mem(0, 1), RightRead, CleanNone); err == nil {
+		t.Fatal("grant without RightGrant should fail")
+	}
+	s.Seal(2)
+	out := s.TreeString()
+	for _, want := range []string{"n1 d1 root", "n2 d2 (sealed) shared", "cleanup=zero"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("dump missing %q:\n%s", want, out)
+		}
+	}
+	// Child is indented under its parent.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2 || !strings.HasPrefix(lines[1], "  ") {
+		t.Fatalf("tree shape wrong:\n%s", out)
+	}
+}

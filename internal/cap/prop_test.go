@@ -1,0 +1,289 @@
+package cap
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/tyche-sim/tyche/internal/phys"
+)
+
+// propHarness drives a random but valid sequence of capability
+// operations and checks the model's global invariants after every step.
+// This is the executable counterpart of the paper's "meant to be
+// formally verified" capability engine (§4.1): the invariants are the
+// properties a verification effort would prove.
+type propHarness struct {
+	t   *testing.T
+	s   *Space
+	rng *rand.Rand
+	ids []NodeID
+}
+
+const propPages = 64 // property world: 64 pages of physical memory
+
+func (h *propHarness) randomOp() {
+	switch h.rng.Intn(10) {
+	case 0: // new root (rare: boot-time only in reality)
+		start := uint64(h.rng.Intn(propPages / 2))
+		pages := uint64(h.rng.Intn(propPages/2) + 1)
+		id, err := h.s.CreateRoot(OwnerID(h.rng.Intn(3)+1), mem(start, pages), MemFull, CleanNone)
+		if err == nil {
+			h.ids = append(h.ids, id)
+		}
+	case 1, 2, 3, 4: // share
+		h.derive(false)
+	case 5, 6: // grant
+		h.derive(true)
+	case 7, 8: // revoke a random node
+		if len(h.ids) == 0 {
+			return
+		}
+		id := h.ids[h.rng.Intn(len(h.ids))]
+		if _, err := h.s.Revoke(id); err != nil {
+			// Node may already be gone via a cascade; that's fine.
+			h.compactIDs()
+		} else {
+			h.compactIDs()
+		}
+	case 9: // revoke a random owner entirely
+		h.s.RevokeOwner(OwnerID(h.rng.Intn(6) + 1))
+		h.compactIDs()
+	}
+}
+
+func (h *propHarness) derive(grant bool) {
+	if len(h.ids) == 0 {
+		return
+	}
+	id := h.ids[h.rng.Intn(len(h.ids))]
+	info, err := h.s.Node(id)
+	if err != nil || info.Resource.Kind != ResMemory {
+		return
+	}
+	r := info.Resource.Mem
+	pages := r.Pages()
+	if pages == 0 {
+		return
+	}
+	off := uint64(h.rng.Int63n(int64(pages)))
+	n := uint64(h.rng.Int63n(int64(pages-off))) + 1
+	sub := MemResource(phys.MakeRegion(r.Start+phys.Addr(off*pg), n*pg))
+	rights := info.Rights
+	if h.rng.Intn(2) == 0 {
+		rights &^= RightWrite
+	}
+	newOwner := OwnerID(h.rng.Intn(6) + 1)
+	var nid NodeID
+	if grant {
+		nid, err = h.s.Grant(id, newOwner, sub, rights, CleanZero)
+	} else {
+		nid, err = h.s.Share(id, newOwner, sub, rights, CleanNone)
+	}
+	if err == nil {
+		h.ids = append(h.ids, nid)
+	}
+}
+
+func (h *propHarness) compactIDs() {
+	live := h.ids[:0]
+	for _, id := range h.ids {
+		if _, err := h.s.Node(id); err == nil {
+			live = append(live, id)
+		}
+	}
+	h.ids = live
+}
+
+// checkInvariants validates the global model invariants.
+func (h *propHarness) checkInvariants() {
+	t, s := h.t, h.s
+
+	// I1: reference count at every page equals the number of distinct
+	// owners with effective access (refcount is an exact sharing audit).
+	for pgN := 0; pgN < propPages; pgN += 3 {
+		a := phys.Addr(pgN * pg)
+		byCount := s.RefCountAt(a)
+		brute := 0
+		for _, o := range s.Owners() {
+			if s.CheckMemAccess(o, a, RightsNone) {
+				brute++
+			}
+		}
+		if byCount != brute {
+			t.Fatalf("I1 violated at %v: refcount=%d brute=%d", a, byCount, brute)
+		}
+	}
+
+	// I2: RefCounts segments are disjoint, ordered, and consistent with
+	// RefCountAt.
+	var prevEnd phys.Addr
+	for _, rc := range s.RefCounts() {
+		if rc.Region.Start < prevEnd {
+			t.Fatalf("I2 violated: overlapping segments in %v", s.RefCounts())
+		}
+		prevEnd = rc.Region.End
+		if got := s.RefCountAt(rc.Region.Start); got != rc.Count {
+			t.Fatalf("I2 violated: segment %v but RefCountAt=%d", rc, got)
+		}
+		if rc.Count != len(rc.Owners) {
+			t.Fatalf("I2 violated: count %d != owners %v", rc.Count, rc.Owners)
+		}
+	}
+
+	// I3: rights only attenuate along lineage, and every child's
+	// resource is contained in its parent's.
+	for _, o := range s.Owners() {
+		for _, inf := range s.OwnerNodes(o) {
+			if inf.Parent == 0 {
+				continue
+			}
+			p, err := s.Node(inf.Parent)
+			if err != nil {
+				t.Fatalf("I3 violated: dangling parent for %d", inf.ID)
+			}
+			if !inf.Rights.Subset(p.Rights) {
+				t.Fatalf("I3 violated: child %v ⊄ parent %v", inf.Rights, p.Rights)
+			}
+			if !p.Resource.ContainsResource(inf.Resource) {
+				t.Fatalf("I3 violated: %v not in %v", inf.Resource, p.Resource)
+			}
+		}
+	}
+
+	// I4: effective regions never include granted-away memory.
+	for _, o := range s.Owners() {
+		for _, inf := range s.OwnerNodes(o) {
+			if inf.Resource.Kind != ResMemory {
+				continue
+			}
+			eff, err := s.EffectiveRegions(inf.ID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, cid := range inf.Children {
+				c, err := s.Node(cid)
+				if err != nil || c.Kind != KindGranted {
+					continue
+				}
+				for _, r := range eff {
+					if r.Overlaps(c.Resource.Mem) {
+						t.Fatalf("I4 violated: effective %v overlaps grant %v", r, c.Resource.Mem)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestCapabilityInvariantsRandomOps(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		h := &propHarness{t: t, s: NewSpace(), rng: rand.New(rand.NewSource(seed))}
+		// Boot: initial domain owns everything, as on real Tyche.
+		root, err := h.s.CreateRoot(1, mem(0, propPages), MemFull, CleanNone)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.ids = append(h.ids, root)
+		for step := 0; step < 300; step++ {
+			h.randomOp()
+			if step%10 == 0 {
+				h.checkInvariants()
+			}
+		}
+		h.checkInvariants()
+	}
+}
+
+// TestRevocationAlwaysTerminatesAndEmpties: random deep/cyclic sharing
+// graphs, then revoking the boot capability must empty the space
+// entirely (cascading revocation reaches everything derived).
+func TestRevocationCascadeReachesEverything(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		s := NewSpace()
+		root, err := s.CreateRoot(1, mem(0, propPages), MemFull, CleanNone)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids := []NodeID{root}
+		for i := 0; i < 120; i++ {
+			src := ids[rng.Intn(len(ids))]
+			info, err := s.Node(src)
+			if err != nil {
+				continue
+			}
+			r := info.Resource.Mem
+			if r.Pages() == 0 {
+				continue
+			}
+			off := uint64(rng.Int63n(int64(r.Pages())))
+			n := uint64(rng.Int63n(int64(r.Pages()-off))) + 1
+			sub := MemResource(phys.MakeRegion(r.Start+phys.Addr(off*pg), n*pg))
+			// Deliberately create circular owner patterns: share back
+			// and forth between owners 1..4.
+			if id, err := s.Share(src, OwnerID(rng.Intn(4)+1), sub, info.Rights, CleanZero); err == nil {
+				ids = append(ids, id)
+			}
+		}
+		acts, err := s.Revoke(root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.NumNodes() != 0 {
+			t.Fatalf("seed %d: %d nodes survive root revocation", seed, s.NumNodes())
+		}
+		if len(acts) == 0 {
+			t.Fatal("no cleanup actions emitted")
+		}
+		// Cleanup order: every node appears after all of its children.
+		seen := make(map[NodeID]bool)
+		for _, a := range acts {
+			seen[a.Node] = true
+			_ = a
+		}
+		if !seen[root] || acts[len(acts)-1].Node != root {
+			t.Fatal("root must be cleaned up last")
+		}
+		if s.RefCountAt(0) != 0 {
+			t.Fatal("refcounts must drop to zero")
+		}
+	}
+}
+
+// Property: Grant then Revoke is access-neutral for every owner.
+func TestGrantRevokeNeutrality(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 50; trial++ {
+		s := NewSpace()
+		rootPages := uint64(rng.Intn(32) + 8)
+		root, err := s.CreateRoot(1, mem(0, rootPages), MemFull, CleanNone)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Random pre-existing shares.
+		for i := 0; i < rng.Intn(5); i++ {
+			off := uint64(rng.Int63n(int64(rootPages)))
+			n := uint64(rng.Int63n(int64(rootPages-off))) + 1
+			s.Share(root, OwnerID(rng.Intn(3)+2), MemResource(phys.MakeRegion(phys.Addr(off*pg), n*pg)), MemRW, CleanNone)
+		}
+		snapshot := s.RefCounts()
+		off := uint64(rng.Int63n(int64(rootPages)))
+		n := uint64(rng.Int63n(int64(rootPages-off))) + 1
+		g, err := s.Grant(root, 9, MemResource(phys.MakeRegion(phys.Addr(off*pg), n*pg)), MemRWX, CleanObfuscate)
+		if err != nil {
+			continue // grant may legitimately fail (e.g. overlap rules)
+		}
+		if _, err := s.Revoke(g); err != nil {
+			t.Fatal(err)
+		}
+		after := s.RefCounts()
+		if len(snapshot) != len(after) {
+			t.Fatalf("trial %d: refcount map changed: %v -> %v", trial, snapshot, after)
+		}
+		for i := range snapshot {
+			if snapshot[i].Region != after[i].Region || snapshot[i].Count != after[i].Count {
+				t.Fatalf("trial %d: segment changed: %v -> %v", trial, snapshot[i], after[i])
+			}
+		}
+	}
+}

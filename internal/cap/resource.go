@@ -1,0 +1,101 @@
+package cap
+
+import (
+	"fmt"
+
+	"github.com/tyche-sim/tyche/internal/phys"
+)
+
+// ResourceKind distinguishes the three physical name spaces the monitor
+// manages (§3.1: "memory, CPU cores, and PCI devices").
+type ResourceKind int
+
+// Resource kinds.
+const (
+	ResMemory ResourceKind = iota
+	ResCore
+	ResDevice
+)
+
+var resKindNames = [...]string{"memory", "core", "device"}
+
+func (k ResourceKind) String() string {
+	if int(k) < len(resKindNames) {
+		return resKindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Resource names a physical resource: a memory region, a CPU core, or a
+// PCI device. Exactly the field selected by Kind is meaningful.
+type Resource struct {
+	Kind   ResourceKind
+	Mem    phys.Region
+	Core   phys.CoreID
+	Device phys.DeviceID
+}
+
+// MemResource names the memory region r.
+func MemResource(r phys.Region) Resource { return Resource{Kind: ResMemory, Mem: r} }
+
+// CoreResource names core c.
+func CoreResource(c phys.CoreID) Resource { return Resource{Kind: ResCore, Core: c} }
+
+// DeviceResource names device d.
+func DeviceResource(d phys.DeviceID) Resource { return Resource{Kind: ResDevice, Device: d} }
+
+// Validate checks internal consistency.
+func (r Resource) Validate() error {
+	switch r.Kind {
+	case ResMemory:
+		return r.Mem.Validate()
+	case ResCore, ResDevice:
+		return nil
+	default:
+		return fmt.Errorf("cap: unknown resource kind %v", r.Kind)
+	}
+}
+
+// ContainsResource reports whether sub is wholly within r: a memory
+// subrange, or the identical core/device.
+func (r Resource) ContainsResource(sub Resource) bool {
+	if r.Kind != sub.Kind {
+		return false
+	}
+	switch r.Kind {
+	case ResMemory:
+		return r.Mem.ContainsRegion(sub.Mem) && !sub.Mem.Empty()
+	case ResCore:
+		return r.Core == sub.Core
+	case ResDevice:
+		return r.Device == sub.Device
+	}
+	return false
+}
+
+// ValidRights returns the rights bits meaningful for this resource kind
+// (plus the delegation rights, which apply to all kinds).
+func (r Resource) ValidRights() Rights {
+	deleg := RightShare | RightGrant
+	switch r.Kind {
+	case ResMemory:
+		return MemRWX | deleg
+	case ResCore:
+		return RightRun | deleg
+	case ResDevice:
+		return RightUse | RightDMA | deleg
+	}
+	return 0
+}
+
+func (r Resource) String() string {
+	switch r.Kind {
+	case ResMemory:
+		return fmt.Sprintf("mem%v", r.Mem)
+	case ResCore:
+		return r.Core.String()
+	case ResDevice:
+		return r.Device.String()
+	}
+	return "resource(?)"
+}

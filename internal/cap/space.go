@@ -1,0 +1,542 @@
+package cap
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"github.com/tyche-sim/tyche/internal/phys"
+)
+
+// OwnerID identifies a capability owner — a trust domain. The capability
+// model treats owners as opaque; domain lifecycle lives in the monitor.
+type OwnerID uint64
+
+// NodeID identifies one node in the capability lineage tree.
+type NodeID uint64
+
+// NodeKind records how a capability came to exist.
+type NodeKind int
+
+// Node kinds.
+const (
+	// KindRoot capabilities are created by the monitor at boot (the
+	// initial domain owns all physical resources).
+	KindRoot NodeKind = iota
+	// KindShared capabilities were derived by Share: parent keeps access.
+	KindShared
+	// KindGranted capabilities were derived by Grant: the parent's
+	// access to the transferred sub-resource is suspended while the
+	// grant is active ("granting exclusive control", §3.2).
+	KindGranted
+)
+
+var nodeKindNames = [...]string{"root", "shared", "granted"}
+
+func (k NodeKind) String() string {
+	if int(k) < len(nodeKindNames) {
+		return nodeKindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Sentinel errors returned by Space operations.
+var (
+	ErrNotFound     = errors.New("cap: capability not found")
+	ErrRights       = errors.New("cap: rights exceed parent capability")
+	ErrNoDelegation = errors.New("cap: capability lacks the needed delegation right")
+	ErrSealed       = errors.New("cap: domain is sealed")
+	ErrSubresource  = errors.New("cap: requested resource not within (effective) capability")
+	ErrInvalid      = errors.New("cap: invalid argument")
+)
+
+type node struct {
+	id       NodeID
+	owner    OwnerID
+	res      Resource
+	rights   Rights
+	cleanup  Cleanup
+	kind     NodeKind
+	parent   *node
+	children []*node
+}
+
+// Info is an exported snapshot of one capability node.
+type Info struct {
+	ID       NodeID
+	Owner    OwnerID
+	Resource Resource
+	Rights   Rights
+	Cleanup  Cleanup
+	Kind     NodeKind
+	Parent   NodeID // 0 for roots
+	Children []NodeID
+}
+
+// CleanupAction records one cleanup the monitor must execute as part of
+// a revocation: the capability model validates and sequences; the
+// hardware backend performs.
+type CleanupAction struct {
+	Node     NodeID
+	Owner    OwnerID
+	Resource Resource
+	Cleanup  Cleanup
+}
+
+func (a CleanupAction) String() string {
+	return fmt.Sprintf("cleanup{%v %v owner=%d %v}", a.Cleanup, a.Resource, a.Owner, a.Node)
+}
+
+// Space is the system-wide capability state: every capability of every
+// trust domain lives in one lineage forest rooted at the boot-time
+// capabilities.
+//
+// Space is not safe for concurrent use; the monitor serialises API calls
+// (the real monitor takes a global lock around its capability engine).
+type Space struct {
+	nodes  map[NodeID]*node
+	nextID NodeID
+	sealed map[OwnerID]bool
+	gen    uint64
+
+	ops uint64 // total mutating operations, for bench reporting
+}
+
+// NewSpace returns an empty capability space.
+func NewSpace() *Space {
+	return &Space{
+		nodes:  make(map[NodeID]*node),
+		sealed: make(map[OwnerID]bool),
+		nextID: 1,
+	}
+}
+
+// Generation increments on every mutation; backends use it to detect
+// staleness of derived hardware state.
+func (s *Space) Generation() uint64 { return s.gen }
+
+// Ops returns the number of mutating operations performed.
+func (s *Space) Ops() uint64 { return s.ops }
+
+// NumNodes returns the number of live capability nodes.
+func (s *Space) NumNodes() int { return len(s.nodes) }
+
+func (s *Space) mutate() { s.gen++; s.ops++ }
+
+// CreateRoot mints a root capability for owner. Only the monitor calls
+// this, at boot, to hand the initial domain the machine's resources.
+func (s *Space) CreateRoot(owner OwnerID, res Resource, rights Rights, cleanup Cleanup) (NodeID, error) {
+	if err := res.Validate(); err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrInvalid, err)
+	}
+	if !rights.Subset(res.ValidRights()) {
+		return 0, fmt.Errorf("%w: rights %v not valid for %v", ErrInvalid, rights, res.Kind)
+	}
+	if s.sealed[owner] {
+		return 0, fmt.Errorf("%w: owner %d cannot receive new capabilities", ErrSealed, owner)
+	}
+	n := &node{id: s.nextID, owner: owner, res: res, rights: rights, cleanup: cleanup, kind: KindRoot}
+	s.nextID++
+	s.nodes[n.id] = n
+	s.mutate()
+	return n.id, nil
+}
+
+func (s *Space) get(id NodeID) (*node, error) {
+	n, ok := s.nodes[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: node %d", ErrNotFound, id)
+	}
+	return n, nil
+}
+
+// derive validates and creates a child capability of kind k.
+func (s *Space) derive(id NodeID, newOwner OwnerID, sub Resource, rights Rights, cleanup Cleanup, k NodeKind) (NodeID, error) {
+	parent, err := s.get(id)
+	if err != nil {
+		return 0, err
+	}
+	need := RightShare
+	if k == KindGranted {
+		need = RightGrant
+	}
+	if !parent.rights.Has(need) {
+		return 0, fmt.Errorf("%w: %v needs %v", ErrNoDelegation, parent.res, need)
+	}
+	// A sealed domain cannot have its resource set extended (§3.1).
+	// Sharing *out of* a sealed domain remains possible: it is a
+	// voluntary act of the sealed domain, and it is visible to verifiers
+	// because it raises the region's reference count — this is what lets
+	// sealed Tyche-enclaves spawn nested enclaves and share pages with
+	// them (§4.2).
+	if s.sealed[newOwner] {
+		return 0, fmt.Errorf("%w: owner %d cannot receive new capabilities", ErrSealed, newOwner)
+	}
+	if err := sub.Validate(); err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrInvalid, err)
+	}
+	if !parent.res.ContainsResource(sub) {
+		return 0, fmt.Errorf("%w: %v not within %v", ErrSubresource, sub, parent.res)
+	}
+	if !rights.Subset(parent.rights) {
+		return 0, fmt.Errorf("%w: %v ⊄ %v", ErrRights, rights, parent.rights)
+	}
+	// For memory, the sub-resource must lie within the *effective*
+	// region: what the parent granted away is not the parent's to
+	// delegate again until revoked.
+	if sub.Kind == ResMemory {
+		if !regionCovered(sub.Mem, s.effectiveRegions(parent)) {
+			return 0, fmt.Errorf("%w: %v already granted away from %v", ErrSubresource, sub.Mem, parent.res)
+		}
+	} else if k == KindGranted {
+		// Granting a core or device suspends the parent's use entirely;
+		// re-granting an already-granted core/device is invalid.
+		for _, c := range parent.children {
+			if c.kind == KindGranted && c.res.Kind == sub.Kind &&
+				c.res.Core == sub.Core && c.res.Device == sub.Device {
+				return 0, fmt.Errorf("%w: %v already granted away", ErrSubresource, sub)
+			}
+		}
+	}
+	n := &node{
+		id: s.nextID, owner: newOwner, res: sub, rights: rights,
+		cleanup: cleanup, kind: k, parent: parent,
+	}
+	s.nextID++
+	parent.children = append(parent.children, n)
+	s.nodes[n.id] = n
+	s.mutate()
+	return n.id, nil
+}
+
+// Share derives a child capability for newOwner over sub, keeping the
+// parent's access intact (controlled sharing: the region's reference
+// count rises).
+func (s *Space) Share(id NodeID, newOwner OwnerID, sub Resource, rights Rights, cleanup Cleanup) (NodeID, error) {
+	return s.derive(id, newOwner, sub, rights, cleanup, KindShared)
+}
+
+// Grant derives a child capability for newOwner over sub and suspends
+// the parent's access to it: exclusive, revocable transfer.
+func (s *Space) Grant(id NodeID, newOwner OwnerID, sub Resource, rights Rights, cleanup Cleanup) (NodeID, error) {
+	return s.derive(id, newOwner, sub, rights, cleanup, KindGranted)
+}
+
+// Revoke removes the capability and its entire derivation subtree,
+// children first, returning the cleanup actions in execution order.
+// Because lineage is a tree (every share/grant mints a fresh node),
+// revocation terminates even when domains have shared a region back and
+// forth in a cycle.
+func (s *Space) Revoke(id NodeID) ([]CleanupAction, error) {
+	n, err := s.get(id)
+	if err != nil {
+		return nil, err
+	}
+	var actions []CleanupAction
+	s.revokeSubtree(n, &actions)
+	if n.parent != nil {
+		n.parent.children = removeChild(n.parent.children, n)
+	}
+	s.mutate()
+	return actions, nil
+}
+
+func (s *Space) revokeSubtree(n *node, actions *[]CleanupAction) {
+	for _, c := range n.children {
+		s.revokeSubtree(c, actions)
+	}
+	n.children = nil
+	delete(s.nodes, n.id)
+	*actions = append(*actions, CleanupAction{
+		Node: n.id, Owner: n.owner, Resource: n.res, Cleanup: n.cleanup,
+	})
+}
+
+// RevokeOwner tears down every capability owned by owner (and therefore
+// everything ever derived from those capabilities). Used when a domain
+// is killed.
+func (s *Space) RevokeOwner(owner OwnerID) []CleanupAction {
+	var actions []CleanupAction
+	// Collect first: revocation mutates the node map.
+	var tops []*node
+	for _, n := range s.nodes {
+		if n.owner == owner {
+			// Skip nodes whose ancestor is also being revoked; the
+			// subtree walk will reach them.
+			anc := n.parent
+			covered := false
+			for anc != nil {
+				if anc.owner == owner {
+					covered = true
+					break
+				}
+				anc = anc.parent
+			}
+			if !covered {
+				tops = append(tops, n)
+			}
+		}
+	}
+	sort.Slice(tops, func(i, j int) bool { return tops[i].id < tops[j].id })
+	for _, n := range tops {
+		if _, ok := s.nodes[n.id]; !ok {
+			continue // already revoked via an earlier top's subtree
+		}
+		s.revokeSubtree(n, &actions)
+		if n.parent != nil {
+			n.parent.children = removeChild(n.parent.children, n)
+		}
+	}
+	if len(actions) > 0 {
+		s.mutate()
+	}
+	delete(s.sealed, owner)
+	return actions
+}
+
+func removeChild(children []*node, target *node) []*node {
+	for i, c := range children {
+		if c == target {
+			return append(children[:i], children[i+1:]...)
+		}
+	}
+	return children
+}
+
+// Seal freezes owner's resource set: it can no longer receive
+// capabilities (§3.1: "domains can be sealed, so that their resources
+// cannot be extended").
+func (s *Space) Seal(owner OwnerID) { s.sealed[owner] = true; s.mutate() }
+
+// Sealed reports whether owner is sealed.
+func (s *Space) Sealed(owner OwnerID) bool { return s.sealed[owner] }
+
+// Node returns a snapshot of the capability id.
+func (s *Space) Node(id NodeID) (Info, error) {
+	n, err := s.get(id)
+	if err != nil {
+		return Info{}, err
+	}
+	return s.info(n), nil
+}
+
+func (s *Space) info(n *node) Info {
+	inf := Info{
+		ID: n.id, Owner: n.owner, Resource: n.res, Rights: n.rights,
+		Cleanup: n.cleanup, Kind: n.kind,
+	}
+	if n.parent != nil {
+		inf.Parent = n.parent.id
+	}
+	for _, c := range n.children {
+		inf.Children = append(inf.Children, c.id)
+	}
+	sort.Slice(inf.Children, func(i, j int) bool { return inf.Children[i] < inf.Children[j] })
+	return inf
+}
+
+// OwnerNodes returns snapshots of every capability owned by owner, in
+// ID order.
+func (s *Space) OwnerNodes(owner OwnerID) []Info {
+	var out []Info
+	for _, n := range s.nodes {
+		if n.owner == owner {
+			out = append(out, s.info(n))
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// effectiveRegions returns the memory the node actually confers access
+// to: its region minus every active granted-out child region.
+func (s *Space) effectiveRegions(n *node) []phys.Region {
+	if n.res.Kind != ResMemory {
+		return nil
+	}
+	regs := []phys.Region{n.res.Mem}
+	for _, c := range n.children {
+		if c.kind != KindGranted || c.res.Kind != ResMemory {
+			continue
+		}
+		var next []phys.Region
+		for _, r := range regs {
+			next = append(next, r.Subtract(c.res.Mem)...)
+		}
+		regs = next
+	}
+	return phys.NormalizeRegions(regs)
+}
+
+// EffectiveRegions returns the node's effective memory regions.
+func (s *Space) EffectiveRegions(id NodeID) ([]phys.Region, error) {
+	n, err := s.get(id)
+	if err != nil {
+		return nil, err
+	}
+	return s.effectiveRegions(n), nil
+}
+
+// regionCovered reports whether want lies entirely within the union of
+// regs (regs must be normalized).
+func regionCovered(want phys.Region, regs []phys.Region) bool {
+	for _, r := range regs {
+		if r.ContainsRegion(want) {
+			return true
+		}
+	}
+	return false
+}
+
+// OwnerMemory returns the union of owner's effective memory regions that
+// carry at least the rights in want (normalized).
+func (s *Space) OwnerMemory(owner OwnerID, want Rights) []phys.Region {
+	var regs []phys.Region
+	for _, n := range s.nodes {
+		if n.owner != owner || n.res.Kind != ResMemory || !n.rights.Has(want) {
+			continue
+		}
+		regs = append(regs, s.effectiveRegions(n)...)
+	}
+	return phys.NormalizeRegions(regs)
+}
+
+// MemoryGrants enumerates owner's effective memory access as
+// (region, rights) pairs per capability, for backend programming. The
+// backend resolves overlaps by OR-ing permissions.
+type MemoryGrant struct {
+	Region phys.Region
+	Rights Rights
+	Node   NodeID
+}
+
+// OwnerMemoryGrants returns owner's effective per-capability memory
+// access, ordered by node ID.
+func (s *Space) OwnerMemoryGrants(owner OwnerID) []MemoryGrant {
+	var out []MemoryGrant
+	for _, n := range s.nodes {
+		if n.owner != owner || n.res.Kind != ResMemory {
+			continue
+		}
+		for _, r := range s.effectiveRegions(n) {
+			out = append(out, MemoryGrant{Region: r, Rights: n.rights, Node: n.id})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Node != out[j].Node {
+			return out[i].Node < out[j].Node
+		}
+		return out[i].Region.Start < out[j].Region.Start
+	})
+	return out
+}
+
+// OwnerCores returns the cores owner may run on (holding RightRun),
+// minus cores granted away.
+func (s *Space) OwnerCores(owner OwnerID) []phys.CoreID {
+	set := make(map[phys.CoreID]bool)
+	for _, n := range s.nodes {
+		if n.owner != owner || n.res.Kind != ResCore || !n.rights.Has(RightRun) {
+			continue
+		}
+		if s.coreGrantedAway(n) {
+			continue
+		}
+		set[n.res.Core] = true
+	}
+	out := make([]phys.CoreID, 0, len(set))
+	for c := range set {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func (s *Space) coreGrantedAway(n *node) bool {
+	for _, c := range n.children {
+		if c.kind == KindGranted && c.res.Kind == ResCore && c.res.Core == n.res.Core {
+			return true
+		}
+	}
+	return false
+}
+
+// OwnerHasCore reports whether owner holds RightRun on core.
+func (s *Space) OwnerHasCore(owner OwnerID, core phys.CoreID) bool {
+	for _, c := range s.OwnerCores(owner) {
+		if c == core {
+			return true
+		}
+	}
+	return false
+}
+
+// OwnerDevices returns the devices owner may use, minus devices granted
+// away.
+func (s *Space) OwnerDevices(owner OwnerID) []phys.DeviceID {
+	set := make(map[phys.DeviceID]bool)
+	for _, n := range s.nodes {
+		if n.owner != owner || n.res.Kind != ResDevice || !n.rights.Has(RightUse) {
+			continue
+		}
+		granted := false
+		for _, c := range n.children {
+			if c.kind == KindGranted && c.res.Kind == ResDevice && c.res.Device == n.res.Device {
+				granted = true
+				break
+			}
+		}
+		if !granted {
+			set[n.res.Device] = true
+		}
+	}
+	out := make([]phys.DeviceID, 0, len(set))
+	for d := range set {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// OwnerHasDevice reports whether owner holds RightUse on dev.
+func (s *Space) OwnerHasDevice(owner OwnerID, dev phys.DeviceID) bool {
+	for _, d := range s.OwnerDevices(owner) {
+		if d == dev {
+			return true
+		}
+	}
+	return false
+}
+
+// CheckMemAccess reports whether owner has effective access with rights
+// want at address a.
+func (s *Space) CheckMemAccess(owner OwnerID, a phys.Addr, want Rights) bool {
+	for _, n := range s.nodes {
+		if n.owner != owner || n.res.Kind != ResMemory || !n.rights.Has(want) {
+			continue
+		}
+		if !n.res.Mem.Contains(a) {
+			continue
+		}
+		for _, r := range s.effectiveRegions(n) {
+			if r.Contains(a) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Owners returns every owner holding at least one capability, sorted.
+func (s *Space) Owners() []OwnerID {
+	set := make(map[OwnerID]bool)
+	for _, n := range s.nodes {
+		set[n.owner] = true
+	}
+	out := make([]OwnerID, 0, len(set))
+	for o := range set {
+		out = append(out, o)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

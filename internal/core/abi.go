@@ -1,0 +1,137 @@
+package core
+
+import (
+	"github.com/tyche-sim/tyche/internal/cap"
+	"github.com/tyche-sim/tyche/internal/hw"
+	"github.com/tyche-sim/tyche/internal/phys"
+)
+
+// Guest VMCall ABI: interpreted domain code reaches the monitor with the
+// VMCALL instruction. Register conventions:
+//
+//	r0: call number (in), status (out; 0 = OK)
+//	r1..r5: arguments (in), r1 also return value (out)
+//
+// The ABI covers what in-domain *code* needs at run time (identity,
+// transfers, logging). Capability policy configuration happens through
+// the Go-level API, standing in for libtyche issuing richer call
+// sequences on the domain's behalf.
+const (
+	// CallSelfID returns the calling domain's ID in r1.
+	CallSelfID uint64 = 1
+	// CallDomainCall transfers control to the domain named by r1 (a
+	// mediated call; the callee's HLT or CallReturn resumes the caller).
+	CallDomainCall uint64 = 2
+	// CallReturn returns to the caller domain; r1 is delivered as the
+	// callee's result.
+	CallReturn uint64 = 3
+	// CallLog appends r1 to the domain's log buffer (the simulated
+	// console; examples and tests read it back).
+	CallLog uint64 = 4
+	// CallFastSwitch performs a pre-registered fast switch to the
+	// domain named by r1.
+	CallFastSwitch uint64 = 5
+	// CallEnumerateLen returns in r1 the number of resources in the
+	// caller's own enumeration (a guest-visible taste of §3.2's
+	// "enumerate and attest a domain's resources").
+	CallEnumerateLen uint64 = 6
+	// CallShare derives a shared memory capability from guest code:
+	// r1 = capability node, r2 = destination domain, r3 = start address,
+	// r4 = size in bytes, r5 = rights (low 16 bits) | cleanup << 16.
+	// Returns the new node in r1. This is the legislative power
+	// exercised from *inside* a domain, no library in between.
+	CallShare uint64 = 7
+	// CallGrant is CallShare with exclusive-transfer semantics.
+	CallGrant uint64 = 8
+	// CallRevoke revokes capability r1 (and its derivation subtree).
+	CallRevoke uint64 = 9
+	// CallSealSelf seals the calling domain.
+	CallSealSelf uint64 = 10
+)
+
+// VMCall status codes returned in r0.
+const (
+	StatusOK uint64 = 0
+	// StatusBadCall reports an unknown call number.
+	StatusBadCall uint64 = 1
+	// StatusDenied reports a validated-and-rejected operation.
+	StatusDenied uint64 = 2
+)
+
+// handleVMCall services one guest hypercall on core. It returns
+// stop=true when the run loop should hand control back to the embedder
+// (currently: never; errors do that).
+func (m *Monitor) handleVMCall(c *hw.Core, core phys.CoreID) (stop bool, err error) {
+	cur := DomainID(c.Context().Owner)
+	call := c.Regs[0]
+	switch call {
+	case CallSelfID:
+		c.Regs[0] = StatusOK
+		c.Regs[1] = uint64(cur)
+	case CallDomainCall:
+		target := DomainID(c.Regs[1])
+		if err := m.Call(core, target); err != nil {
+			c.Regs[0] = StatusDenied
+			return false, nil
+		}
+		// Execution continues in the target; its return will land after
+		// the caller's VMCALL with r0/r1 set by Return.
+	case CallReturn:
+		ret := c.Regs[1]
+		if err := m.Return(core); err != nil {
+			c.Regs[0] = StatusDenied
+			return false, nil
+		}
+		c.Regs[0] = StatusOK
+		c.Regs[1] = ret
+	case CallLog:
+		d := m.domains[cur]
+		d.logbuf = append(d.logbuf, c.Regs[1])
+		c.Regs[0] = StatusOK
+	case CallFastSwitch:
+		target := DomainID(c.Regs[1])
+		if err := m.FastSwitch(core, target); err != nil {
+			c.Regs[0] = StatusDenied
+			return false, nil
+		}
+	case CallEnumerateLen:
+		c.Regs[0] = StatusOK
+		c.Regs[1] = uint64(len(m.enumerate(cur)))
+	case CallShare, CallGrant:
+		node := cap.NodeID(c.Regs[1])
+		dst := DomainID(c.Regs[2])
+		sub := cap.MemResource(phys.MakeRegion(phys.Addr(c.Regs[3]), c.Regs[4]))
+		rights := cap.Rights(c.Regs[5] & 0xffff)
+		cleanup := cap.Cleanup(c.Regs[5] >> 16)
+		var (
+			id  cap.NodeID
+			err error
+		)
+		if call == CallShare {
+			id, err = m.Share(cur, node, dst, sub, rights, cleanup)
+		} else {
+			id, err = m.Grant(cur, node, dst, sub, rights, cleanup)
+		}
+		if err != nil {
+			c.Regs[0] = StatusDenied
+			return false, nil
+		}
+		c.Regs[0] = StatusOK
+		c.Regs[1] = uint64(id)
+	case CallRevoke:
+		if err := m.Revoke(cur, cap.NodeID(c.Regs[1])); err != nil {
+			c.Regs[0] = StatusDenied
+			return false, nil
+		}
+		c.Regs[0] = StatusOK
+	case CallSealSelf:
+		if _, err := m.Seal(cur, cur); err != nil {
+			c.Regs[0] = StatusDenied
+			return false, nil
+		}
+		c.Regs[0] = StatusOK
+	default:
+		c.Regs[0] = StatusBadCall
+	}
+	return false, nil
+}

@@ -1,0 +1,212 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/tyche-sim/tyche/internal/cap"
+	"github.com/tyche-sim/tyche/internal/hw"
+	"github.com/tyche-sim/tyche/internal/phys"
+)
+
+// runGuest loads a program into dom0 at page 4, launches core 0, and
+// runs it to completion.
+func runGuest(t *testing.T, m *Monitor, a *hw.Asm) hw.Trap {
+	t.Helper()
+	code := a.MustAssemble(4 * pg)
+	if err := m.CopyInto(InitialDomain, 4*pg, code); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetEntry(InitialDomain, InitialDomain, 4*pg); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Launch(InitialDomain, 0); err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.RunCore(0, 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Trap
+}
+
+func TestABISelfID(t *testing.T) {
+	m := bootWorld(t, BackendVTX)
+	a := hw.NewAsm()
+	a.Movi(0, uint32(CallSelfID)).Vmcall()
+	a.Movi(0, uint32(CallLog)).Vmcall() // log r1 (= own id)
+	a.Hlt()
+	if trap := runGuest(t, m, a); trap.Kind != hw.TrapHalt {
+		t.Fatalf("trap = %v", trap)
+	}
+	d, _ := m.Domain(InitialDomain)
+	if logs := d.Log(); len(logs) != 1 || logs[0] != uint64(InitialDomain) {
+		t.Fatalf("logs = %v", logs)
+	}
+}
+
+func TestABIEnumerateLen(t *testing.T) {
+	m := bootWorld(t, BackendVTX)
+	a := hw.NewAsm()
+	a.Movi(0, uint32(CallEnumerateLen)).Vmcall()
+	a.Movi(0, uint32(CallLog)).Vmcall()
+	a.Hlt()
+	if trap := runGuest(t, m, a); trap.Kind != hw.TrapHalt {
+		t.Fatalf("trap = %v", trap)
+	}
+	d, _ := m.Domain(InitialDomain)
+	logs := d.Log()
+	if len(logs) != 1 {
+		t.Fatalf("logs = %v", logs)
+	}
+	want := len(m.OwnerNodes(InitialDomain)) // 1 mem + cores + devices roots
+	// Enumerate counts records (grants+cores+devices); with no
+	// delegation every root shows once.
+	recs, _ := m.Enumerate(InitialDomain)
+	if logs[0] != uint64(len(recs)) {
+		t.Fatalf("guest saw %d resources, monitor enumerates %d (nodes %d)", logs[0], len(recs), want)
+	}
+}
+
+func TestABIBadCallNumber(t *testing.T) {
+	m := bootWorld(t, BackendVTX)
+	a := hw.NewAsm()
+	a.Movi(0, 0xdead).Vmcall()
+	a.Mov(1, 0) // capture status
+	a.Movi(0, uint32(CallLog)).Vmcall()
+	a.Hlt()
+	if trap := runGuest(t, m, a); trap.Kind != hw.TrapHalt {
+		t.Fatalf("trap = %v", trap)
+	}
+	d, _ := m.Domain(InitialDomain)
+	if logs := d.Log(); len(logs) != 1 || logs[0] != StatusBadCall {
+		t.Fatalf("logs = %v, want [%d]", logs, StatusBadCall)
+	}
+}
+
+func TestABIDeniedCallReportsStatus(t *testing.T) {
+	m := bootWorld(t, BackendVTX)
+	// Call a nonexistent domain: the guest gets StatusDenied, not a
+	// crash.
+	a := hw.NewAsm()
+	a.Movi(0, uint32(CallDomainCall)).Movi(1, 999).Vmcall()
+	a.Mov(1, 0)
+	a.Movi(0, uint32(CallLog)).Vmcall()
+	a.Hlt()
+	if trap := runGuest(t, m, a); trap.Kind != hw.TrapHalt {
+		t.Fatalf("trap = %v", trap)
+	}
+	d, _ := m.Domain(InitialDomain)
+	if logs := d.Log(); len(logs) != 1 || logs[0] != StatusDenied {
+		t.Fatalf("logs = %v, want [%d]", logs, StatusDenied)
+	}
+	// CallReturn with no caller frame: denied too.
+	m2 := bootWorld(t, BackendVTX)
+	b := hw.NewAsm()
+	b.Movi(0, uint32(CallReturn)).Vmcall()
+	b.Mov(1, 0)
+	b.Movi(0, uint32(CallLog)).Vmcall()
+	b.Hlt()
+	if trap := runGuest(t, m2, b); trap.Kind != hw.TrapHalt {
+		t.Fatalf("trap = %v", trap)
+	}
+	d2, _ := m2.Domain(InitialDomain)
+	if logs := d2.Log(); len(logs) != 1 || logs[0] != StatusDenied {
+		t.Fatalf("logs = %v", logs)
+	}
+}
+
+func TestABIFastSwitchDeniedWithoutRegistration(t *testing.T) {
+	m := bootWorld(t, BackendVTX)
+	comp, _ := m.CreateDomain(InitialDomain, "c")
+	node := dom0MemNode(t, m)
+	prog := hw.NewAsm()
+	prog.Hlt()
+	if err := m.CopyInto(InitialDomain, 64*pg, prog.MustAssemble(64*pg)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Grant(InitialDomain, node, comp, memRes(64, 1), cap.MemRWX, cap.CleanNone); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetEntry(InitialDomain, comp, 64*pg); err != nil {
+		t.Fatal(err)
+	}
+	a := hw.NewAsm()
+	a.Movi(0, uint32(CallFastSwitch)).Movi(1, uint32(comp)).Vmcall()
+	a.Mov(1, 0)
+	a.Movi(0, uint32(CallLog)).Vmcall()
+	a.Hlt()
+	if trap := runGuest(t, m, a); trap.Kind != hw.TrapHalt {
+		t.Fatalf("trap = %v", trap)
+	}
+	d, _ := m.Domain(InitialDomain)
+	if logs := d.Log(); len(logs) != 1 || logs[0] != StatusDenied {
+		t.Fatalf("logs = %v", logs)
+	}
+}
+
+func TestNestedMediatedCalls(t *testing.T) {
+	// dom0 -> A -> B and back, verifying the per-core frame stack.
+	m := bootWorld(t, BackendVTX)
+	node := dom0MemNode(t, m)
+	var coreNode cap.NodeID
+	for _, n := range m.OwnerNodes(InitialDomain) {
+		if n.Resource.Kind == cap.ResCore && n.Resource.Core == 0 {
+			coreNode = n.ID
+		}
+	}
+	mkService := func(name string, page uint64, body func(a *hw.Asm)) DomainID {
+		id, err := m.CreateDomain(InitialDomain, name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := hw.NewAsm()
+		body(a)
+		code := a.MustAssemble(phys.Addr(page * pg))
+		if err := m.CopyInto(InitialDomain, phys.Addr(page*pg), code); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Grant(InitialDomain, node, id, memRes(page, 1), cap.MemRWX, cap.CleanNone); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Share(InitialDomain, coreNode, id, cap.CoreResource(0), cap.RightRun, cap.CleanNone); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.SetEntry(InitialDomain, id, phys.Addr(page*pg)); err != nil {
+			t.Fatal(err)
+		}
+		return id
+	}
+	// B: r1 = r2 * 3, return.
+	b := mkService("b", 80, func(a *hw.Asm) {
+		a.Movi(3, 3)
+		a.Mul(1, 2, 3)
+		a.Movi(0, uint32(CallReturn)).Vmcall()
+		a.Hlt()
+	})
+	// A: call B with r2+1, add 100 to B's result, return.
+	aID := mkService("a", 72, func(a *hw.Asm) {
+		a.Movi(3, 1)
+		a.Add(2, 2, 3) // r2 = arg+1
+		a.Movi(0, uint32(CallDomainCall)).Movi(1, uint32(b)).Vmcall()
+		// r1 = B's result
+		a.Movi(3, 100)
+		a.Add(1, 1, 3)
+		a.Movi(0, uint32(CallReturn)).Vmcall()
+		a.Hlt()
+	})
+	host := hw.NewAsm()
+	host.Movi(0, uint32(CallDomainCall)).Movi(1, uint32(aID)).Movi(2, 6).Vmcall()
+	host.Movi(0, uint32(CallLog)).Vmcall() // log result
+	host.Hlt()
+	if trap := runGuest(t, m, host); trap.Kind != hw.TrapHalt {
+		t.Fatalf("trap = %v", trap)
+	}
+	d0, _ := m.Domain(InitialDomain)
+	// (6+1)*3 + 100 = 121
+	if logs := d0.Log(); len(logs) != 1 || logs[0] != 121 {
+		t.Fatalf("logs = %v, want [121]", logs)
+	}
+	if m.Stats().Transitions < 4 {
+		t.Fatalf("transitions = %d", m.Stats().Transitions)
+	}
+}

@@ -1,0 +1,227 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/tyche-sim/tyche/internal/cap"
+	"github.com/tyche-sim/tyche/internal/hw"
+	"github.com/tyche-sim/tyche/internal/phys"
+)
+
+// TestGuestDrivenSharing exercises the legislative power entirely from
+// interpreted guest code: domain A shares a page of its exclusively
+// granted memory with domain B via the VMCALL ABI, B reads it, and A
+// revokes — after which B's access faults. No Go-level libtyche calls
+// touch the capability space mid-flow; "software running in any trust
+// domain can access the isolation monitor API" (§3.2) literally.
+func TestGuestDrivenSharing(t *testing.T) {
+	m := bootWorld(t, BackendVTX)
+	node := dom0MemNode(t, m)
+	var coreNode cap.NodeID
+	for _, n := range m.OwnerNodes(InitialDomain) {
+		if n.Resource.Kind == cap.ResCore && n.Resource.Core == 0 {
+			coreNode = n.ID
+		}
+	}
+
+	domA, err := m.CreateDomain(InitialDomain, "sharer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	domB, err := m.CreateDomain(InitialDomain, "reader")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A's memory: code page 64 + data page 65 (holds the secret 0xabcd).
+	aRegion := phys.MakeRegion(64*pg, 2*pg)
+	dataPage := phys.Addr(65 * pg)
+	if err := m.Machine().Mem.Write64(dataPage, 0xabcd); err != nil {
+		t.Fatal(err)
+	}
+	// B's code at page 72: read A's data page, log it, halt.
+	bCode := hw.NewAsm()
+	bCode.Movi(1, uint32(dataPage))
+	bCode.Ld(2, 1, 0)
+	bCode.Mov(1, 2)
+	bCode.Movi(0, uint32(CallLog)).Vmcall()
+	bCode.Hlt()
+	if err := m.CopyInto(InitialDomain, 72*pg, bCode.MustAssemble(72*pg)); err != nil {
+		t.Fatal(err)
+	}
+	bNode, err := m.Grant(InitialDomain, node, domB, cap.MemResource(phys.MakeRegion(72*pg, pg)), cap.MemRWX, cap.CleanNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = bNode
+	for _, d := range []DomainID{domA, domB} {
+		if _, err := m.Share(InitialDomain, coreNode, d, cap.CoreResource(0), cap.RightRun, cap.CleanNone); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// A's program: share [dataPage, +4096) from its own capability to B
+	// with read rights and zero-on-revoke cleanup, log the returned node
+	// id, then halt.
+	rights := uint32(cap.RightRead) | uint32(cap.CleanZero)<<16
+	// A must know its capability node id: the grant below returns it,
+	// and the test patches it into the immediate. Build after granting.
+	aGrant, err := m.Grant(InitialDomain, node, domA, cap.MemResource(aRegion), cap.MemRWX|cap.RightShare|cap.RightGrant, cap.CleanObfuscate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aCode := hw.NewAsm()
+	aCode.Movi(0, uint32(CallShare))
+	aCode.Movi(1, uint32(aGrant))
+	aCode.Movi(2, uint32(domB))
+	aCode.Movi(3, uint32(dataPage))
+	aCode.Movi(4, uint32(pg))
+	aCode.Movi(5, rights)
+	aCode.Vmcall()
+	aCode.Mov(6, 1) // stash the new node id
+	aCode.Mov(1, 0)
+	aCode.Movi(0, uint32(CallLog)).Vmcall() // log status
+	aCode.Mov(1, 6)
+	aCode.Movi(0, uint32(CallLog)).Vmcall() // log node id
+	aCode.Hlt()
+	// A's code was already granted away (page 64) — the test wrote it
+	// before? No: write it now via A itself.
+	if err := m.CopyInto(domA, 64*pg, aCode.MustAssemble(64*pg)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetEntry(InitialDomain, domA, 64*pg); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetEntry(InitialDomain, domB, 72*pg); err != nil {
+		t.Fatal(err)
+	}
+
+	// Before the share: B cannot read A's data.
+	if m.CheckAccess(domB, dataPage, cap.RightRead) {
+		t.Fatal("B has access before the share")
+	}
+
+	// Run A: it performs the share from guest code.
+	if err := m.Launch(domA, 0); err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.RunCore(0, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trap.Kind != hw.TrapHalt {
+		t.Fatalf("A's run: %v", res.Trap)
+	}
+	dA, _ := m.Domain(domA)
+	logs := dA.Log()
+	if len(logs) != 2 || logs[0] != StatusOK {
+		t.Fatalf("A's logs = %v", logs)
+	}
+	sharedNode := cap.NodeID(logs[1])
+
+	// B now reads the page through hardware.
+	if err := m.Launch(domB, 0); err != nil {
+		t.Fatal(err)
+	}
+	res, err = m.RunCore(0, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trap.Kind != hw.TrapHalt {
+		t.Fatalf("B's run: %v", res.Trap)
+	}
+	dB, _ := m.Domain(domB)
+	if lb := dB.Log(); len(lb) != 1 || lb[0] != 0xabcd {
+		t.Fatalf("B's logs = %v", lb)
+	}
+	if m.RefCounts() == nil {
+		t.Fatal("no refcounts")
+	}
+
+	// A revokes from guest code too.
+	aRevoke := hw.NewAsm()
+	aRevoke.Movi(0, uint32(CallRevoke))
+	aRevoke.Movi(1, uint32(sharedNode))
+	aRevoke.Vmcall()
+	aRevoke.Mov(1, 0)
+	aRevoke.Movi(0, uint32(CallLog)).Vmcall()
+	aRevoke.Hlt()
+	if err := m.CopyInto(domA, 64*pg, aRevoke.MustAssemble(64*pg)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Launch(domA, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.RunCore(0, 1000); err != nil {
+		t.Fatal(err)
+	}
+	if lg := dA.Log(); lg[len(lg)-1] != StatusOK {
+		t.Fatalf("revoke status = %v", lg)
+	}
+	// B's re-read faults, and the page was zeroed per the cleanup A
+	// chose at share time.
+	if err := m.Launch(domB, 0); err != nil {
+		t.Fatal(err)
+	}
+	res, err = m.RunCore(0, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trap.Kind != hw.TrapFault || res.Trap.Addr != dataPage {
+		t.Fatalf("B after revoke: %v", res.Trap)
+	}
+	v, _ := m.Machine().Mem.Read64(dataPage)
+	if v != 0 {
+		t.Fatalf("data not zeroed on guest-driven revoke: %#x", v)
+	}
+}
+
+// TestGuestSealSelf: a domain seals itself from guest code; afterwards
+// it cannot receive new resources.
+func TestGuestSealSelf(t *testing.T) {
+	m := bootWorld(t, BackendVTX)
+	node := dom0MemNode(t, m)
+	var coreNode cap.NodeID
+	for _, n := range m.OwnerNodes(InitialDomain) {
+		if n.Resource.Kind == cap.ResCore && n.Resource.Core == 0 {
+			coreNode = n.ID
+		}
+	}
+	dom, err := m.CreateDomain(InitialDomain, "selfseal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := hw.NewAsm()
+	a.Movi(0, uint32(CallSealSelf)).Vmcall()
+	a.Mov(1, 0)
+	a.Movi(0, uint32(CallLog)).Vmcall()
+	a.Hlt()
+	if err := m.CopyInto(InitialDomain, 64*pg, a.MustAssemble(64*pg)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Grant(InitialDomain, node, dom, cap.MemResource(phys.MakeRegion(64*pg, pg)), cap.MemRWX, cap.CleanNone); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Share(InitialDomain, coreNode, dom, cap.CoreResource(0), cap.RightRun, cap.CleanNone); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetEntry(InitialDomain, dom, 64*pg); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Launch(dom, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.RunCore(0, 100); err != nil {
+		t.Fatal(err)
+	}
+	d, _ := m.Domain(dom)
+	if logs := d.Log(); len(logs) != 1 || logs[0] != StatusOK {
+		t.Fatalf("logs = %v", logs)
+	}
+	if d.State() != StateSealed {
+		t.Fatalf("state = %v", d.State())
+	}
+	if _, err := m.Share(InitialDomain, node, dom, memRes(100, 1), cap.MemRW, cap.CleanNone); err == nil {
+		t.Fatal("sealed domain received a share")
+	}
+}

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"github.com/tyche-sim/tyche/internal/hw"
+)
+
+// Cross-domain interrupt routing (§4.1: "we are also exploring how to
+// extend capabilities to provide scheduling guarantees, cross-domain
+// interrupt routing"). Device interrupts are routed by *capability*:
+// the monitor delivers a device's IRQ to the domain holding RightUse on
+// it — not to whoever is privileged. A driver compartment therefore
+// receives its NIC's interrupts even though the host kernel created it,
+// and the host kernel stops seeing them the moment it grants the device
+// away.
+
+// IRQHandler is a domain's Go-level interrupt handler (its "interrupt
+// descriptor table entry"); it runs with the trapping core visible.
+type IRQHandler func(c *hw.Core, irq hw.IRQ) error
+
+// SetIRQHandler installs the domain's interrupt handler. The domain
+// itself or its creator may configure it.
+func (m *Monitor) SetIRQHandler(caller, id DomainID, h IRQHandler) error {
+	d, err := m.liveDomain(id)
+	if err != nil {
+		return err
+	}
+	if caller != id && caller != d.creator {
+		return m.deny("domain %d may not install IRQ handlers for domain %d", caller, id)
+	}
+	d.irq = h
+	return nil
+}
+
+// routeIRQs drains the interrupt controller, delivering each interrupt
+// to the domain holding the device capability. Interrupts for devices
+// whose holder has no handler (or devices nobody holds) are dropped and
+// counted — exactly what real hardware does with masked vectors.
+func (m *Monitor) routeIRQs(c *hw.Core) error {
+	for {
+		irq, ok := m.mach.TakeIRQ()
+		if !ok {
+			return nil
+		}
+		delivered := false
+		for _, owner := range m.space.DeviceUsers(irq.Device) {
+			d, ok := m.domains[DomainID(owner)]
+			if !ok || d.state == StateDead || d.irq == nil {
+				continue
+			}
+			m.stats.IRQsRouted++
+			m.mach.Clock.Advance(m.mach.Cost.VMExit)
+			err := d.irq(c, irq)
+			m.mach.Clock.Advance(m.mach.Cost.VMEntry)
+			if err != nil {
+				return err
+			}
+			delivered = true
+			break
+		}
+		if !delivered {
+			m.stats.IRQsDropped++
+		}
+	}
+}

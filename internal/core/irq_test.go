@@ -1,0 +1,159 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/tyche-sim/tyche/internal/cap"
+	"github.com/tyche-sim/tyche/internal/hw"
+	"github.com/tyche-sim/tyche/internal/phys"
+)
+
+// launchIdle puts dom0 on core 0 ready to absorb RunCore calls.
+func launchIdle(t testing.TB, m *Monitor) {
+	t.Helper()
+	idle := hw.NewAsm()
+	idle.Hlt()
+	if err := m.CopyInto(InitialDomain, 4*pg, idle.MustAssemble(4*pg)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetEntry(InitialDomain, InitialDomain, 4*pg); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Launch(InitialDomain, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.RunCore(0, 10); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIRQRoutedByCapability(t *testing.T) {
+	m := bootWorld(t, BackendVTX)
+	launchIdle(t, m)
+
+	// dom0 holds the device initially: its handler receives the IRQ.
+	var dom0Got, driverGot []hw.IRQ
+	if err := m.SetIRQHandler(InitialDomain, InitialDomain, func(c *hw.Core, irq hw.IRQ) error {
+		dom0Got = append(dom0Got, irq)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	m.Machine().Device(0).RaiseIRQ(11)
+	cpu := m.Machine().Core(0)
+	cpu.PC = 4 * pg
+	cpu.ClearHalt()
+	if _, err := m.RunCore(0, 10); err != nil {
+		t.Fatal(err)
+	}
+	if len(dom0Got) != 1 || dom0Got[0].Vector != 11 {
+		t.Fatalf("dom0 irqs = %+v", dom0Got)
+	}
+
+	// Grant the device to a driver domain: interrupts re-route.
+	driver, err := m.CreateDomain(InitialDomain, "driver")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var devNode cap.NodeID
+	for _, n := range m.OwnerNodes(InitialDomain) {
+		if n.Resource.Kind == cap.ResDevice && n.Resource.Device == 0 {
+			devNode = n.ID
+		}
+	}
+	if _, err := m.Grant(InitialDomain, devNode, driver, cap.DeviceResource(0), cap.RightUse|cap.RightDMA, cap.CleanNone); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetIRQHandler(InitialDomain, driver, func(c *hw.Core, irq hw.IRQ) error {
+		driverGot = append(driverGot, irq)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	m.Machine().Device(0).RaiseIRQ(22)
+	cpu.PC = 4 * pg
+	cpu.ClearHalt()
+	if _, err := m.RunCore(0, 10); err != nil {
+		t.Fatal(err)
+	}
+	if len(driverGot) != 1 || driverGot[0].Vector != 22 {
+		t.Fatalf("driver irqs = %+v", driverGot)
+	}
+	if len(dom0Got) != 1 {
+		t.Fatalf("dom0 received a re-routed irq: %+v", dom0Got)
+	}
+	st := m.Stats()
+	if st.IRQsRouted != 2 {
+		t.Fatalf("routed = %d", st.IRQsRouted)
+	}
+}
+
+func TestIRQDroppedWithoutHolderHandler(t *testing.T) {
+	m := bootWorld(t, BackendVTX)
+	launchIdle(t, m)
+	// No handler registered anywhere: the interrupt is dropped.
+	m.Machine().RaiseIRQ(0, 5)
+	cpu := m.Machine().Core(0)
+	cpu.PC = 4 * pg
+	cpu.ClearHalt()
+	if _, err := m.RunCore(0, 10); err != nil {
+		t.Fatal(err)
+	}
+	if m.Stats().IRQsDropped != 1 || m.Stats().IRQsRouted != 0 {
+		t.Fatalf("stats = %+v", m.Stats())
+	}
+	// Unknown device: dropped too.
+	m.Machine().RaiseIRQ(phys.DeviceID(99), 5)
+	cpu.PC = 4 * pg
+	cpu.ClearHalt()
+	if _, err := m.RunCore(0, 10); err != nil {
+		t.Fatal(err)
+	}
+	if m.Stats().IRQsDropped != 2 {
+		t.Fatalf("stats = %+v", m.Stats())
+	}
+}
+
+func TestIRQHandlerAuthorization(t *testing.T) {
+	m := bootWorld(t, BackendVTX)
+	a, _ := m.CreateDomain(InitialDomain, "a")
+	b, _ := m.CreateDomain(InitialDomain, "b")
+	// An unrelated domain cannot install handlers for another.
+	if err := m.SetIRQHandler(a, b, func(*hw.Core, hw.IRQ) error { return nil }); !errors.Is(err, ErrDenied) {
+		t.Fatalf("foreign handler install: %v", err)
+	}
+	// The creator may.
+	if err := m.SetIRQHandler(InitialDomain, b, func(*hw.Core, hw.IRQ) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	// The domain itself may.
+	if err := m.SetIRQHandler(a, a, func(*hw.Core, hw.IRQ) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimerTrapReachesScheduler(t *testing.T) {
+	m := bootWorld(t, BackendVTX)
+	launchIdle(t, m)
+	spin := hw.NewAsm()
+	spin.Label("s")
+	spin.Jmp("s")
+	if err := m.CopyInto(InitialDomain, 8*pg, spin.MustAssemble(8*pg)); err != nil {
+		t.Fatal(err)
+	}
+	cpu := m.Machine().Core(0)
+	cpu.PC = 8 * pg
+	cpu.ClearHalt()
+	cpu.ArmTimer(25)
+	res, err := m.RunCore(0, 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trap.Kind != hw.TrapTimer {
+		t.Fatalf("trap = %v, want timer", res.Trap)
+	}
+	if res.Steps != 25 {
+		t.Fatalf("steps = %d, want 25", res.Steps)
+	}
+}

@@ -1,0 +1,714 @@
+package core
+
+import (
+	"crypto/ed25519"
+	"errors"
+	"fmt"
+	"io"
+
+	"github.com/tyche-sim/tyche/internal/backend"
+	pmpbk "github.com/tyche-sim/tyche/internal/backend/pmp"
+	"github.com/tyche-sim/tyche/internal/backend/vtx"
+	"github.com/tyche-sim/tyche/internal/cap"
+	"github.com/tyche-sim/tyche/internal/hw"
+	"github.com/tyche-sim/tyche/internal/phys"
+	"github.com/tyche-sim/tyche/internal/tpm"
+)
+
+// BackendKind selects the enforcement backend at boot.
+type BackendKind string
+
+// Supported backends.
+const (
+	// BackendVTX is the x86_64 backend: EPT + VMCall + VMFUNC + IOMMU.
+	BackendVTX BackendKind = "vtx"
+	// BackendPMP is the RISC-V machine-mode backend: per-core PMP.
+	BackendPMP BackendKind = "pmp"
+)
+
+// DefaultMonitorReserve is the physical memory the monitor keeps for
+// itself at the top of the address space (self-protection).
+const DefaultMonitorReserve = 1 << 20
+
+// DefaultIdentity is the monitor "binary" measured at boot when the
+// caller provides none. Changing the monitor implementation changes
+// this blob, and therefore the PCR value remote verifiers compare
+// against.
+var DefaultIdentity = []byte("tyche-isolation-monitor-go/v1.0 capability-engine=tree refcounts=exact")
+
+// BootConfig describes the platform the monitor boots on.
+type BootConfig struct {
+	// Machine is the hardware (required).
+	Machine *hw.Machine
+	// TPM is the root of trust (required).
+	TPM *tpm.TPM
+	// Backend selects enforcement ("vtx" default).
+	Backend BackendKind
+	// Identity is the monitor binary measured into the TPM
+	// (DefaultIdentity if nil).
+	Identity []byte
+	// MonitorReserve is the self-protected memory size at the top of
+	// RAM (DefaultMonitorReserve if zero).
+	MonitorReserve uint64
+	// Rand seeds the attestation key (crypto/rand if nil).
+	Rand io.Reader
+}
+
+// Stats counts monitor-visible events for the experiment harness.
+type Stats struct {
+	VMExits      uint64 // traps into the monitor (calls, faults routed)
+	Transitions  uint64 // mediated domain switches
+	FastSwitches uint64
+	Syscalls     uint64 // intra-domain ring crossings observed
+	CapOps       uint64 // capability mutations via the API
+	Revocations  uint64 // revoke operations
+	Attests      uint64 // attestation reports produced
+	DeniedOps    uint64 // API calls rejected by validation
+	IRQsRouted   uint64 // device interrupts delivered by capability
+	IRQsDropped  uint64 // interrupts with no capable receiver
+}
+
+// Monitor is the isolation monitor instance controlling one machine.
+type Monitor struct {
+	mach  *hw.Machine
+	space *cap.Space
+	bk    backend.Backend
+	rot   *tpm.TPM
+
+	identity  []byte
+	monRegion phys.Region
+
+	domains map[DomainID]*Domain
+	nextID  DomainID
+
+	attPriv ed25519.PrivateKey
+	attPub  ed25519.PublicKey
+
+	// Per-core call stacks for mediated call/return.
+	frames map[phys.CoreID][]DomainID
+	// Current domain per core.
+	current map[phys.CoreID]DomainID
+	// memKeys maps domains to their MKTME keys (empty when the machine
+	// has no engine).
+	memKeys map[DomainID]hw.KeyID
+
+	stats Stats
+}
+
+// Sentinel errors of the monitor API.
+var (
+	ErrNoSuchDomain = errors.New("core: no such domain")
+	ErrDead         = errors.New("core: domain is dead")
+	ErrDenied       = errors.New("core: operation denied")
+	ErrSealedState  = errors.New("core: domain is sealed")
+	ErrNoEntry      = errors.New("core: domain has no entry point")
+	ErrNotRunning   = errors.New("core: no domain running on core")
+)
+
+// Boot measures and starts the isolation monitor, creating the initial
+// domain with every resource except the monitor's reserved memory.
+//
+// The sequence mirrors §3.4: the TPM measures the boot process (firmware
+// then monitor) so that a verifier can later confirm "the machine is
+// under the complete control of a specific monitor implementation".
+func Boot(cfg BootConfig) (*Monitor, error) {
+	if cfg.Machine == nil || cfg.TPM == nil {
+		return nil, fmt.Errorf("core: boot requires a machine and a TPM")
+	}
+	identity := cfg.Identity
+	if identity == nil {
+		identity = DefaultIdentity
+	}
+	reserve := cfg.MonitorReserve
+	if reserve == 0 {
+		reserve = DefaultMonitorReserve
+	}
+	if reserve%phys.PageSize != 0 || reserve >= cfg.Machine.Mem.Size() {
+		return nil, fmt.Errorf("core: invalid monitor reserve %#x", reserve)
+	}
+	memTop := phys.Addr(cfg.Machine.Mem.Size())
+	monRegion := phys.Region{Start: memTop - phys.Addr(reserve), End: memTop}
+
+	m := &Monitor{
+		mach:      cfg.Machine,
+		space:     cap.NewSpace(),
+		rot:       cfg.TPM,
+		identity:  append([]byte(nil), identity...),
+		monRegion: monRegion,
+		domains:   make(map[DomainID]*Domain),
+		nextID:    InitialDomain,
+		frames:    make(map[phys.CoreID][]DomainID),
+		current:   make(map[phys.CoreID]DomainID),
+		memKeys:   make(map[DomainID]hw.KeyID),
+	}
+
+	// Measured boot: firmware, then the monitor itself (DRTM-style).
+	if err := m.rot.Extend(tpm.PCRFirmware, tpm.Measure([]byte("platform-firmware/v1")), "firmware"); err != nil {
+		return nil, err
+	}
+	if err := m.rot.Extend(tpm.PCRMonitor, tpm.Measure(identity), "isolation-monitor"); err != nil {
+		return nil, err
+	}
+
+	// The monitor's attestation key: generated at boot, bound to the
+	// measured boot via TPM quotes (see BootQuote).
+	pub, priv, err := ed25519.GenerateKey(cfg.Rand)
+	if err != nil {
+		return nil, fmt.Errorf("core: generating attestation key: %w", err)
+	}
+	m.attPub, m.attPriv = pub, priv
+
+	// Enforcement backend.
+	switch cfg.Backend {
+	case BackendVTX, "":
+		m.bk = vtx.New(cfg.Machine, m.space)
+	case BackendPMP:
+		b, err := pmpbk.New(cfg.Machine, m.space, monRegion)
+		if err != nil {
+			return nil, err
+		}
+		m.bk = b
+	default:
+		return nil, fmt.Errorf("core: unknown backend %q", cfg.Backend)
+	}
+
+	// Monitor self-protection: the reserved region belongs to domain 0
+	// and is never delegated.
+	if _, err := m.space.CreateRoot(cap.OwnerID(MonitorDomain), cap.MemResource(monRegion), cap.MemRW, cap.CleanNone); err != nil {
+		return nil, err
+	}
+
+	// The monitor owns the IOMMU: deny-by-default from here on.
+	m.mach.IOMMU.DefaultAllow = false
+
+	// Initial domain: everything else.
+	init := &Domain{id: InitialDomain, name: "dom0", creator: MonitorDomain, state: StateActive}
+	m.domains[InitialDomain] = init
+	m.nextID = InitialDomain + 1
+	owner := cap.OwnerID(InitialDomain)
+	if _, err := m.space.CreateRoot(owner, cap.MemResource(phys.Region{Start: 0, End: monRegion.Start}), cap.MemFull, cap.CleanNone); err != nil {
+		return nil, err
+	}
+	for _, c := range m.mach.CoreIDs() {
+		if _, err := m.space.CreateRoot(owner, cap.CoreResource(c), cap.CoreFull, cap.CleanNone); err != nil {
+			return nil, err
+		}
+	}
+	for _, d := range m.mach.DeviceIDs() {
+		if _, err := m.space.CreateRoot(owner, cap.DeviceResource(d), cap.DeviceFull, cap.CleanNone); err != nil {
+			return nil, err
+		}
+	}
+	if err := m.bk.InstallDomain(owner); err != nil {
+		return nil, err
+	}
+	if err := m.syncAllDevices(); err != nil {
+		return nil, err
+	}
+	if err := m.syncEncryption(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Machine returns the underlying hardware (examples and the OS kit
+// drive cores through it; enforcement still applies on every access).
+func (m *Monitor) Machine() *hw.Machine { return m.mach }
+
+// Backend returns the enforcement backend's name.
+func (m *Monitor) Backend() string { return m.bk.Name() }
+
+// MonitorRegion returns the monitor's self-protected memory.
+func (m *Monitor) MonitorRegion() phys.Region { return m.monRegion }
+
+// Stats returns a copy of the monitor's event counters.
+func (m *Monitor) Stats() Stats { return m.stats }
+
+// Identity returns the monitor binary that was measured at boot.
+func (m *Monitor) Identity() []byte { return append([]byte(nil), m.identity...) }
+
+// AttestationKey returns the monitor's public attestation key.
+func (m *Monitor) AttestationKey() ed25519.PublicKey {
+	out := make(ed25519.PublicKey, len(m.attPub))
+	copy(out, m.attPub)
+	return out
+}
+
+// Domain returns the domain record for id.
+func (m *Monitor) Domain(id DomainID) (*Domain, error) {
+	d, ok := m.domains[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrNoSuchDomain, id)
+	}
+	return d, nil
+}
+
+// Domains returns the IDs of all non-dead domains in ascending order.
+func (m *Monitor) Domains() []DomainID {
+	var out []DomainID
+	for id := InitialDomain; id < m.nextID; id++ {
+		if d, ok := m.domains[id]; ok && d.state != StateDead {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+func (m *Monitor) liveDomain(id DomainID) (*Domain, error) {
+	d, err := m.Domain(id)
+	if err != nil {
+		return nil, err
+	}
+	if d.state == StateDead {
+		return nil, fmt.Errorf("%w: %d", ErrDead, id)
+	}
+	return d, nil
+}
+
+func (m *Monitor) deny(format string, args ...any) error {
+	m.stats.DeniedOps++
+	return fmt.Errorf("%w: %s", ErrDenied, fmt.Sprintf(format, args...))
+}
+
+// CreateDomain creates a new, empty trust domain. Any live domain may
+// create children — isolation is not a privileged operation (§3.2:
+// "software running in any trust domain can access the isolation
+// monitor API").
+func (m *Monitor) CreateDomain(caller DomainID, name string) (DomainID, error) {
+	if _, err := m.liveDomain(caller); err != nil {
+		return 0, err
+	}
+	id := m.nextID
+	m.nextID++
+	d := &Domain{id: id, name: name, creator: caller, state: StateActive}
+	m.domains[id] = d
+	if err := m.bk.InstallDomain(cap.OwnerID(id)); err != nil {
+		delete(m.domains, id)
+		return 0, err
+	}
+	return id, nil
+}
+
+// nodeOwnedBy validates that the capability node exists and belongs to
+// owner.
+func (m *Monitor) nodeOwnedBy(node cap.NodeID, owner DomainID) (cap.Info, error) {
+	info, err := m.space.Node(node)
+	if err != nil {
+		return cap.Info{}, err
+	}
+	if info.Owner != cap.OwnerID(owner) {
+		return cap.Info{}, m.deny("capability %d not owned by domain %d", node, owner)
+	}
+	return info, nil
+}
+
+// Share derives a shared child capability from caller's node for dst.
+func (m *Monitor) Share(caller DomainID, node cap.NodeID, dst DomainID, sub cap.Resource, rights cap.Rights, cleanup cap.Cleanup) (cap.NodeID, error) {
+	return m.delegate(caller, node, dst, sub, rights, cleanup, false)
+}
+
+// Grant transfers exclusive, revocable control of the sub-resource from
+// caller's node to dst.
+func (m *Monitor) Grant(caller DomainID, node cap.NodeID, dst DomainID, sub cap.Resource, rights cap.Rights, cleanup cap.Cleanup) (cap.NodeID, error) {
+	return m.delegate(caller, node, dst, sub, rights, cleanup, true)
+}
+
+func (m *Monitor) delegate(caller DomainID, node cap.NodeID, dst DomainID, sub cap.Resource, rights cap.Rights, cleanup cap.Cleanup, grant bool) (cap.NodeID, error) {
+	if _, err := m.liveDomain(caller); err != nil {
+		return 0, err
+	}
+	if _, err := m.liveDomain(dst); err != nil {
+		return 0, err
+	}
+	if _, err := m.nodeOwnedBy(node, caller); err != nil {
+		return 0, err
+	}
+	var (
+		id  cap.NodeID
+		err error
+	)
+	if grant {
+		id, err = m.space.Grant(node, cap.OwnerID(dst), sub, rights, cleanup)
+	} else {
+		id, err = m.space.Share(node, cap.OwnerID(dst), sub, rights, cleanup)
+	}
+	if err != nil {
+		m.stats.DeniedOps++
+		return 0, err
+	}
+	m.stats.CapOps++
+	if err := m.syncAfterChange(caller, dst, sub); err != nil {
+		return 0, err
+	}
+	return id, nil
+}
+
+// Revoke revokes a capability and its entire derivation subtree. The
+// caller must be the delegator (owner of the parent capability) or the
+// owner of the node itself (dropping its own access) — "this keeps
+// management code in control despite making policy configuration
+// available to all software" (§3.2).
+func (m *Monitor) Revoke(caller DomainID, node cap.NodeID) error {
+	if _, err := m.liveDomain(caller); err != nil {
+		return err
+	}
+	info, err := m.space.Node(node)
+	if err != nil {
+		return err
+	}
+	authorized := info.Owner == cap.OwnerID(caller)
+	if !authorized && info.Parent != 0 {
+		if p, err := m.space.Node(info.Parent); err == nil && p.Owner == cap.OwnerID(caller) {
+			authorized = true
+		}
+	}
+	if !authorized {
+		return m.deny("domain %d may not revoke capability %d", caller, node)
+	}
+	acts, err := m.space.Revoke(node)
+	if err != nil {
+		return err
+	}
+	m.stats.CapOps++
+	m.stats.Revocations++
+	return m.afterRevocation(acts, info.Owner)
+}
+
+// afterRevocation executes cleanups and resynchronises hardware state
+// for every owner whose access changed.
+func (m *Monitor) afterRevocation(acts []cap.CleanupAction, alsoSync ...cap.OwnerID) error {
+	if err := m.bk.ExecuteCleanups(acts); err != nil {
+		return err
+	}
+	affected := make(map[cap.OwnerID]bool)
+	for _, a := range acts {
+		affected[a.Owner] = true
+	}
+	for _, o := range alsoSync {
+		affected[o] = true
+	}
+	for o := range affected {
+		if d, ok := m.domains[DomainID(o)]; ok && d.state != StateDead {
+			if err := m.bk.SyncDomain(o); err != nil {
+				return err
+			}
+		}
+	}
+	if err := m.syncAllDevices(); err != nil {
+		return err
+	}
+	return m.syncEncryption()
+}
+
+// syncAfterChange refreshes hardware state after a delegation.
+func (m *Monitor) syncAfterChange(a, b DomainID, res cap.Resource) error {
+	for _, id := range []DomainID{a, b} {
+		if err := m.bk.SyncDomain(cap.OwnerID(id)); err != nil {
+			return err
+		}
+	}
+	if res.Kind == cap.ResDevice {
+		return m.bk.SyncDevice(res.Device)
+	}
+	// Memory movements can change what DMA-holding domains may reach,
+	// and which regions are exclusive (encryption keying).
+	if err := m.syncAllDevices(); err != nil {
+		return err
+	}
+	return m.syncEncryption()
+}
+
+func (m *Monitor) syncAllDevices() error {
+	for _, d := range m.mach.DeviceIDs() {
+		if err := m.bk.SyncDevice(d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SetEntry fixes the domain's entry point (§3.1: "domains have a fixed
+// entry point"). Only the domain itself or its creator may configure it,
+// and only before sealing.
+func (m *Monitor) SetEntry(caller, id DomainID, entry phys.Addr) error {
+	d, err := m.liveDomain(id)
+	if err != nil {
+		return err
+	}
+	if caller != id && caller != d.creator {
+		return m.deny("domain %d may not configure domain %d", caller, id)
+	}
+	if d.state == StateSealed {
+		return fmt.Errorf("%w: %d", ErrSealedState, id)
+	}
+	if !m.space.CheckMemAccess(cap.OwnerID(id), entry, cap.RightExec) {
+		return m.deny("entry %v not executable by domain %d", entry, id)
+	}
+	d.entry = entry
+	d.entrySet = true
+	return nil
+}
+
+// SetEntryRing selects the privilege ring the domain is entered in
+// (kernel by default; sandboxes confining untrusted payloads enter in
+// ring 3 so the domain's first-level filter applies from the first
+// instruction). Same authorization and sealing rules as SetEntry.
+func (m *Monitor) SetEntryRing(caller, id DomainID, ring hw.Ring) error {
+	d, err := m.liveDomain(id)
+	if err != nil {
+		return err
+	}
+	if caller != id && caller != d.creator {
+		return m.deny("domain %d may not configure domain %d", caller, id)
+	}
+	if d.state == StateSealed {
+		return fmt.Errorf("%w: %d", ErrSealedState, id)
+	}
+	d.entryRing = ring
+	return nil
+}
+
+// AddMeasuredRegion marks a region of the domain's memory whose content
+// is included in the seal-time measurement.
+func (m *Monitor) AddMeasuredRegion(caller, id DomainID, r phys.Region) error {
+	d, err := m.liveDomain(id)
+	if err != nil {
+		return err
+	}
+	if caller != id && caller != d.creator {
+		return m.deny("domain %d may not configure domain %d", caller, id)
+	}
+	if d.state == StateSealed {
+		return fmt.Errorf("%w: %d", ErrSealedState, id)
+	}
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	if !m.space.CheckMemAccess(cap.OwnerID(id), r.Start, cap.RightsNone) ||
+		!m.space.CheckMemAccess(cap.OwnerID(id), r.End-1, cap.RightsNone) {
+		return m.deny("measured region %v outside domain %d's resources", r, id)
+	}
+	d.measured = append(d.measured, r)
+	return nil
+}
+
+// Seal freezes the domain's resource set and computes its measurement.
+// A sealed domain can no longer receive resources; its attestation
+// becomes stable (§3.1).
+func (m *Monitor) Seal(caller, id DomainID) (tpm.Digest, error) {
+	d, err := m.liveDomain(id)
+	if err != nil {
+		return tpm.Digest{}, err
+	}
+	if caller != id && caller != d.creator {
+		return tpm.Digest{}, m.deny("domain %d may not seal domain %d", caller, id)
+	}
+	if d.state == StateSealed {
+		return tpm.Digest{}, fmt.Errorf("%w: %d", ErrSealedState, id)
+	}
+	if !d.entrySet {
+		return tpm.Digest{}, fmt.Errorf("%w: seal requires an entry point", ErrNoEntry)
+	}
+	var contents []MeasuredRegion
+	for _, r := range phys.NormalizeRegions(d.measured) {
+		data, err := m.mach.Mem.View(r)
+		if err != nil {
+			return tpm.Digest{}, err
+		}
+		contents = append(contents, MeasuredRegion{Region: r, Content: data})
+	}
+	d.measurement = ComputeMeasurement(d.entry, contents)
+	d.state = StateSealed
+	m.space.Seal(cap.OwnerID(id))
+	m.stats.CapOps++
+	return d.measurement, nil
+}
+
+// KillDomain destroys a domain: every capability it holds (and all
+// capabilities ever derived from them) is revoked with its cleanup
+// policies executed, and its hardware state is removed.
+func (m *Monitor) KillDomain(caller, id DomainID) error {
+	d, err := m.liveDomain(id)
+	if err != nil {
+		return err
+	}
+	if caller != d.creator && caller != id {
+		return m.deny("domain %d may not kill domain %d", caller, id)
+	}
+	if id == InitialDomain {
+		return m.deny("the initial domain cannot be killed")
+	}
+	acts := m.space.RevokeOwner(cap.OwnerID(id))
+	d.state = StateDead
+	m.stats.Revocations++
+	if err := m.afterRevocation(acts); err != nil {
+		return err
+	}
+	if err := m.bk.RemoveDomain(cap.OwnerID(id)); err != nil {
+		return err
+	}
+	m.cryptoErase(id)
+	// Clear scheduling state referring to the dead domain.
+	for c, cur := range m.current {
+		if cur == id {
+			delete(m.current, c)
+		}
+	}
+	return nil
+}
+
+// Enumerate returns the domain's resources as the attestation would
+// list them: effective regions, rights, and system-wide reference
+// counts (§3.4: "resource enumeration and reference counts make sharing
+// and communication paths between domains explicit").
+func (m *Monitor) Enumerate(id DomainID) ([]ResourceRecord, error) {
+	if _, err := m.liveDomain(id); err != nil {
+		return nil, err
+	}
+	return m.enumerate(cap.OwnerID(id)), nil
+}
+
+func (m *Monitor) enumerate(owner cap.OwnerID) []ResourceRecord {
+	var out []ResourceRecord
+	// One sweep of the reference-count map serves every record (the
+	// per-region query is quadratic in enumeration size).
+	rcs := m.space.RefCounts()
+	maxRef := func(r phys.Region) int {
+		max := 0
+		for _, rc := range rcs {
+			if rc.Region.Overlaps(r) && rc.Count > max {
+				max = rc.Count
+			}
+		}
+		return max
+	}
+	for _, g := range m.space.OwnerMemoryGrants(owner) {
+		out = append(out, ResourceRecord{
+			Resource: cap.MemResource(g.Region),
+			Rights:   g.Rights,
+			RefCount: maxRef(g.Region),
+		})
+	}
+	for _, c := range m.space.OwnerCores(owner) {
+		out = append(out, ResourceRecord{
+			Resource: cap.CoreResource(c),
+			Rights:   cap.RightRun,
+			RefCount: m.space.CoreRefCount(c),
+		})
+	}
+	for _, dev := range m.space.OwnerDevices(owner) {
+		out = append(out, ResourceRecord{
+			Resource: cap.DeviceResource(dev),
+			Rights:   cap.RightUse,
+			RefCount: m.space.DeviceRefCount(dev),
+		})
+	}
+	return out
+}
+
+// RefCounts exposes the system-wide memory reference-count map
+// (Figure 4).
+func (m *Monitor) RefCounts() []cap.RegionCount { return m.space.RefCounts() }
+
+// LineageTree renders the capability derivation forest (diagnostics).
+func (m *Monitor) LineageTree() string { return m.space.TreeString() }
+
+// OwnerNodes lists a domain's capability nodes (for libraries building
+// on the API; capabilities are not secret from their owner).
+func (m *Monitor) OwnerNodes(id DomainID) []cap.Info {
+	return m.space.OwnerNodes(cap.OwnerID(id))
+}
+
+// CheckAccess reports whether a domain has effective access at an
+// address (diagnostic / test hook; enforcement happens in hardware).
+func (m *Monitor) CheckAccess(id DomainID, a phys.Addr, want cap.Rights) bool {
+	return m.space.CheckMemAccess(cap.OwnerID(id), a, want)
+}
+
+// CopyInto writes data into the domain's memory after validating the
+// domain holds write access over every touched page. Go-level domain
+// logic (the OS kit, libraries, examples) uses this instead of raw
+// physical writes so that the capability system is never bypassed.
+func (m *Monitor) CopyInto(id DomainID, a phys.Addr, data []byte) error {
+	if err := m.checkRange(id, a, uint64(len(data)), cap.RightWrite); err != nil {
+		return err
+	}
+	return m.mach.Mem.WriteAt(a, data)
+}
+
+// CopyFrom reads the domain's memory after validating read access.
+func (m *Monitor) CopyFrom(id DomainID, a phys.Addr, n uint64) ([]byte, error) {
+	if err := m.checkRange(id, a, n, cap.RightRead); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, n)
+	if err := m.mach.Mem.ReadAt(a, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+func (m *Monitor) checkRange(id DomainID, a phys.Addr, n uint64, want cap.Rights) error {
+	if _, err := m.liveDomain(id); err != nil {
+		return err
+	}
+	if n == 0 {
+		return nil
+	}
+	first := a.PageAlign()
+	last := (a + phys.Addr(n) - 1).PageAlign()
+	for p := first; ; p += phys.PageSize {
+		if !m.space.CheckMemAccess(cap.OwnerID(id), p, want) {
+			return m.deny("domain %d lacks %v at %v", id, want, p)
+		}
+		if p == last {
+			break
+		}
+	}
+	return nil
+}
+
+// SetReportData binds a domain-chosen digest into the domain's future
+// attestation reports (the SGX REPORTDATA analogue). Only the domain
+// itself may set it — it is runtime material (e.g. the hash of a
+// key-exchange public key), settable even after sealing.
+func (m *Monitor) SetReportData(caller, id DomainID, data tpm.Digest) error {
+	d, err := m.liveDomain(id)
+	if err != nil {
+		return err
+	}
+	if caller != id {
+		return m.deny("only domain %d itself may set its report data", id)
+	}
+	d.reportData = data
+	return nil
+}
+
+// SetSyscallHandler installs the Go-level ring-0 trap handler for the
+// domain (its "kernel").
+func (m *Monitor) SetSyscallHandler(caller, id DomainID, h SyscallHandler) error {
+	d, err := m.liveDomain(id)
+	if err != nil {
+		return err
+	}
+	if caller != id && caller != d.creator {
+		return m.deny("domain %d may not install handlers for domain %d", caller, id)
+	}
+	d.syscall = h
+	return nil
+}
+
+// DomainContext exposes the domain's per-core execution context to the
+// domain's own privileged code (e.g. the OS kit managing its internal
+// first-level filter). The monitor-controlled Filter inside it keeps
+// enforcing regardless of what the domain does to OSFilter.
+func (m *Monitor) DomainContext(caller, id DomainID, core phys.CoreID) (*hw.Context, error) {
+	d, err := m.liveDomain(id)
+	if err != nil {
+		return nil, err
+	}
+	if caller != id && caller != d.creator {
+		return nil, m.deny("domain %d may not access domain %d's context", caller, id)
+	}
+	return m.bk.Context(cap.OwnerID(id), core)
+}

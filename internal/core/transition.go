@@ -1,0 +1,271 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/tyche-sim/tyche/internal/cap"
+	"github.com/tyche-sim/tyche/internal/hw"
+	"github.com/tyche-sim/tyche/internal/phys"
+)
+
+// The monitor mediates and validates all control transfers between
+// domains (§3.1). A mediated Call saves the caller's cpu state, checks
+// the target may run on the core, and enters the target at its fixed
+// entry point; Return unwinds. FastSwitch is the VMFUNC path: a
+// pre-authorised filter swap without a monitor exit.
+
+// ErrCallDepth reports an attempt to return with no caller frame.
+var ErrCallDepth = errors.New("core: call stack empty")
+
+// Current returns the domain currently installed on the core. The
+// installed hardware context is authoritative: guest-level VMFUNC
+// switches change it without a monitor exit, exactly as on real
+// hardware — the monitor only learns at the next trap.
+func (m *Monitor) Current(core phys.CoreID) (DomainID, bool) {
+	if c := m.mach.Core(core); c != nil && c.Context() != nil {
+		return DomainID(c.Context().Owner), true
+	}
+	id, ok := m.current[core]
+	return id, ok
+}
+
+// Launch starts the initial domain (or any domain with an entry point)
+// on a core with an empty call stack — boot-time scheduling.
+func (m *Monitor) Launch(id DomainID, core phys.CoreID) error {
+	d, err := m.liveDomain(id)
+	if err != nil {
+		return err
+	}
+	if !d.entrySet {
+		return fmt.Errorf("%w: domain %d", ErrNoEntry, id)
+	}
+	if !m.space.OwnerHasCore(cap.OwnerID(id), core) {
+		return m.deny("domain %d may not run on %v", id, core)
+	}
+	c := m.mach.Core(core)
+	if c == nil {
+		return fmt.Errorf("core: no core %v", core)
+	}
+	if err := m.bk.Transition(c, cap.OwnerID(id), false); err != nil {
+		return err
+	}
+	c.PC = d.entry
+	c.Regs = [hw.NumRegs]uint64{}
+	c.Ring = d.entryRing
+	m.current[core] = id
+	m.frames[core] = m.frames[core][:0]
+	m.stats.Transitions++
+	return nil
+}
+
+// Call transfers control on core from the current domain to target,
+// entering at target's fixed entry point with argument registers
+// r0..r5 copied from the caller. The transfer is validated: the target
+// must be live, runnable on the core, and have an entry point.
+func (m *Monitor) Call(core phys.CoreID, target DomainID) error {
+	cur, ok := m.Current(core)
+	if !ok {
+		return fmt.Errorf("%w: %v", ErrNotRunning, core)
+	}
+	td, err := m.liveDomain(target)
+	if err != nil {
+		return err
+	}
+	if !td.entrySet {
+		return fmt.Errorf("%w: domain %d", ErrNoEntry, target)
+	}
+	if !m.space.OwnerHasCore(cap.OwnerID(target), core) {
+		return m.deny("domain %d may not run on %v", target, core)
+	}
+	c := m.mach.Core(core)
+	// Save the caller's register state into its context.
+	curCtx, err := m.bk.Context(cap.OwnerID(cur), core)
+	if err != nil {
+		return err
+	}
+	c.SaveInto(curCtx)
+	// Enter the target: argument registers carry over.
+	var args [6]uint64
+	copy(args[:], c.Regs[:6])
+	if err := m.bk.Transition(c, cap.OwnerID(target), false); err != nil {
+		return err
+	}
+	c.Regs = [hw.NumRegs]uint64{}
+	copy(c.Regs[:6], args[:])
+	c.PC = td.entry
+	c.Ring = td.entryRing
+	m.frames[core] = append(m.frames[core], cur)
+	m.current[core] = target
+	m.stats.Transitions++
+	return nil
+}
+
+// Return unwinds one mediated call: control goes back to the caller
+// domain, which resumes after its call site. Registers r0 and r1 of the
+// returning domain are delivered to the caller as return values.
+func (m *Monitor) Return(core phys.CoreID) error {
+	frames := m.frames[core]
+	if len(frames) == 0 {
+		return ErrCallDepth
+	}
+	caller := frames[len(frames)-1]
+	m.frames[core] = frames[:len(frames)-1]
+	c := m.mach.Core(core)
+	ret0, ret1 := c.Regs[0], c.Regs[1]
+	if _, err := m.liveDomain(caller); err != nil {
+		// The caller died while the callee ran; the core has nowhere to
+		// return to.
+		return err
+	}
+	callerCtx, err := m.bk.Context(cap.OwnerID(caller), core)
+	if err != nil {
+		return err
+	}
+	if err := m.bk.Transition(c, cap.OwnerID(caller), false); err != nil {
+		return err
+	}
+	c.RestoreFrom(callerCtx)
+	c.Regs[0], c.Regs[1] = ret0, ret1
+	m.current[core] = caller
+	m.stats.Transitions++
+	return nil
+}
+
+// RegisterFastPath authorises VMFUNC-style fast switches between two
+// domains on a core. Both must be runnable on the core; the monitor
+// validates once, then the hardware switches without monitor exits —
+// "accelerate existing operations with hardware, such as fast (100
+// cycles) domain transitions using VMFUNC" (§4.1).
+func (m *Monitor) RegisterFastPath(caller DomainID, a, b DomainID, core phys.CoreID) error {
+	if _, err := m.liveDomain(caller); err != nil {
+		return err
+	}
+	if caller != a && caller != b {
+		return m.deny("domain %d is not an endpoint of the fast path", caller)
+	}
+	for _, id := range []DomainID{a, b} {
+		if _, err := m.liveDomain(id); err != nil {
+			return err
+		}
+		if !m.space.OwnerHasCore(cap.OwnerID(id), core) {
+			return m.deny("domain %d may not run on %v", id, core)
+		}
+	}
+	return m.bk.RegisterFastPair(core, cap.OwnerID(a), cap.OwnerID(b))
+}
+
+// FastSwitch performs a pre-authorised fast transition to target on
+// core, jumping to target's entry point. Register state carries over
+// entirely (the fast path trades register hygiene for speed; domains
+// using it share a protocol, like Hodor-style data-plane libraries).
+func (m *Monitor) FastSwitch(core phys.CoreID, target DomainID) error {
+	if _, ok := m.current[core]; !ok {
+		return fmt.Errorf("%w: %v", ErrNotRunning, core)
+	}
+	td, err := m.liveDomain(target)
+	if err != nil {
+		return err
+	}
+	if !td.entrySet {
+		return fmt.Errorf("%w: domain %d", ErrNoEntry, target)
+	}
+	c := m.mach.Core(core)
+	if err := m.bk.Transition(c, cap.OwnerID(target), true); err != nil {
+		return err
+	}
+	c.PC = td.entry
+	m.current[core] = target
+	m.stats.FastSwitches++
+	return nil
+}
+
+// RunResult describes why RunCore stopped.
+type RunResult struct {
+	// Steps is the number of instructions retired across all domains.
+	Steps int
+	// Trap is the final trap (TrapHalt with an empty call stack, a
+	// fault, or TrapNone when the budget ran out).
+	Trap hw.Trap
+	// Domain is the domain that was running when RunCore stopped.
+	Domain DomainID
+}
+
+// RunCore drives guest execution on a core, dispatching traps:
+//
+//   - VMCall: decoded per the guest ABI (abi.go) and handled; the
+//     monitor charges a VM exit + entry round trip.
+//   - Syscall: dispatched to the current domain's registered Go-level
+//     kernel handler — an intra-domain event the monitor stays out of.
+//   - Halt: treated as an implicit Return when the core has caller
+//     frames (an enclave completing its call), else RunCore stops.
+//   - Fault/Illegal: execution stops and the trap is reported; policy
+//     belongs to the embedding system, not the monitor.
+func (m *Monitor) RunCore(core phys.CoreID, budget int) (RunResult, error) {
+	c := m.mach.Core(core)
+	if c == nil {
+		return RunResult{}, fmt.Errorf("core: no core %v", core)
+	}
+	if _, ok := m.Current(core); !ok {
+		return RunResult{}, fmt.Errorf("%w: %v", ErrNotRunning, core)
+	}
+	// The installed context decides attribution: guest VMFUNC switches
+	// change the running domain without informing the monitor.
+	cur := func() DomainID {
+		if ctx := c.Context(); ctx != nil {
+			return DomainID(ctx.Owner)
+		}
+		return m.current[core]
+	}
+	total := 0
+	for total < budget {
+		// Route pending device interrupts before resuming guest code:
+		// IRQs raised by drivers or handlers during the previous trap
+		// window are delivered at the next entry, like real injection.
+		if err := m.routeIRQs(c); err != nil {
+			return RunResult{Steps: total, Domain: cur()}, err
+		}
+		n, trap := c.Run(budget - total)
+		total += n
+		switch trap.Kind {
+		case hw.TrapNone, hw.TrapTimer:
+			// Budget exhausted or the preemption timer fired: hand
+			// control back to the embedding scheduler.
+			return RunResult{Steps: total, Trap: trap, Domain: cur()}, nil
+		case hw.TrapHalt:
+			if len(m.frames[core]) > 0 {
+				if err := m.Return(core); err != nil {
+					return RunResult{Steps: total, Trap: trap, Domain: cur()}, err
+				}
+				continue
+			}
+			return RunResult{Steps: total, Trap: trap, Domain: cur()}, nil
+		case hw.TrapVMCall:
+			m.stats.VMExits++
+			m.mach.Clock.Advance(m.mach.Cost.VMExit)
+			stop, err := m.handleVMCall(c, core)
+			m.mach.Clock.Advance(m.mach.Cost.VMEntry)
+			if err != nil {
+				return RunResult{Steps: total, Trap: trap, Domain: cur()}, err
+			}
+			if stop {
+				return RunResult{Steps: total, Trap: trap, Domain: cur()}, nil
+			}
+		case hw.TrapSyscall:
+			m.stats.Syscalls++
+			m.mach.Clock.Advance(m.mach.Cost.Syscall)
+			d := m.domains[cur()]
+			if d == nil || d.syscall == nil {
+				return RunResult{Steps: total, Trap: trap, Domain: cur()},
+					fmt.Errorf("core: domain %d has no syscall handler", cur())
+			}
+			if err := d.syscall(c); err != nil {
+				return RunResult{Steps: total, Trap: trap, Domain: cur()}, err
+			}
+			m.mach.Clock.Advance(m.mach.Cost.Sysret)
+		default: // fault, illegal
+			return RunResult{Steps: total, Trap: trap, Domain: cur()}, nil
+		}
+	}
+	return RunResult{Steps: total, Trap: hw.Trap{Kind: hw.TrapNone}, Domain: cur()}, nil
+}

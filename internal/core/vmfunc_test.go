@@ -1,0 +1,141 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/tyche-sim/tyche/internal/cap"
+	"github.com/tyche-sim/tyche/internal/hw"
+	"github.com/tyche-sim/tyche/internal/phys"
+)
+
+// TestGuestVMFUNC exercises the Hodor pattern end to end: a trampoline
+// page mapped in both dom0's and a compartment's views lets guest code
+// switch views with the VMFUNC instruction — no monitor exit — and read
+// compartment-private data that dom0 itself cannot touch.
+func TestGuestVMFUNC(t *testing.T) {
+	m := bootWorld(t, BackendVTX)
+	comp, err := m.CreateDomain(InitialDomain, "fastcomp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	node := dom0MemNode(t, m)
+	var coreNode cap.NodeID
+	for _, n := range m.OwnerNodes(InitialDomain) {
+		if n.Resource.Kind == cap.ResCore && n.Resource.Core == 0 {
+			coreNode = n.ID
+		}
+	}
+
+	// Compartment-private data page with a secret value.
+	private := phys.MakeRegion(96*pg, pg)
+	if err := m.Machine().Mem.Write64(private.Start, 0xfeed); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Grant(InitialDomain, node, comp, cap.MemResource(private), cap.MemRW, cap.CleanObfuscate); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Share(InitialDomain, coreNode, comp, cap.CoreResource(0), cap.RightRun, cap.CleanNone); err != nil {
+		t.Fatal(err)
+	}
+
+	// Trampoline at page 90, mapped RX in BOTH views.
+	tramp := phys.Addr(90 * pg)
+	a := hw.NewAsm()
+	a.Movi(14, uint32(comp)) // select the compartment view
+	a.Vmfunc()               // switch (no exit)
+	a.Movi(1, uint32(private.Start))
+	a.Ld(2, 1, 0) // read the secret inside the compartment
+	a.Movi(14, uint32(InitialDomain))
+	a.Vmfunc() // switch back
+	a.Hlt()
+	code := a.MustAssemble(tramp)
+	if err := m.CopyInto(InitialDomain, tramp, code); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Share(InitialDomain, node, comp, cap.MemResource(phys.MakeRegion(tramp, pg)), cap.MemRX, cap.CleanNone); err != nil {
+		t.Fatal(err)
+	}
+	// The compartment needs an entry point to be a valid fast-path
+	// endpoint.
+	if err := m.SetEntry(InitialDomain, comp, tramp); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RegisterFastPath(InitialDomain, InitialDomain, comp, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	// Negative control first: dom0 reading the private page directly
+	// faults (it granted the page away).
+	direct := hw.NewAsm()
+	direct.Movi(1, uint32(private.Start)).Ld(2, 1, 0).Hlt()
+	if err := m.CopyInto(InitialDomain, 4*pg, direct.MustAssemble(4*pg)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetEntry(InitialDomain, InitialDomain, 4*pg); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Launch(InitialDomain, 0); err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.RunCore(0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trap.Kind != hw.TrapFault {
+		t.Fatalf("direct read: %v, want fault", res.Trap)
+	}
+
+	// Through the trampoline: the same read succeeds inside the
+	// compartment's view, with zero monitor exits.
+	cpu := m.Machine().Core(0)
+	exitsBefore := m.Stats().VMExits
+	cpu.PC = tramp
+	cpu.ClearHalt()
+	res, err = m.RunCore(0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trap.Kind != hw.TrapHalt {
+		t.Fatalf("trampoline run: %v", res.Trap)
+	}
+	if cpu.Regs[2] != 0xfeed {
+		t.Fatalf("r2 = %#x, want 0xfeed", cpu.Regs[2])
+	}
+	if m.Stats().VMExits != exitsBefore {
+		t.Fatalf("fast path took %d monitor exits", m.Stats().VMExits-exitsBefore)
+	}
+	// Control returned to dom0's view: the monitor sees dom0 current.
+	if cur, _ := m.Current(0); cur != InitialDomain {
+		t.Fatalf("current = %d", cur)
+	}
+	if res.Domain != InitialDomain {
+		t.Fatalf("attributed domain = %d", res.Domain)
+	}
+}
+
+// TestGuestVMFUNCUnregisteredFaults: an index the monitor never
+// installed vm-exits (modelled as a fault) — guests cannot invent
+// views.
+func TestGuestVMFUNCUnregisteredFaults(t *testing.T) {
+	m := bootWorld(t, BackendVTX)
+	a := hw.NewAsm()
+	a.Movi(14, 777)
+	a.Vmfunc()
+	a.Hlt()
+	if err := m.CopyInto(InitialDomain, 4*pg, a.MustAssemble(4*pg)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetEntry(InitialDomain, InitialDomain, 4*pg); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Launch(InitialDomain, 0); err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.RunCore(0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trap.Kind != hw.TrapFault {
+		t.Fatalf("trap = %v, want fault on unregistered index", res.Trap)
+	}
+}

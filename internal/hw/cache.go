@@ -1,0 +1,95 @@
+package hw
+
+import "github.com/tyche-sim/tyche/internal/phys"
+
+// CacheLineSize is the modelled cache line size in bytes.
+const CacheLineSize = 64
+
+// DefaultCacheLines is the modelled per-core data cache capacity in
+// lines (512 lines x 64 B = 32 KiB, an L1d).
+const DefaultCacheLines = 512
+
+// Cache models per-core data-cache micro-architectural state at the
+// granularity the side-channel experiments need: which line-sized tags
+// are resident. A prime+probe attacker distinguishes hits from misses
+// after a victim ran; the monitor's flush-on-transition revocation
+// policy (§4.1: "revocation policies that flush micro-architectural
+// state (caches) during a transition") erases that signal.
+//
+// The model is direct-mapped by line index with tags, which is enough to
+// produce real conflict-eviction behaviour for prime+probe.
+type Cache struct {
+	lines []uint64 // resident line tag per set, 0 = empty (tag is addr/64+1)
+	dirty []bool
+
+	hits, misses, flushedLines uint64
+}
+
+// NewCache returns a cache with n line slots.
+func NewCache(n int) *Cache {
+	if n <= 0 {
+		n = DefaultCacheLines
+	}
+	return &Cache{lines: make([]uint64, n), dirty: make([]bool, n)}
+}
+
+func (c *Cache) slot(a phys.Addr) (idx int, tag uint64) {
+	line := uint64(a) / CacheLineSize
+	return int(line % uint64(len(c.lines))), line + 1
+}
+
+// Touch records an access to a, returning true on hit. Write accesses
+// mark the line dirty.
+func (c *Cache) Touch(a phys.Addr, write bool) bool {
+	idx, tag := c.slot(a)
+	hit := c.lines[idx] == tag
+	if hit {
+		c.hits++
+	} else {
+		c.misses++
+		c.lines[idx] = tag
+		c.dirty[idx] = false
+	}
+	if write {
+		c.dirty[idx] = true
+	}
+	return hit
+}
+
+// Probe reports whether a is resident without refilling on miss: the
+// attacker's measurement primitive.
+func (c *Cache) Probe(a phys.Addr) bool {
+	idx, tag := c.slot(a)
+	return c.lines[idx] == tag
+}
+
+// Resident returns the number of occupied line slots.
+func (c *Cache) Resident() int {
+	n := 0
+	for _, t := range c.lines {
+		if t != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Flush invalidates the whole cache and returns the number of lines that
+// were resident (callers charge CacheFlushLine per line).
+func (c *Cache) Flush() uint64 {
+	var n uint64
+	for i := range c.lines {
+		if c.lines[i] != 0 {
+			n++
+			c.lines[i] = 0
+			c.dirty[i] = false
+		}
+	}
+	c.flushedLines += n
+	return n
+}
+
+// Stats returns hit/miss/flushed-line counters.
+func (c *Cache) Stats() (hits, misses, flushed uint64) {
+	return c.hits, c.misses, c.flushedLines
+}

@@ -1,0 +1,422 @@
+package hw
+
+import (
+	"fmt"
+
+	"github.com/tyche-sim/tyche/internal/phys"
+)
+
+// Ring is a privilege ring inside a trust domain. The monitor is outside
+// this hierarchy (it runs in root/machine mode, reached only by traps):
+// rings order software *within* a domain, which is precisely the
+// hierarchy the paper decouples isolation from (§2).
+type Ring uint8
+
+// Ring levels. Only the two architecturally interesting levels are
+// modelled.
+const (
+	RingKernel Ring = 0 // the domain's privileged code (OS / guest kernel)
+	RingUser   Ring = 3 // the domain's unprivileged code
+)
+
+func (r Ring) String() string {
+	if r == RingKernel {
+		return "ring0"
+	}
+	return "ring3"
+}
+
+// TrapKind classifies why a core stopped executing.
+type TrapKind int
+
+// Trap kinds.
+const (
+	TrapNone    TrapKind = iota // instruction budget exhausted, no event
+	TrapHalt                    // explicit HLT
+	TrapVMCall                  // trap to the isolation monitor
+	TrapSyscall                 // trap to the domain's kernel
+	TrapFault                   // memory access denied (or bus error)
+	TrapIllegal                 // undecodable instruction
+	TrapTimer                   // the core's one-shot timer expired
+)
+
+var trapNames = [...]string{
+	TrapNone: "none", TrapHalt: "halt", TrapVMCall: "vmcall",
+	TrapSyscall: "syscall", TrapFault: "fault", TrapIllegal: "illegal",
+	TrapTimer: "timer",
+}
+
+func (k TrapKind) String() string {
+	if int(k) < len(trapNames) {
+		return trapNames[k]
+	}
+	return fmt.Sprintf("trap(%d)", int(k))
+}
+
+// Trap describes a core's exit from guest execution.
+type Trap struct {
+	Kind TrapKind
+	// Addr is the faulting address for TrapFault.
+	Addr phys.Addr
+	// Want is the denied permission for TrapFault.
+	Want Perm
+	// PC is the program counter at the trapping instruction.
+	PC phys.Addr
+	// Info carries human-readable detail.
+	Info string
+}
+
+func (t Trap) String() string {
+	switch t.Kind {
+	case TrapFault:
+		return fmt.Sprintf("fault(%v %v at pc=%v)", t.Addr, t.Want, t.PC)
+	case TrapIllegal:
+		return fmt.Sprintf("illegal(pc=%v: %s)", t.PC, t.Info)
+	default:
+		return t.Kind.String()
+	}
+}
+
+// Context is the execution context of a trust domain on a core — the
+// analogue of a VMCS (x86_64) or the machine-mode-saved hart state
+// (RISC-V). The monitor creates contexts and installs filters; the
+// domain's own kernel may install an OSFilter for its internal rings.
+type Context struct {
+	// Owner is the owning trust domain's ID (opaque to hardware).
+	Owner uint64
+	// Filter is the monitor-managed access filter (EPT or PMP view).
+	// Enforced on every access, every ring.
+	Filter AccessFilter
+	// OSFilter is the domain-kernel-managed first-level filter. It is
+	// bypassed in RingKernel — the commodity "privileged code can bypass
+	// process isolation" behaviour (§2.2) — and enforced in RingUser.
+	// Nil means no first-level restriction.
+	OSFilter AccessFilter
+	// Entry is the domain's fixed entry point (§3.1: "domains have a
+	// fixed entry point").
+	Entry phys.Addr
+	// UsesEPT charges the two-dimensional walk cost on TLB misses.
+	UsesEPT bool
+	// ASID tags this context's TLB entries. Distinct contexts with
+	// distinct ASIDs can coexist in a tagged TLB, which is what lets
+	// VMFUNC-style fast switches skip the flush.
+	ASID uint64
+
+	// Saved register state for monitor-mediated transitions.
+	SavedRegs [NumRegs]uint64
+	SavedPC   phys.Addr
+	SavedRing Ring
+}
+
+// Core is one simulated CPU core.
+type Core struct {
+	id   phys.CoreID
+	mach *Machine
+
+	// Regs is the architectural register file r0..r15.
+	Regs [NumRegs]uint64
+	// PC is the program counter (a physical address).
+	PC phys.Addr
+	// Ring is the current privilege ring inside the running domain.
+	Ring Ring
+
+	// PMPUnit is the core's PMP register file (used by the RISC-V
+	// backend; idle under the VT-x backend).
+	PMPUnit *PMP
+
+	ctx    *Context
+	tlb    *TLB
+	cache  *Cache
+	halted bool
+
+	// vmfunc is the core's pre-registered fast-switch list (the VMFUNC
+	// EPTP list): guest code may switch only to contexts the monitor
+	// installed here.
+	vmfunc map[uint64]*Context
+
+	timer      int
+	timerArmed bool
+
+	instrs uint64
+	faults uint64
+}
+
+// ID returns the core's identifier.
+func (c *Core) ID() phys.CoreID { return c.id }
+
+// Context returns the installed execution context (nil if none).
+func (c *Core) Context() *Context { return c.ctx }
+
+// TLBUnit exposes the core's TLB (for monitor flush operations and
+// tests).
+func (c *Core) TLBUnit() *TLB { return c.tlb }
+
+// CacheUnit exposes the core's data cache.
+func (c *Core) CacheUnit() *Cache { return c.cache }
+
+// InstrCount returns the number of retired instructions.
+func (c *Core) InstrCount() uint64 { return c.instrs }
+
+// FaultCount returns the number of access faults taken.
+func (c *Core) FaultCount() uint64 { return c.faults }
+
+// Halted reports whether the core executed HLT and was not resumed.
+func (c *Core) Halted() bool { return c.halted }
+
+// InstallContext binds ctx to the core, flushing the TLB (a full
+// context switch on untagged hardware invalidates cached translations).
+func (c *Core) InstallContext(ctx *Context) {
+	c.ctx = ctx
+	c.tlb.Flush()
+	c.halted = false
+}
+
+// ClearHalt resumes a halted core: the privileged software that just
+// reprogrammed the core's state (a kernel scheduling a process, the
+// monitor re-entering a domain) clears the halt latch.
+func (c *Core) ClearHalt() { c.halted = false }
+
+// SetVMFuncEntry installs ctx at index idx of the core's VMFUNC list.
+// Only the monitor's backend calls this; guest code can then switch to
+// the view without an exit.
+func (c *Core) SetVMFuncEntry(idx uint64, ctx *Context) {
+	if c.vmfunc == nil {
+		c.vmfunc = make(map[uint64]*Context)
+	}
+	c.vmfunc[idx] = ctx
+}
+
+// ClearVMFuncEntry removes index idx from the VMFUNC list.
+func (c *Core) ClearVMFuncEntry(idx uint64) { delete(c.vmfunc, idx) }
+
+// SwitchContextTagged binds ctx to the core without flushing the TLB,
+// relying on ASID tagging for correctness — the VMFUNC fast path.
+func (c *Core) SwitchContextTagged(ctx *Context) {
+	c.ctx = ctx
+	c.halted = false
+}
+
+// SaveInto snapshots the core's register state into ctx.
+func (c *Core) SaveInto(ctx *Context) {
+	ctx.SavedRegs = c.Regs
+	ctx.SavedPC = c.PC
+	ctx.SavedRing = c.Ring
+}
+
+// RestoreFrom loads the core's register state from ctx.
+func (c *Core) RestoreFrom(ctx *Context) {
+	c.Regs = ctx.SavedRegs
+	c.PC = ctx.SavedPC
+	c.Ring = ctx.SavedRing
+	c.halted = false
+}
+
+// access checks and charges one guest memory access of size bytes at a.
+// It returns a non-nil trap on denial.
+func (c *Core) access(a phys.Addr, want Perm, size uint64) *Trap {
+	if c.ctx == nil {
+		return &Trap{Kind: TrapFault, Addr: a, Want: want, PC: c.PC, Info: "no context installed"}
+	}
+	cost := &c.mach.Cost
+	clk := c.mach.Clock
+	// Bus bounds.
+	if uint64(a) >= c.mach.Mem.Size() || c.mach.Mem.Size()-uint64(a) < size {
+		return &Trap{Kind: TrapFault, Addr: a, Want: want, PC: c.PC, Info: "bus error"}
+	}
+	// Accesses are register-width at most and assumed not to straddle
+	// pages (the assembler and loaders keep data naturally aligned).
+	pg := a.Page()
+	gen := c.ctx.Filter.Generation()
+	perm, hit := c.tlb.Lookup(c.ctx.ASID, pg, gen)
+	if hit {
+		clk.Advance(cost.TLBHit)
+	} else {
+		walk := cost.PageWalk
+		if c.ctx.UsesEPT {
+			walk += cost.EPTWalk
+		}
+		clk.Advance(walk)
+		perm = c.ctx.Filter.Lookup(a)
+		c.tlb.Insert(c.ctx.ASID, pg, perm, gen)
+	}
+	if !perm.Allows(want) {
+		c.faults++
+		return &Trap{Kind: TrapFault, Addr: a, Want: want, PC: c.PC}
+	}
+	// First-level (OS) filter: enforced for user ring only; ring 0 in a
+	// commodity domain bypasses it — that is the monopoly the monitor's
+	// second-level filter above does NOT bypass.
+	if c.Ring != RingKernel && c.ctx.OSFilter != nil && !c.ctx.OSFilter.Check(a, want) {
+		c.faults++
+		return &Trap{Kind: TrapFault, Addr: a, Want: want, PC: c.PC, Info: "first-level (OS) denial"}
+	}
+	if c.cache.Touch(a, want.Allows(PermW)) {
+		clk.Advance(cost.MemHit)
+	} else {
+		clk.Advance(cost.MemMiss)
+	}
+	return nil
+}
+
+// Step executes a single instruction. It returns a trap describing any
+// exit event; Trap.Kind==TrapNone means the instruction retired and
+// execution may continue.
+func (c *Core) Step() Trap {
+	if c.halted {
+		return Trap{Kind: TrapHalt, PC: c.PC}
+	}
+	if t := c.access(c.PC, PermX, InstrSize); t != nil {
+		return *t
+	}
+	var raw [InstrSize]byte
+	if err := c.mach.Mem.ReadAt(c.PC, raw[:]); err != nil {
+		return Trap{Kind: TrapFault, Addr: c.PC, Want: PermX, PC: c.PC, Info: err.Error()}
+	}
+	ins, err := Decode(raw[:])
+	if err != nil {
+		return Trap{Kind: TrapIllegal, PC: c.PC, Info: err.Error()}
+	}
+	cost := &c.mach.Cost
+	clk := c.mach.Clock
+	next := c.PC + InstrSize
+	r := &c.Regs
+	switch ins.Op {
+	case OpHlt:
+		c.halted = true
+		c.instrs++
+		return Trap{Kind: TrapHalt, PC: c.PC}
+	case OpNop:
+		clk.Advance(cost.ALUOp)
+	case OpMovi:
+		r[ins.Rd] = uint64(ins.Imm)
+		clk.Advance(cost.ALUOp)
+	case OpMov:
+		r[ins.Rd] = r[ins.Rs1]
+		clk.Advance(cost.ALUOp)
+	case OpAdd:
+		r[ins.Rd] = r[ins.Rs1] + r[ins.Rs2]
+		clk.Advance(cost.ALUOp)
+	case OpSub:
+		r[ins.Rd] = r[ins.Rs1] - r[ins.Rs2]
+		clk.Advance(cost.ALUOp)
+	case OpMul:
+		r[ins.Rd] = r[ins.Rs1] * r[ins.Rs2]
+		clk.Advance(cost.ALUOp * 3)
+	case OpAnd:
+		r[ins.Rd] = r[ins.Rs1] & r[ins.Rs2]
+		clk.Advance(cost.ALUOp)
+	case OpOr:
+		r[ins.Rd] = r[ins.Rs1] | r[ins.Rs2]
+		clk.Advance(cost.ALUOp)
+	case OpXor:
+		r[ins.Rd] = r[ins.Rs1] ^ r[ins.Rs2]
+		clk.Advance(cost.ALUOp)
+	case OpShl:
+		r[ins.Rd] = r[ins.Rs1] << (r[ins.Rs2] & 63)
+		clk.Advance(cost.ALUOp)
+	case OpShr:
+		r[ins.Rd] = r[ins.Rs1] >> (r[ins.Rs2] & 63)
+		clk.Advance(cost.ALUOp)
+	case OpAddi:
+		r[ins.Rd] = r[ins.Rs1] + uint64(ins.Imm)
+		clk.Advance(cost.ALUOp)
+	case OpLd:
+		a := phys.Addr(r[ins.Rs1] + uint64(ins.Imm))
+		if t := c.access(a, PermR, 8); t != nil {
+			return *t
+		}
+		v, err := c.mach.Mem.Read64(a)
+		if err != nil {
+			return Trap{Kind: TrapFault, Addr: a, Want: PermR, PC: c.PC, Info: err.Error()}
+		}
+		r[ins.Rd] = v
+	case OpSt:
+		a := phys.Addr(r[ins.Rs1] + uint64(ins.Imm))
+		if t := c.access(a, PermW, 8); t != nil {
+			return *t
+		}
+		if err := c.mach.Mem.Write64(a, r[ins.Rs2]); err != nil {
+			return Trap{Kind: TrapFault, Addr: a, Want: PermW, PC: c.PC, Info: err.Error()}
+		}
+	case OpLdb:
+		a := phys.Addr(r[ins.Rs1] + uint64(ins.Imm))
+		if t := c.access(a, PermR, 1); t != nil {
+			return *t
+		}
+		b, err := c.mach.Mem.ReadByteAt(a)
+		if err != nil {
+			return Trap{Kind: TrapFault, Addr: a, Want: PermR, PC: c.PC, Info: err.Error()}
+		}
+		r[ins.Rd] = uint64(b)
+	case OpStb:
+		a := phys.Addr(r[ins.Rs1] + uint64(ins.Imm))
+		if t := c.access(a, PermW, 1); t != nil {
+			return *t
+		}
+		if err := c.mach.Mem.WriteByteAt(a, byte(r[ins.Rs2])); err != nil {
+			return Trap{Kind: TrapFault, Addr: a, Want: PermW, PC: c.PC, Info: err.Error()}
+		}
+	case OpJmp:
+		next = phys.Addr(ins.Imm)
+		clk.Advance(cost.ALUOp)
+	case OpJz:
+		if r[ins.Rs1] == 0 {
+			next = phys.Addr(ins.Imm)
+		}
+		clk.Advance(cost.ALUOp)
+	case OpJnz:
+		if r[ins.Rs1] != 0 {
+			next = phys.Addr(ins.Imm)
+		}
+		clk.Advance(cost.ALUOp)
+	case OpJlt:
+		if r[ins.Rs1] < r[ins.Rs2] {
+			next = phys.Addr(ins.Imm)
+		}
+		clk.Advance(cost.ALUOp)
+	case OpVmfunc:
+		// The guest-level fast switch: no exit, tagged TLB survives.
+		// An index outside the monitor-installed list vm-exits on real
+		// hardware; we model it as a fault the run loop reports.
+		target, ok := c.vmfunc[r[14]]
+		if !ok {
+			c.faults++
+			return Trap{Kind: TrapFault, Addr: c.PC, Want: PermX, PC: c.PC,
+				Info: fmt.Sprintf("vmfunc: index %d not registered", r[14])}
+		}
+		clk.Advance(cost.VMFunc)
+		c.SwitchContextTagged(target)
+	case OpVmcall:
+		c.instrs++
+		c.PC = next // resume after the call
+		return Trap{Kind: TrapVMCall, PC: c.PC - InstrSize}
+	case OpSyscall:
+		c.instrs++
+		c.PC = next
+		return Trap{Kind: TrapSyscall, PC: c.PC - InstrSize}
+	default:
+		return Trap{Kind: TrapIllegal, PC: c.PC, Info: ins.Op.String()}
+	}
+	c.instrs++
+	c.PC = next
+	if c.tickTimer() {
+		return Trap{Kind: TrapTimer, PC: c.PC}
+	}
+	return Trap{Kind: TrapNone}
+}
+
+// Run executes up to maxInstrs instructions, stopping at the first trap.
+// It returns the number of retired instructions (the instruction that
+// raised a retiring trap — VMCALL, SYSCALL, HLT, timer — counts;
+// faulting instructions do not retire) and the trap (TrapNone when the
+// budget ran out).
+func (c *Core) Run(maxInstrs int) (int, Trap) {
+	start := c.instrs
+	for int(c.instrs-start) < maxInstrs {
+		t := c.Step()
+		if t.Kind != TrapNone {
+			return int(c.instrs - start), t
+		}
+	}
+	return int(c.instrs - start), Trap{Kind: TrapNone, PC: c.PC}
+}

@@ -1,0 +1,100 @@
+package hw
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/tyche-sim/tyche/internal/phys"
+)
+
+// EPT models a second-level (nested) page table: the per-domain
+// access-control structure a VT-x backend programs. It maps physical
+// pages to permissions at page granularity. Because the monitor manages
+// physical names, the translation is identity and the EPT is purely an
+// access filter (§3.3: "memory virtualization provides a second level of
+// page tables to enforce memory access control at page granularity").
+type EPT struct {
+	pages map[uint64]Perm
+	gen   uint64
+}
+
+// NewEPT returns an empty EPT denying all access.
+func NewEPT() *EPT {
+	return &EPT{pages: make(map[uint64]Perm)}
+}
+
+// Check implements AccessFilter.
+func (e *EPT) Check(a phys.Addr, want Perm) bool {
+	return e.pages[a.Page()].Allows(want)
+}
+
+// Lookup implements AccessFilter.
+func (e *EPT) Lookup(a phys.Addr) Perm { return e.pages[a.Page()] }
+
+// Generation implements AccessFilter.
+func (e *EPT) Generation() uint64 { return e.gen }
+
+// Map sets the permission for every page of region r, replacing any
+// previous permission. r must be page-aligned.
+func (e *EPT) Map(r phys.Region, p Perm) error {
+	if err := r.Validate(); err != nil {
+		return fmt.Errorf("hw: ept map: %w", err)
+	}
+	for pg := r.Start.Page(); pg < r.End.Page(); pg++ {
+		if p == PermNone {
+			delete(e.pages, pg)
+		} else {
+			e.pages[pg] = p
+		}
+	}
+	e.gen++
+	return nil
+}
+
+// Unmap removes all permissions for region r.
+func (e *EPT) Unmap(r phys.Region) error { return e.Map(r, PermNone) }
+
+// Clear removes every mapping.
+func (e *EPT) Clear() {
+	e.pages = make(map[uint64]Perm)
+	e.gen++
+}
+
+// MappedPages returns the number of pages with any permission.
+func (e *EPT) MappedPages() int { return len(e.pages) }
+
+// Mappings returns the EPT contents as maximal runs of identically
+// permissioned pages, in address order. Used for attestation enumeration
+// and debugging dumps.
+func (e *EPT) Mappings() []EPTMapping {
+	if len(e.pages) == 0 {
+		return nil
+	}
+	pgs := make([]uint64, 0, len(e.pages))
+	for pg := range e.pages {
+		pgs = append(pgs, pg)
+	}
+	sort.Slice(pgs, func(i, j int) bool { return pgs[i] < pgs[j] })
+	var out []EPTMapping
+	for _, pg := range pgs {
+		p := e.pages[pg]
+		start := phys.Addr(pg << phys.PageShift)
+		if n := len(out); n > 0 && out[n-1].Region.End == start && out[n-1].Perm == p {
+			out[n-1].Region.End += phys.PageSize
+			continue
+		}
+		out = append(out, EPTMapping{
+			Region: phys.Region{Start: start, End: start + phys.PageSize},
+			Perm:   p,
+		})
+	}
+	return out
+}
+
+// EPTMapping is one contiguous run of identically permissioned pages.
+type EPTMapping struct {
+	Region phys.Region
+	Perm   Perm
+}
+
+func (m EPTMapping) String() string { return fmt.Sprintf("%v %v", m.Region, m.Perm) }

@@ -1,0 +1,89 @@
+package hw
+
+import (
+	"strings"
+
+	"github.com/tyche-sim/tyche/internal/phys"
+)
+
+// Perm is a hardware access-permission bitmask (read/write/execute).
+type Perm uint8
+
+// Permission bits.
+const (
+	PermR Perm = 1 << iota // read
+	PermW                  // write
+	PermX                  // execute (instruction fetch)
+
+	PermNone Perm = 0
+	PermRW        = PermR | PermW
+	PermRX        = PermR | PermX
+	PermRWX       = PermR | PermW | PermX
+)
+
+// Allows reports whether p includes every bit of want.
+func (p Perm) Allows(want Perm) bool { return p&want == want }
+
+func (p Perm) String() string {
+	if p == 0 {
+		return "---"
+	}
+	var b strings.Builder
+	for _, f := range [...]struct {
+		bit Perm
+		ch  byte
+	}{{PermR, 'r'}, {PermW, 'w'}, {PermX, 'x'}} {
+		if p&f.bit != 0 {
+			b.WriteByte(f.ch)
+		} else {
+			b.WriteByte('-')
+		}
+	}
+	return b.String()
+}
+
+// AccessFilter is a hardware memory access-control structure: the
+// monitor-managed second level (EPT on x86_64, the PMP register file on
+// RISC-V) or the OS-managed first level. Translation is identity — the
+// monitor manages physical names — so a filter only answers "may this
+// access proceed?".
+//
+// Generation increments on every permission change; TLBs use it to detect
+// staleness (a TLB caching decisions from an old generation is exactly
+// the stale-mapping hazard the monitor's flush-on-revoke policy closes).
+type AccessFilter interface {
+	// Check reports whether an access of kind want at address a is
+	// permitted.
+	Check(a phys.Addr, want Perm) bool
+	// Lookup returns the full permission set applying at a.
+	Lookup(a phys.Addr) Perm
+	// Generation returns a counter incremented on every mutation.
+	Generation() uint64
+}
+
+// AllowAll is an AccessFilter granting unrestricted access. It models a
+// machine (or privilege level) with no isolation hardware engaged — e.g.
+// the commodity baseline where ring 0 bypasses user protections.
+type AllowAll struct{}
+
+// Check always reports true.
+func (AllowAll) Check(phys.Addr, Perm) bool { return true }
+
+// Lookup always returns PermRWX.
+func (AllowAll) Lookup(phys.Addr) Perm { return PermRWX }
+
+// Generation always returns 0; AllowAll never changes.
+func (AllowAll) Generation() uint64 { return 0 }
+
+// DenyAll is an AccessFilter rejecting every access, the safe default for
+// a freshly created, not-yet-configured domain context.
+type DenyAll struct{}
+
+// Check always reports false.
+func (DenyAll) Check(phys.Addr, Perm) bool { return false }
+
+// Lookup always returns PermNone.
+func (DenyAll) Lookup(phys.Addr) Perm { return PermNone }
+
+// Generation always returns 0; DenyAll never changes.
+func (DenyAll) Generation() uint64 { return 0 }

@@ -1,0 +1,66 @@
+package hw
+
+import "testing"
+
+func TestTimerPreemption(t *testing.T) {
+	m := testMachine(t)
+	a := NewAsm()
+	a.Label("spin")
+	a.Jmp("spin")
+	code := a.MustAssemble(0x1000)
+	if err := m.Mem.WriteAt(0x1000, code); err != nil {
+		t.Fatal(err)
+	}
+	core := m.Cores[0]
+	core.InstallContext(&Context{Owner: 1, Filter: AllowAll{}})
+	core.PC = 0x1000
+	core.ArmTimer(10)
+	if !core.TimerArmed() {
+		t.Fatal("timer not armed")
+	}
+	n, trap := core.Run(1000)
+	if trap.Kind != TrapTimer {
+		t.Fatalf("trap = %v, want timer", trap)
+	}
+	if n != 10 {
+		t.Fatalf("preempted after %d instructions, want 10", n)
+	}
+	if core.TimerArmed() {
+		t.Fatal("one-shot timer still armed after firing")
+	}
+	// Disarmed: the spinner runs to the budget.
+	core.ArmTimer(0)
+	n, trap = core.Run(100)
+	if trap.Kind != TrapNone || n != 100 {
+		t.Fatalf("disarmed run: n=%d trap=%v", n, trap)
+	}
+	// Rearming works.
+	core.ArmTimer(5)
+	_, trap = core.Run(100)
+	if trap.Kind != TrapTimer {
+		t.Fatalf("rearmed trap = %v", trap)
+	}
+}
+
+func TestIRQQueueFIFO(t *testing.T) {
+	m := testMachine(t)
+	if m.PendingIRQs() != 0 {
+		t.Fatal("interrupts pending at reset")
+	}
+	m.RaiseIRQ(0, 7)
+	m.Device(0).RaiseIRQ(9)
+	if m.PendingIRQs() != 2 {
+		t.Fatalf("pending = %d", m.PendingIRQs())
+	}
+	irq, ok := m.TakeIRQ()
+	if !ok || irq.Device != 0 || irq.Vector != 7 {
+		t.Fatalf("first irq = %+v", irq)
+	}
+	irq, ok = m.TakeIRQ()
+	if !ok || irq.Vector != 9 {
+		t.Fatalf("second irq = %+v", irq)
+	}
+	if _, ok := m.TakeIRQ(); ok {
+		t.Fatal("queue should be empty")
+	}
+}

@@ -1,0 +1,152 @@
+package hw
+
+import (
+	"fmt"
+
+	"github.com/tyche-sim/tyche/internal/phys"
+)
+
+// Config describes the machine to build.
+type Config struct {
+	// MemBytes is the physical memory size (page-aligned, required).
+	MemBytes uint64
+	// NumCores is the CPU core count (required, >=1).
+	NumCores int
+	// PMPEntries is the per-core PMP register count (0 selects
+	// DefaultPMPEntries).
+	PMPEntries int
+	// TLBEntries is the per-core TLB capacity (0 selects the default).
+	TLBEntries int
+	// CacheLines is the per-core data-cache capacity (0 = default).
+	CacheLines int
+	// IOMMUAllowByDefault boots the IOMMU into the permissive commodity
+	// default; the monitor flips it off when it takes ownership.
+	IOMMUAllowByDefault bool
+	// Devices lists the PCI devices present at boot.
+	Devices []DeviceConfig
+	// Cost overrides the default cycle cost model when non-nil.
+	Cost *CostModel
+	// MemoryEncryption fits the machine with an MKTME engine (the §4.2
+	// physical-attack-resistance extension).
+	MemoryEncryption bool
+}
+
+// DeviceConfig describes one device to instantiate.
+type DeviceConfig struct {
+	Name  string
+	Class DeviceClass
+}
+
+// DefaultConfig returns a small but representative machine: 16 MiB of
+// memory, 4 cores, an accelerator and a NIC.
+func DefaultConfig() Config {
+	return Config{
+		MemBytes:            16 << 20,
+		NumCores:            4,
+		IOMMUAllowByDefault: true,
+		Devices: []DeviceConfig{
+			{Name: "gpu0", Class: DevAccelerator},
+			{Name: "nic0", Class: DevNIC},
+		},
+	}
+}
+
+// Machine is the simulated commodity machine: memory, cores, devices,
+// IOMMU, and the shared cycle clock.
+type Machine struct {
+	Mem     *PhysMem
+	Cores   []*Core
+	Devices map[phys.DeviceID]*Device
+	IOMMU   *IOMMU
+	Clock   *Clock
+	Cost    CostModel
+	// Crypto is the MKTME engine (nil on machines without memory
+	// encryption).
+	Crypto *MKTME
+
+	// irqs is the interrupt controller's pending queue.
+	irqs []IRQ
+}
+
+// NewMachine builds a machine from cfg.
+func NewMachine(cfg Config) (*Machine, error) {
+	if cfg.NumCores < 1 {
+		return nil, fmt.Errorf("hw: machine needs at least one core, got %d", cfg.NumCores)
+	}
+	mem, err := NewPhysMem(cfg.MemBytes)
+	if err != nil {
+		return nil, err
+	}
+	m := &Machine{
+		Mem:     mem,
+		Devices: make(map[phys.DeviceID]*Device),
+		IOMMU:   NewIOMMU(cfg.IOMMUAllowByDefault),
+		Clock:   &Clock{},
+		Cost:    DefaultCostModel(),
+	}
+	if cfg.Cost != nil {
+		m.Cost = *cfg.Cost
+	}
+	if cfg.MemoryEncryption {
+		m.Crypto = NewMKTME(nil)
+	}
+	pmpN := cfg.PMPEntries
+	if pmpN == 0 {
+		pmpN = DefaultPMPEntries
+	}
+	for i := 0; i < cfg.NumCores; i++ {
+		m.Cores = append(m.Cores, &Core{
+			id:      phys.CoreID(i),
+			mach:    m,
+			PMPUnit: NewPMP(pmpN),
+			tlb:     NewTLB(cfg.TLBEntries),
+			cache:   NewCache(cfg.CacheLines),
+		})
+	}
+	for i, dc := range cfg.Devices {
+		id := phys.DeviceID(i)
+		m.Devices[id] = &Device{ID: id, Name: dc.Name, Class: dc.Class, mach: m}
+	}
+	return m, nil
+}
+
+// Core returns the core with the given ID, or nil.
+func (m *Machine) Core(id phys.CoreID) *Core {
+	if int(id) < 0 || int(id) >= len(m.Cores) {
+		return nil
+	}
+	return m.Cores[id]
+}
+
+// Device returns the device with the given ID, or nil.
+func (m *Machine) Device(id phys.DeviceID) *Device { return m.Devices[id] }
+
+// DeviceByName returns the first device with the given name, or nil.
+func (m *Machine) DeviceByName(name string) *Device {
+	for _, d := range m.Devices {
+		if d.Name == name {
+			return d
+		}
+	}
+	return nil
+}
+
+// DeviceIDs returns all device IDs in ascending order.
+func (m *Machine) DeviceIDs() []phys.DeviceID {
+	ids := make([]phys.DeviceID, 0, len(m.Devices))
+	for i := 0; i < len(m.Devices); i++ {
+		if _, ok := m.Devices[phys.DeviceID(i)]; ok {
+			ids = append(ids, phys.DeviceID(i))
+		}
+	}
+	return ids
+}
+
+// CoreIDs returns all core IDs in ascending order.
+func (m *Machine) CoreIDs() []phys.CoreID {
+	ids := make([]phys.CoreID, len(m.Cores))
+	for i := range m.Cores {
+		ids[i] = phys.CoreID(i)
+	}
+	return ids
+}

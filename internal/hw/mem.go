@@ -1,0 +1,115 @@
+package hw
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"github.com/tyche-sim/tyche/internal/phys"
+)
+
+// PhysMem is the machine's physical memory. All accesses are by physical
+// address; the monitor reasons exclusively about physical names (§3.2).
+//
+// PhysMem performs no access control itself: cores and DMA engines check
+// their filters before touching it. The monitor accesses it directly
+// (the monitor is the most privileged software on the machine).
+type PhysMem struct {
+	data []byte
+}
+
+// NewPhysMem allocates size bytes of zeroed physical memory. size must be
+// page-aligned and non-zero.
+func NewPhysMem(size uint64) (*PhysMem, error) {
+	if size == 0 || size%phys.PageSize != 0 {
+		return nil, fmt.Errorf("hw: memory size %#x not page-aligned", size)
+	}
+	return &PhysMem{data: make([]byte, size)}, nil
+}
+
+// Size returns the total bytes of physical memory.
+func (m *PhysMem) Size() uint64 { return uint64(len(m.data)) }
+
+// Bounds returns the region covering all of physical memory.
+func (m *PhysMem) Bounds() phys.Region {
+	return phys.Region{Start: 0, End: phys.Addr(len(m.data))}
+}
+
+func (m *PhysMem) check(a phys.Addr, n uint64) error {
+	if uint64(a) >= uint64(len(m.data)) || uint64(len(m.data))-uint64(a) < n {
+		return fmt.Errorf("hw: physical access %v+%d out of bounds (mem %#x)", a, n, len(m.data))
+	}
+	return nil
+}
+
+// ReadAt copies memory starting at a into buf.
+func (m *PhysMem) ReadAt(a phys.Addr, buf []byte) error {
+	if err := m.check(a, uint64(len(buf))); err != nil {
+		return err
+	}
+	copy(buf, m.data[a:])
+	return nil
+}
+
+// WriteAt copies buf into memory starting at a.
+func (m *PhysMem) WriteAt(a phys.Addr, buf []byte) error {
+	if err := m.check(a, uint64(len(buf))); err != nil {
+		return err
+	}
+	copy(m.data[a:], buf)
+	return nil
+}
+
+// Read64 loads a little-endian 64-bit word at a.
+func (m *PhysMem) Read64(a phys.Addr) (uint64, error) {
+	if err := m.check(a, 8); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(m.data[a:]), nil
+}
+
+// Write64 stores a little-endian 64-bit word at a.
+func (m *PhysMem) Write64(a phys.Addr, v uint64) error {
+	if err := m.check(a, 8); err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint64(m.data[a:], v)
+	return nil
+}
+
+// ReadByte loads the byte at a.
+func (m *PhysMem) ReadByteAt(a phys.Addr) (byte, error) {
+	if err := m.check(a, 1); err != nil {
+		return 0, err
+	}
+	return m.data[a], nil
+}
+
+// WriteByte stores b at a.
+func (m *PhysMem) WriteByteAt(a phys.Addr, b byte) error {
+	if err := m.check(a, 1); err != nil {
+		return err
+	}
+	m.data[a] = b
+	return nil
+}
+
+// Zero clears the region r. It is used by the monitor's zeroing
+// revocation policy; callers charge the cycle cost via the cost model.
+func (m *PhysMem) Zero(r phys.Region) error {
+	if err := m.check(r.Start, r.Size()); err != nil {
+		return err
+	}
+	clear(m.data[r.Start:r.End])
+	return nil
+}
+
+// View returns a read-only snapshot copy of region r, used for
+// measurement (hashing) during attestation.
+func (m *PhysMem) View(r phys.Region) ([]byte, error) {
+	if err := m.check(r.Start, r.Size()); err != nil {
+		return nil, err
+	}
+	out := make([]byte, r.Size())
+	copy(out, m.data[r.Start:r.End])
+	return out, nil
+}

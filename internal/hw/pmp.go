@@ -1,0 +1,172 @@
+package hw
+
+import (
+	"fmt"
+	"math/bits"
+
+	"github.com/tyche-sim/tyche/internal/phys"
+)
+
+// DefaultPMPEntries is the number of PMP entries per core on typical
+// RISC-V silicon (the privileged spec allows 0, 16, or 64; 16 is common,
+// and machine-mode firmware reserves some for itself — we model 16 with
+// the monitor free to reserve entries).
+const DefaultPMPEntries = 16
+
+// PMPEntry is one RISC-V physical memory protection entry: an address
+// range with permissions. The hardware matches entries in ascending
+// priority order (lowest index wins), which the Check method reproduces.
+type PMPEntry struct {
+	Region phys.Region
+	Perm   Perm
+	// Locked entries cannot be reprogrammed until reset; the monitor
+	// locks the entries protecting its own memory (machine-mode
+	// self-protection, as Keystone does).
+	Locked bool
+	used   bool
+}
+
+// Used reports whether the entry holds an active mapping.
+func (e PMPEntry) Used() bool { return e.used }
+
+// PMP models a per-core PMP register file with a fixed number of
+// entries. The fixed entry budget is the central constraint the paper
+// calls out for the RISC-V backend: "PMP only supports a fixed number of
+// segments, which requires a careful memory layout of trust domains and
+// validation by the monitor" (§4).
+type PMP struct {
+	entries []PMPEntry
+	gen     uint64
+	// napotOnly restricts ranges to naturally-aligned power-of-two
+	// regions (NAPOT encoding), the stricter hardware mode. When false,
+	// TOR (top-of-range) encoding permits arbitrary page-aligned ranges.
+	napotOnly bool
+}
+
+// NewPMP returns a PMP unit with n entries (n must be positive) using
+// TOR encoding.
+func NewPMP(n int) *PMP {
+	if n <= 0 {
+		panic("hw: PMP entry count must be positive")
+	}
+	return &PMP{entries: make([]PMPEntry, n)}
+}
+
+// SetNAPOTOnly switches the unit to NAPOT-only encoding, where every
+// programmed region must be a naturally aligned power-of-two size.
+func (p *PMP) SetNAPOTOnly(v bool) { p.napotOnly = v }
+
+// NAPOTOnly reports whether the unit accepts only NAPOT regions.
+func (p *PMP) NAPOTOnly() bool { return p.napotOnly }
+
+// NumEntries returns the total entry budget.
+func (p *PMP) NumEntries() int { return len(p.entries) }
+
+// FreeEntries returns how many entries are unprogrammed.
+func (p *PMP) FreeEntries() int {
+	free := 0
+	for _, e := range p.entries {
+		if !e.used {
+			free++
+		}
+	}
+	return free
+}
+
+// IsNAPOT reports whether r is a naturally aligned power-of-two-sized
+// region, i.e. encodable in a single NAPOT PMP entry.
+func IsNAPOT(r phys.Region) bool {
+	size := r.Size()
+	if size == 0 || bits.OnesCount64(size) != 1 {
+		return false
+	}
+	return uint64(r.Start)%size == 0
+}
+
+// Program writes entry i. Fails if i is out of range, the entry is
+// locked, the region is invalid, or NAPOT-only mode rejects the shape.
+func (p *PMP) Program(i int, r phys.Region, perm Perm) error {
+	if i < 0 || i >= len(p.entries) {
+		return fmt.Errorf("hw: pmp entry %d out of range (have %d)", i, len(p.entries))
+	}
+	if p.entries[i].Locked {
+		return fmt.Errorf("hw: pmp entry %d is locked", i)
+	}
+	if err := r.Validate(); err != nil {
+		return fmt.Errorf("hw: pmp program: %w", err)
+	}
+	if p.napotOnly && !IsNAPOT(r) {
+		return fmt.Errorf("hw: pmp entry %d: region %v not NAPOT-encodable", i, r)
+	}
+	p.entries[i] = PMPEntry{Region: r, Perm: perm, used: true}
+	p.gen++
+	return nil
+}
+
+// ClearEntry deprograms entry i unless it is locked.
+func (p *PMP) ClearEntry(i int) error {
+	if i < 0 || i >= len(p.entries) {
+		return fmt.Errorf("hw: pmp entry %d out of range", i)
+	}
+	if p.entries[i].Locked {
+		return fmt.Errorf("hw: pmp entry %d is locked", i)
+	}
+	p.entries[i] = PMPEntry{}
+	p.gen++
+	return nil
+}
+
+// Lock marks entry i as locked; it must already be programmed.
+func (p *PMP) Lock(i int) error {
+	if i < 0 || i >= len(p.entries) {
+		return fmt.Errorf("hw: pmp entry %d out of range", i)
+	}
+	if !p.entries[i].used {
+		return fmt.Errorf("hw: cannot lock unprogrammed pmp entry %d", i)
+	}
+	p.entries[i].Locked = true
+	p.gen++
+	return nil
+}
+
+// ClearAll deprograms every unlocked entry. Returns the number of
+// entries cleared (callers charge PMPWrite cost per entry).
+func (p *PMP) ClearAll() int {
+	n := 0
+	for i := range p.entries {
+		if p.entries[i].used && !p.entries[i].Locked {
+			p.entries[i] = PMPEntry{}
+			n++
+		}
+	}
+	if n > 0 {
+		p.gen++
+	}
+	return n
+}
+
+// Check implements AccessFilter: the lowest-indexed matching entry
+// decides; no match denies (machine-mode default for non-M software).
+func (p *PMP) Check(a phys.Addr, want Perm) bool {
+	return p.Lookup(a).Allows(want)
+}
+
+// Lookup implements AccessFilter.
+func (p *PMP) Lookup(a phys.Addr) Perm {
+	for _, e := range p.entries {
+		if e.used && e.Region.Contains(a) {
+			return e.Perm
+		}
+	}
+	return PermNone
+}
+
+// Generation implements AccessFilter.
+func (p *PMP) Generation() uint64 { return p.gen }
+
+// Entries returns a copy of the register file for inspection.
+func (p *PMP) Entries() []PMPEntry {
+	out := make([]PMPEntry, len(p.entries))
+	copy(out, p.entries)
+	return out
+}

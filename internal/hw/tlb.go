@@ -1,0 +1,106 @@
+package hw
+
+import "github.com/tyche-sim/tyche/internal/phys"
+
+// DefaultTLBEntries is the modelled TLB capacity per core.
+const DefaultTLBEntries = 64
+
+// TLB caches per-page access-control decisions, tagged by ASID (address
+// space / EPT-pointer tag) and the generation of the filter that
+// produced them. Tagging is what makes VMFUNC-style fast filter switches
+// cheap: entries of different contexts coexist, so switching requires no
+// flush.
+//
+// A permission change bumps the filter generation. In Strict mode the
+// TLB validates generations on every hit (idealised coherent hardware);
+// the default non-strict mode honours stale entries — real-TLB
+// behaviour, which turns a revocation without a TLB shootdown into a
+// modelled vulnerability the failure-injection tests exercise. The
+// monitor's flush-on-revoke cleanup is what closes the window.
+type TLB struct {
+	entries map[tlbKey]tlbEntry
+	cap     int
+	fifo    []tlbKey
+	// Strict, when true, validates generation on every hit.
+	Strict bool
+
+	hits, misses, flushes uint64
+}
+
+type tlbKey struct {
+	asid uint64
+	page uint64
+}
+
+type tlbEntry struct {
+	perm Perm
+	gen  uint64
+}
+
+// NewTLB returns a TLB holding capacity entries.
+func NewTLB(capacity int) *TLB {
+	if capacity <= 0 {
+		capacity = DefaultTLBEntries
+	}
+	return &TLB{entries: make(map[tlbKey]tlbEntry, capacity), cap: capacity}
+}
+
+// Lookup consults the TLB for page pg of address space asid against
+// filter generation gen. It returns the cached permission and whether it
+// was a hit. In non-strict mode a stale entry is still returned as a hit.
+func (t *TLB) Lookup(asid, pg uint64, gen uint64) (Perm, bool) {
+	k := tlbKey{asid, pg}
+	e, ok := t.entries[k]
+	if !ok {
+		t.misses++
+		return 0, false
+	}
+	if t.Strict && e.gen != gen {
+		t.misses++
+		delete(t.entries, k)
+		return 0, false
+	}
+	t.hits++
+	return e.perm, true
+}
+
+// Insert caches the decision for page pg of asid, evicting FIFO if full.
+func (t *TLB) Insert(asid, pg uint64, perm Perm, gen uint64) {
+	k := tlbKey{asid, pg}
+	if _, ok := t.entries[k]; !ok {
+		if len(t.entries) >= t.cap && len(t.fifo) > 0 {
+			victim := t.fifo[0]
+			t.fifo = t.fifo[1:]
+			delete(t.entries, victim)
+		}
+		t.fifo = append(t.fifo, k)
+	}
+	t.entries[k] = tlbEntry{perm: perm, gen: gen}
+}
+
+// Flush invalidates every entry on the core.
+func (t *TLB) Flush() {
+	t.entries = make(map[tlbKey]tlbEntry, t.cap)
+	t.fifo = t.fifo[:0]
+	t.flushes++
+}
+
+// FlushRegion invalidates entries covering r in every address space —
+// the shootdown a revocation triggers.
+func (t *TLB) FlushRegion(r phys.Region) {
+	for k := range t.entries {
+		if k.page >= r.Start.Page() && k.page < r.End.Page() {
+			delete(t.entries, k)
+		}
+	}
+	// The FIFO compacts lazily: stale slots simply miss on eviction.
+	t.flushes++
+}
+
+// Stats returns hit/miss/flush counters.
+func (t *TLB) Stats() (hits, misses, flushes uint64) {
+	return t.hits, t.misses, t.flushes
+}
+
+// Len returns the number of cached entries.
+func (t *TLB) Len() int { return len(t.entries) }

@@ -1,0 +1,55 @@
+package image
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestDecodeNeverPanics feeds Decode random and mutated-valid inputs:
+// the loader is the attack surface a malicious image reaches first, so
+// it must fail cleanly on anything.
+func TestDecodeNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	// Pure noise.
+	for i := 0; i < 300; i++ {
+		buf := make([]byte, rng.Intn(512))
+		rng.Read(buf)
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("Decode panicked on noise: %v", r)
+				}
+			}()
+			_, _ = Decode(buf)
+		}()
+	}
+	// Mutations of a valid encoding: every single-byte corruption must
+	// either decode to a *valid* image or error — never panic.
+	valid, err := sampleImage().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(valid); i++ {
+		mut := append([]byte(nil), valid...)
+		mut[i] ^= 0xff
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("Decode panicked on mutation at byte %d: %v", i, r)
+				}
+			}()
+			img, err := Decode(mut)
+			if err == nil {
+				if verr := img.Validate(); verr != nil {
+					t.Fatalf("Decode returned an invalid image (mutation at %d): %v", i, verr)
+				}
+			}
+		}()
+	}
+	// Truncations.
+	for i := 0; i < len(valid); i += 7 {
+		if _, err := Decode(valid[:i]); err == nil && i < len(valid)-1 {
+			t.Fatalf("truncation at %d accepted", i)
+		}
+	}
+}

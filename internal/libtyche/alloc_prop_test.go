@@ -1,0 +1,77 @@
+package libtyche
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/tyche-sim/tyche/internal/phys"
+)
+
+// TestAllocatorInvariants drives random alloc/free sequences and checks
+// the allocator's global invariants: live allocations never overlap,
+// always lie within the pool, and byte accounting is exact.
+func TestAllocatorInvariants(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		poolPages := uint64(rng.Intn(200) + 56)
+		pool := phys.MakeRegion(phys.Addr(16*pg), poolPages*pg)
+		a, err := NewAllocator(pool)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var live []phys.Region
+		liveBytes := uint64(0)
+		for step := 0; step < 500; step++ {
+			if rng.Intn(2) == 0 {
+				pages := uint64(rng.Intn(12) + 1)
+				r, err := a.Alloc(pages)
+				if err != nil {
+					continue // fragmentation or exhaustion: fine
+				}
+				if !pool.ContainsRegion(r) {
+					t.Fatalf("seed %d: allocation %v outside pool %v", seed, r, pool)
+				}
+				for _, other := range live {
+					if r.Overlaps(other) {
+						t.Fatalf("seed %d: %v overlaps live %v", seed, r, other)
+					}
+				}
+				live = append(live, r)
+				liveBytes += r.Size()
+			} else if len(live) > 0 {
+				i := rng.Intn(len(live))
+				r := live[i]
+				if err := a.Free(r); err != nil {
+					t.Fatalf("seed %d: freeing %v: %v", seed, r, err)
+				}
+				live = append(live[:i], live[i+1:]...)
+				liveBytes -= r.Size()
+			}
+			if got := a.FreeBytes(); got != pool.Size()-liveBytes {
+				t.Fatalf("seed %d step %d: free=%d, want %d", seed, step, got, pool.Size()-liveBytes)
+			}
+			// Peek never mutates.
+			before := a.FreeBytes()
+			if r, err := a.Peek(1); err == nil {
+				if !pool.ContainsRegion(r) {
+					t.Fatalf("peek outside pool: %v", r)
+				}
+			}
+			if a.FreeBytes() != before {
+				t.Fatal("Peek mutated the allocator")
+			}
+		}
+		// Free everything: full pool must be reclaimable in one extent.
+		for _, r := range live {
+			if err := a.Free(r); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if a.FreeBytes() != pool.Size() {
+			t.Fatalf("seed %d: leaked %d bytes", seed, pool.Size()-a.FreeBytes())
+		}
+		if got, err := a.Alloc(poolPages); err != nil || got != pool {
+			t.Fatalf("seed %d: full-pool alloc after drain: %v, %v", seed, got, err)
+		}
+	}
+}

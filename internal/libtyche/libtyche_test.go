@@ -1,0 +1,582 @@
+package libtyche
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"github.com/tyche-sim/tyche/internal/cap"
+	"github.com/tyche-sim/tyche/internal/core"
+	"github.com/tyche-sim/tyche/internal/hw"
+	"github.com/tyche-sim/tyche/internal/image"
+	"github.com/tyche-sim/tyche/internal/phys"
+	"github.com/tyche-sim/tyche/internal/tpm"
+)
+
+const pg = phys.PageSize
+
+// world boots a monitor and returns a dom0 client with a running idle
+// dom0 on core 0 and a heap over everything above page 16.
+func world(t testing.TB, kind core.BackendKind) *Client {
+	t.Helper()
+	mach, err := hw.NewMachine(hw.Config{
+		MemBytes: 16 << 20, NumCores: 4, PMPEntries: 16,
+		IOMMUAllowByDefault: true,
+		Devices:             []hw.DeviceConfig{{Name: "gpu0", Class: hw.DevAccelerator}, {Name: "nic0", Class: hw.DevNIC}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rot, err := tpm.New(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon, err := core.Boot(core.BootConfig{Machine: mach, TPM: rot, Backend: kind})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(mon, core.InitialDomain)
+	if err := c.AutoHeap(16); err != nil {
+		t.Fatal(err)
+	}
+	// dom0 idle loop at page 4.
+	idle := hw.NewAsm()
+	idle.Hlt()
+	code := idle.MustAssemble(4 * pg)
+	if err := c.Write(4*pg, code); err != nil {
+		t.Fatal(err)
+	}
+	if err := mon.SetEntry(core.InitialDomain, core.InitialDomain, 4*pg); err != nil {
+		t.Fatal(err)
+	}
+	if err := mon.Launch(core.InitialDomain, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mon.RunCore(0, 10); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// addTwo builds an image whose domain returns arg(r2) + 2.
+func addTwo(name string) *image.Image {
+	a := hw.NewAsm()
+	a.Movi(3, 2)
+	a.Add(1, 2, 3)
+	a.Movi(0, uint32(core.CallReturn))
+	a.Vmcall()
+	a.Hlt()
+	return image.NewProgram(name, a.MustAssemble(0))
+}
+
+func TestAllocator(t *testing.T) {
+	a, err := NewAllocator(phys.MakeRegion(0x10000, 16*pg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := a.Alloc(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := a.Alloc(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Overlaps(r2) {
+		t.Fatal("allocations overlap")
+	}
+	if a.FreeBytes() != 8*pg {
+		t.Fatalf("free = %#x", a.FreeBytes())
+	}
+	if _, err := a.Alloc(9); err == nil {
+		t.Fatal("over-allocation succeeded")
+	}
+	if err := a.Free(r1); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Free(r1); err == nil {
+		t.Fatal("double free accepted")
+	}
+	if err := a.Free(phys.MakeRegion(0, pg)); err == nil {
+		t.Fatal("freeing foreign region accepted")
+	}
+	// Coalescing: free r2, then a 12-page allocation must fit again.
+	if err := a.Free(r2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Alloc(16); err != nil {
+		t.Fatalf("coalesced allocation failed: %v", err)
+	}
+	if _, err := a.Alloc(0); err == nil {
+		t.Fatal("zero-page allocation accepted")
+	}
+	if _, err := NewAllocator(phys.Region{}); err == nil {
+		t.Fatal("empty pool accepted")
+	}
+}
+
+func TestAllocatorFragmentation(t *testing.T) {
+	a, _ := NewAllocator(phys.MakeRegion(0, 8*pg))
+	var regs []phys.Region
+	for i := 0; i < 8; i++ {
+		r, err := a.Alloc(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		regs = append(regs, r)
+	}
+	// Free every other page: 4 pages free but no 2-page extent.
+	for i := 0; i < 8; i += 2 {
+		if err := a.Free(regs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a.FreeBytes() != 4*pg {
+		t.Fatalf("free = %#x", a.FreeBytes())
+	}
+	if _, err := a.Alloc(2); err == nil {
+		t.Fatal("fragmented allocator satisfied a contiguous request")
+	}
+	if len(a.Extents()) != 4 {
+		t.Fatalf("extents = %v", a.Extents())
+	}
+}
+
+func TestClientHeapSetup(t *testing.T) {
+	c := world(t, core.BackendVTX)
+	if c.Heap() == nil {
+		t.Fatal("AutoHeap did not configure a heap")
+	}
+	// SetHeap validation: foreign node.
+	if err := c.SetHeap(9999, phys.MakeRegion(0, pg)); err == nil {
+		t.Fatal("foreign node accepted")
+	}
+	// Pool outside the capability.
+	var node cap.NodeID
+	for _, n := range c.Monitor().OwnerNodes(c.Self()) {
+		if n.Resource.Kind == cap.ResMemory {
+			node = n.ID
+		}
+	}
+	if err := c.SetHeap(node, phys.MakeRegion(phys.Addr(1<<30), pg)); err == nil {
+		t.Fatal("out-of-capability pool accepted")
+	}
+	// Client with no delegable memory.
+	c2 := New(c.Monitor(), core.DomainID(999))
+	if err := c2.AutoHeap(0); err == nil {
+		t.Fatal("AutoHeap for capless domain succeeded")
+	}
+	if _, err := c2.Alloc(1); !errors.Is(err, ErrNoHeap) {
+		t.Fatalf("alloc without heap: %v", err)
+	}
+}
+
+func TestEnclaveLoadRunAttest(t *testing.T) {
+	for _, kind := range []core.BackendKind{core.BackendVTX, core.BackendPMP} {
+		t.Run(string(kind), func(t *testing.T) {
+			c := world(t, kind)
+			img := addTwo("adder")
+			opts := DefaultLoadOptions()
+			opts.Cores = []phys.CoreID{0}
+			enc, err := c.NewEnclave(img, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !enc.Sealed() {
+				t.Fatal("enclave not sealed")
+			}
+			// Offline hashing (tyche-hash) predicts the measurement.
+			want, err := img.Measurement(enc.Base())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if enc.Measurement() != want {
+				t.Fatal("offline measurement does not match monitor measurement")
+			}
+			// dom0 lost access to the enclave's text (granted away).
+			text, _ := enc.SegmentRegion(".text")
+			if c.Monitor().CheckAccess(core.InitialDomain, text.Start, cap.RightRead) {
+				t.Fatal("creator can read enclave text")
+			}
+			// Call it.
+			got, err := enc.Invoke(0, 10000, 40)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != 42 {
+				t.Fatalf("enclave returned %d, want 42", got)
+			}
+			// Attest: sealed, measurement matches, memory exclusive.
+			rep, err := enc.Attest([]byte("n"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := core.VerifyReport(rep); err != nil {
+				t.Fatal(err)
+			}
+			if !rep.Sealed || rep.Measurement != want {
+				t.Fatalf("report = %+v", rep)
+			}
+			for _, rec := range rep.Resources {
+				if rec.Resource.Kind == cap.ResMemory && rec.RefCount != 1 {
+					t.Fatalf("enclave memory %v refcount = %d", rec.Resource, rec.RefCount)
+				}
+			}
+		})
+	}
+}
+
+func TestSandboxSharedVisibility(t *testing.T) {
+	c := world(t, core.BackendVTX)
+	img := addTwo("sandbox")
+	opts := DefaultLoadOptions()
+	opts.Cores = []phys.CoreID{0}
+	sb, err := c.NewSandbox(img, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, _ := sb.SegmentRegion(".text")
+	// Parent retains visibility (sandbox, not enclave).
+	if !c.Monitor().CheckAccess(core.InitialDomain, text.Start, cap.RightRead) {
+		t.Fatal("parent lost access to sandbox memory")
+	}
+	// Refcount 2: parent + sandbox.
+	found := false
+	for _, rc := range c.Monitor().RefCounts() {
+		if rc.Region.Overlaps(text) {
+			found = true
+			if rc.Count != 2 {
+				t.Fatalf("sandbox text refcount = %d", rc.Count)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("sandbox region missing from refcount map")
+	}
+	// Sandbox cannot see parent memory (dom0 code page).
+	if c.Monitor().CheckAccess(sb.ID(), 4*pg, cap.RightRead) {
+		t.Fatal("sandbox can read parent memory")
+	}
+	// And it still runs.
+	got, err := sb.Invoke(0, 10000, 5)
+	if err != nil || got != 7 {
+		t.Fatalf("sandbox returned %d, %v", got, err)
+	}
+	// Sandboxes are unsealed: the parent may keep configuring them.
+	if sb.Sealed() {
+		t.Fatal("sandbox sealed")
+	}
+}
+
+func TestChannelControlledSharing(t *testing.T) {
+	c := world(t, core.BackendVTX)
+	opts := DefaultLoadOptions()
+	opts.Cores = []phys.CoreID{0}
+	encA, err := c.NewEnclave(addTwo("a"), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	encB, err := c.NewEnclave(addTwo("b"), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A channel between dom0 and enclave A... enclaves are sealed: they
+	// cannot receive new shares. Verify that first.
+	if _, err := c.OpenChannel(encA.ID(), 2, cap.CleanZero); err == nil {
+		t.Fatal("sealed enclave accepted a new share")
+	}
+	// Unsealed flow: create enclave-like domain without sealing, open a
+	// channel, then seal.
+	img := addTwo("c")
+	opts2 := DefaultLoadOptions()
+	opts2.Cores = []phys.CoreID{0}
+	opts2.Seal = false
+	encC, err := c.Load(img, opts2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := c.OpenChannel(encC.ID(), 2, cap.CleanZero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := encC.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	if ch.RefCount() != 2 {
+		t.Fatalf("channel refcount = %d", ch.RefCount())
+	}
+	// Both endpoints can use it.
+	if err := ch.Write(0, []byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ch.ReadAs(encC.ID(), 0, 4)
+	if err != nil || string(got) != "ping" {
+		t.Fatalf("peer read = %q, %v", got, err)
+	}
+	if err := ch.WriteAs(encC.ID(), 8, []byte("pong")); err != nil {
+		t.Fatal(err)
+	}
+	// A third domain cannot.
+	if err := ch.WriteAs(encB.ID(), 0, []byte("mitm")); err == nil {
+		t.Fatal("third party wrote to the channel")
+	}
+	if _, err := ch.ReadAs(encB.ID(), 0, 4); err == nil {
+		t.Fatal("third party read the channel")
+	}
+	// Close: peer loses access, content zeroed, region reusable.
+	if err := ch.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ch.ReadAs(encC.ID(), 0, 4); err == nil {
+		t.Fatal("peer retains channel access after close")
+	}
+	data, err := c.Read(ch.Region().Start, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, make([]byte, 4)) {
+		t.Fatal("channel not zeroed on close")
+	}
+}
+
+func TestNestedEnclaves(t *testing.T) {
+	c := world(t, core.BackendVTX)
+	// Outer enclave: give it generous BSS to serve as its own heap.
+	outerImg := addTwo("outer").WithHeap(".heap", 64*pg)
+	opts := DefaultLoadOptions()
+	opts.Cores = []phys.CoreID{0}
+	opts.Seal = false // seal later; it must receive nothing more anyway
+	outer, err := c.Load(outerImg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := outer.Seal(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The outer enclave maps libtyche: it gets a client and spawns a
+	// nested enclave from its own exclusively-owned heap (§4.2).
+	oc := outer.Client()
+	heapRegion, _ := outer.SegmentRegion(".heap")
+	heapNode, _ := outer.SegmentNode(".heap")
+	if err := oc.SetHeap(heapNode, heapRegion); err != nil {
+		t.Fatal(err)
+	}
+	innerOpts := DefaultLoadOptions()
+	innerOpts.Cores = []phys.CoreID{0}
+	// The outer enclave holds only a shared core capability... it has no
+	// core node of its own to delegate? It received core 0 shared: find
+	// it via the outer domain's nodes — oc.coreNode does that.
+	inner, err := oc.NewEnclave(addTwo("inner"), innerOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The nested enclave's memory is exclusive: neither dom0 nor the
+	// outer enclave can touch it.
+	text, _ := inner.SegmentRegion(".text")
+	if c.Monitor().CheckAccess(core.InitialDomain, text.Start, cap.RightRead) {
+		t.Fatal("dom0 can read nested enclave")
+	}
+	if c.Monitor().CheckAccess(outer.ID(), text.Start, cap.RightRead) {
+		t.Fatal("outer enclave retains access to nested enclave text")
+	}
+	// The inner enclave works.
+	got, err := inner.Invoke(0, 10000, 10)
+	if err != nil || got != 12 {
+		t.Fatalf("nested enclave returned %d, %v", got, err)
+	}
+	// Cleanup cascades: killing the outer enclave revokes the nested
+	// one too (its memory derives from the outer grant).
+	if err := c.Monitor().KillDomain(core.InitialDomain, outer.ID()); err != nil {
+		t.Fatal(err)
+	}
+	if c.Monitor().CheckAccess(inner.ID(), text.Start, cap.RightRead) {
+		t.Fatal("nested enclave survived outer teardown")
+	}
+}
+
+func TestConfidentialVMExclusiveCores(t *testing.T) {
+	c := world(t, core.BackendVTX)
+	img := addTwo("cvm")
+	cvm, err := c.NewConfidentialVM(img, []phys.CoreID{2}, DefaultLoadOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cvm.Sealed() {
+		t.Fatal("CVM not sealed")
+	}
+	// dom0 lost core 2: launching dom0 there is denied.
+	if err := c.Monitor().Launch(core.InitialDomain, 2); !errors.Is(err, core.ErrDenied) {
+		t.Fatalf("dom0 launch on granted core: %v", err)
+	}
+	// The CVM itself runs there.
+	if err := cvm.Launch(2); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Monitor().RunCore(2, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trap.Kind != hw.TrapHalt {
+		t.Fatalf("trap = %v", res.Trap)
+	}
+	if _, err := c.NewConfidentialVM(img, nil, DefaultLoadOptions()); err == nil {
+		t.Fatal("CVM without cores accepted")
+	}
+}
+
+func TestKernelCompartmentConfinesDevice(t *testing.T) {
+	c := world(t, core.BackendVTX)
+	img := addTwo("nic-driver").WithBSS("dma-pool", 8*pg)
+	comp, err := c.NewKernelCompartment(img, []phys.DeviceID{1}, DefaultLoadOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nic := c.Monitor().Machine().Device(1)
+	pool, _ := comp.SegmentRegion("dma-pool")
+	// DMA inside the compartment works; outside is blocked.
+	if err := nic.DMAWrite(pool.Start, []byte{1, 2, 3}); err != nil {
+		t.Fatalf("driver DMA failed: %v", err)
+	}
+	if err := nic.DMAWrite(4*pg, []byte{1}); err == nil {
+		t.Fatal("device DMA'd into kernel memory")
+	}
+	// dom0 cannot drive the device anymore (granted away), but the GPU
+	// (still dom0's) can't reach the compartment either.
+	gpu := c.Monitor().Machine().Device(0)
+	if err := gpu.DMAWrite(pool.Start, []byte{1}); err == nil {
+		t.Fatal("foreign device reached the compartment")
+	}
+}
+
+func TestUserRingSegmentConfinement(t *testing.T) {
+	c := world(t, core.BackendVTX)
+	// A sandbox whose payload runs in ring 3 and whose secret data is
+	// kernel-ring only: the payload can run but not read the secret.
+	payload := hw.NewAsm()
+	payload.Movi(1, 0) // will hold the loaded secret
+	payload.Hlt()
+	img := &image.Image{
+		Name:         "ringbox",
+		EntrySegment: "user-code",
+	}
+	img.Segments = append(img.Segments,
+		image.Segment{Name: "user-code", Data: payload.MustAssemble(0), Rights: cap.MemRX, Ring: hw.RingUser, Confidential: true},
+		image.Segment{Name: "kernel-secret", Data: []byte("s3cret"), Rights: cap.MemRW, Ring: hw.RingKernel, Confidential: true},
+	)
+	opts := DefaultLoadOptions()
+	opts.Cores = []phys.CoreID{1}
+	// Probe load: learn the deterministic layout, then rebuild the
+	// payload to target its own domain's secret and reload into the
+	// same (freed, first-fit-reused) block.
+	probe, err := c.Load(img, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, _ := c.Monitor().Domain(probe.ID())
+	if d.EntryRing() != hw.RingUser {
+		t.Fatalf("entry ring = %v", d.EntryRing())
+	}
+	secret, _ := probe.SegmentRegion("kernel-secret")
+	if err := probe.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	attack := hw.NewAsm()
+	attack.Movi(1, uint32(secret.Start))
+	attack.Ld(2, 1, 0)
+	attack.Hlt()
+	img.Segments[0].Data = attack.MustAssemble(0)
+	dom, err := c.Load(img, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := dom.SegmentRegion("kernel-secret")
+	if got != secret {
+		t.Fatalf("layout not reproduced: %v vs %v", got, secret)
+	}
+	if err := dom.Launch(1); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Monitor().RunCore(1, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ring-3 code reading a kernel-ring segment of its own domain must
+	// fault on the first-level filter — even though the monitor-level
+	// filter grants the domain access.
+	if res.Trap.Kind != hw.TrapFault || res.Trap.Addr != secret.Start {
+		t.Fatalf("trap = %v, want ring-3 fault at %v", res.Trap, secret.Start)
+	}
+}
+
+func TestDomainKillFreesAndZeroes(t *testing.T) {
+	c := world(t, core.BackendVTX)
+	img := addTwo("victim").WithData(".data", []byte{0xde, 0xad})
+	opts := DefaultLoadOptions()
+	opts.Cores = []phys.CoreID{0}
+	d, err := c.NewEnclave(img, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := d.SegmentRegion(".data")
+	before := c.Heap().FreeBytes()
+	if err := d.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Heap().FreeBytes() <= before {
+		t.Fatal("kill did not return memory to the heap")
+	}
+	// Obliterating cleanup zeroed the enclave's data.
+	got, err := c.Read(data.Start, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte{0, 0}) {
+		t.Fatalf("enclave data leaked: %v", got)
+	}
+}
+
+func TestLoadFailureCleansUp(t *testing.T) {
+	c := world(t, core.BackendVTX)
+	img := addTwo("x")
+	opts := DefaultLoadOptions()
+	opts.Cores = []phys.CoreID{99} // nonexistent core capability
+	if _, err := c.Load(img, opts); err == nil {
+		t.Fatal("load with bad core succeeded")
+	}
+	// Heap fully restored.
+	img2 := addTwo("y")
+	opts2 := DefaultLoadOptions()
+	before := c.Heap().FreeBytes()
+	d, err := c.Load(img2, opts2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Heap().FreeBytes() != before {
+		t.Fatalf("heap leaked: %#x -> %#x", before, c.Heap().FreeBytes())
+	}
+}
+
+func TestFastPathOption(t *testing.T) {
+	c := world(t, core.BackendVTX)
+	img := addTwo("fast")
+	opts := DefaultLoadOptions()
+	opts.Cores = []phys.CoreID{0}
+	opts.FastPathCore = 0
+	d, err := c.Load(img, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The fast switch works immediately (pair registered during load).
+	if err := c.Monitor().FastSwitch(0, d.ID()); err != nil {
+		t.Fatalf("fast switch: %v", err)
+	}
+	// On the PMP backend the same option fails cleanly at load time.
+	cp := world(t, core.BackendPMP)
+	if _, err := cp.Load(addTwo("fast2"), opts); err == nil {
+		t.Fatal("PMP backend accepted a fast path")
+	}
+}

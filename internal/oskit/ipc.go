@@ -1,0 +1,87 @@
+package oskit
+
+import (
+	"github.com/tyche-sim/tyche/internal/hw"
+)
+
+// Extended syscalls: kernel-mediated IPC pipes and dynamic memory.
+// These exist to make the guest OS a credible commodity-system stand-in
+// (the paper's point is that the OS keeps *managing* resources — pipes,
+// heaps, scheduling — while the monitor owns isolation).
+const (
+	// SysPipeNew creates a pipe; its ID returns in r1.
+	SysPipeNew uint64 = 5
+	// SysPipeWrite writes byte r2 into pipe r1; r0 = 0 ok, 1 full, 2
+	// no such pipe.
+	SysPipeWrite uint64 = 6
+	// SysPipeRead reads a byte from pipe r1 into r1; r0 = 0 ok, 1
+	// empty, 2 no such pipe.
+	SysPipeRead uint64 = 7
+	// SysBrk grows the process's data by r1 pages; the new region's
+	// base returns in r1 (r0 = 0 ok, 1 out of memory).
+	SysBrk uint64 = 8
+)
+
+// pipeCap is the bounded pipe capacity in bytes.
+const pipeCap = 64
+
+type pipe struct {
+	buf []uint64
+}
+
+// handleExtendedSyscall services the IPC/memory syscalls; it reports
+// whether the call number was one of them.
+func (o *OS) handleExtendedSyscall(c *hw.Core, p *Process) bool {
+	switch c.Regs[0] {
+	case SysPipeNew:
+		id := o.nextPipe
+		o.nextPipe++
+		o.pipes[id] = &pipe{}
+		c.Regs[0] = 0
+		c.Regs[1] = id
+	case SysPipeWrite:
+		pp, ok := o.pipes[c.Regs[1]]
+		switch {
+		case !ok:
+			c.Regs[0] = 2
+		case len(pp.buf) >= pipeCap:
+			c.Regs[0] = 1
+		default:
+			pp.buf = append(pp.buf, c.Regs[2])
+			c.Regs[0] = 0
+		}
+	case SysPipeRead:
+		pp, ok := o.pipes[c.Regs[1]]
+		switch {
+		case !ok:
+			c.Regs[0] = 2
+		case len(pp.buf) == 0:
+			c.Regs[0] = 1
+		default:
+			c.Regs[0] = 0
+			c.Regs[1] = pp.buf[0]
+			pp.buf = pp.buf[1:]
+		}
+	case SysBrk:
+		pages := c.Regs[1]
+		if pages == 0 || pages > 1024 {
+			c.Regs[0] = 1
+			return true
+		}
+		region, err := o.lib.Alloc(pages)
+		if err != nil {
+			c.Regs[0] = 1
+			return true
+		}
+		if err := p.filter.Map(region, hw.PermRW); err != nil {
+			c.Regs[0] = 1
+			return true
+		}
+		p.brk = append(p.brk, region)
+		c.Regs[0] = 0
+		c.Regs[1] = uint64(region.Start)
+	default:
+		return false
+	}
+	return true
+}

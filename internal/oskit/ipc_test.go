@@ -1,0 +1,201 @@
+package oskit
+
+import (
+	"testing"
+
+	"github.com/tyche-sim/tyche/internal/hw"
+	"github.com/tyche-sim/tyche/internal/phys"
+)
+
+func TestPipeProducerConsumer(t *testing.T) {
+	_, os := bootOS(t)
+	// The kernel pre-creates a pipe and passes its ID in r10 (via the
+	// initial register file convention: r9=data, we use r10 through a
+	// tiny trampoline: both programs receive the pipe id as immediate).
+	pipeID := func() uint64 {
+		// Create via the kernel-side map directly (the syscall path is
+		// exercised by the producer below creating its own).
+		id := os.nextPipe
+		os.nextPipe++
+		os.pipes[id] = &pipe{}
+		return id
+	}()
+
+	// Producer: writes 10, 20, 30 into the pipe, yielding between
+	// writes, then exits.
+	producer := func(base phys.Addr) []byte {
+		a := hw.NewAsm()
+		for _, v := range []uint32{10, 20, 30} {
+			a.Movi(0, uint32(SysPipeWrite))
+			a.Movi(1, uint32(pipeID))
+			a.Movi(2, v)
+			a.Syscall()
+			a.Movi(0, uint32(SysYield)).Syscall()
+		}
+		a.Movi(0, uint32(SysExit)).Movi(1, 0).Syscall()
+		return a.MustAssemble(base)
+	}
+	// Consumer: polls the pipe; logs values; exits after 3.
+	consumer := func(base phys.Addr) []byte {
+		a := hw.NewAsm()
+		a.Movi(8, 0) // received count
+		a.Label("poll")
+		a.Movi(0, uint32(SysPipeRead))
+		a.Movi(1, uint32(pipeID))
+		a.Syscall()
+		a.Jnz(0, "retry") // r0 != 0: empty, yield and retry
+		a.Movi(0, uint32(SysLog)).Syscall()
+		a.Addi(8, 8, 1)
+		a.Movi(9, 3)
+		a.Jlt(8, 9, "poll")
+		a.Movi(0, uint32(SysExit)).Movi(1, 0).Syscall()
+		a.Label("retry")
+		a.Movi(0, uint32(SysYield)).Syscall()
+		a.Jmp("poll")
+		return a.MustAssemble(base)
+	}
+	pp, err := os.Spawn("producer", producer, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := os.Spawn("consumer", consumer, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.RunAll(0, 10_000, 40); err != nil {
+		t.Fatal(err)
+	}
+	prod, _ := os.Process(pp)
+	cons, _ := os.Process(cp)
+	if prod.State() != ProcExited || cons.State() != ProcExited {
+		t.Fatalf("states: %v %v", prod.State(), cons.State())
+	}
+	logs := cons.Logs()
+	if len(logs) != 3 || logs[0] != 10 || logs[1] != 20 || logs[2] != 30 {
+		t.Fatalf("consumer logs = %v", logs)
+	}
+}
+
+func TestPipeErrors(t *testing.T) {
+	_, os := bootOS(t)
+	// Write to a nonexistent pipe, create one via syscall, fill it to
+	// capacity, and verify the full/empty statuses.
+	pid, err := os.Spawn("pipes", func(base phys.Addr) []byte {
+		a := hw.NewAsm()
+		// Write to bogus pipe: expect status 2.
+		a.Movi(0, uint32(SysPipeWrite)).Movi(1, 4242).Movi(2, 1).Syscall()
+		a.Mov(1, 0)
+		a.Movi(0, uint32(SysLog)).Syscall() // log 2
+		// Read from bogus pipe: expect status 2.
+		a.Movi(0, uint32(SysPipeRead)).Movi(1, 4242).Syscall()
+		a.Mov(1, 0)
+		a.Movi(0, uint32(SysLog)).Syscall() // log 2
+		// Create a pipe (id lands in r1 -> move to r7).
+		a.Movi(0, uint32(SysPipeNew)).Syscall()
+		a.Mov(7, 1)
+		// Read while empty: expect status 1.
+		a.Movi(0, uint32(SysPipeRead)).Mov(1, 7).Syscall()
+		a.Mov(1, 0)
+		a.Movi(0, uint32(SysLog)).Syscall() // log 1
+		// Fill to capacity (64 writes), then one more: expect status 1.
+		a.Movi(8, 0)
+		a.Movi(9, uint32(pipeCap))
+		a.Label("fill")
+		a.Movi(0, uint32(SysPipeWrite)).Mov(1, 7).Movi(2, 7).Syscall()
+		a.Addi(8, 8, 1)
+		a.Jlt(8, 9, "fill")
+		a.Movi(0, uint32(SysPipeWrite)).Mov(1, 7).Movi(2, 7).Syscall()
+		a.Mov(1, 0)
+		a.Movi(0, uint32(SysLog)).Syscall() // log 1 (full)
+		a.Movi(0, uint32(SysExit)).Movi(1, 0).Syscall()
+		return a.MustAssemble(base)
+	}, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.RunAll(0, 100_000, 10); err != nil {
+		t.Fatal(err)
+	}
+	p, _ := os.Process(pid)
+	if p.State() != ProcExited {
+		t.Fatalf("state = %v fault=%v", p.State(), p.Fault())
+	}
+	want := []uint64{2, 2, 1, 1}
+	logs := p.Logs()
+	if len(logs) != len(want) {
+		t.Fatalf("logs = %v, want %v", logs, want)
+	}
+	for i := range want {
+		if logs[i] != want[i] {
+			t.Fatalf("logs = %v, want %v", logs, want)
+		}
+	}
+}
+
+func TestBrkGrowsProcessMemory(t *testing.T) {
+	_, os := bootOS(t)
+	pid, err := os.Spawn("brk", func(base phys.Addr) []byte {
+		a := hw.NewAsm()
+		// Grow by 2 pages; store to the new region; read back; log.
+		a.Movi(0, uint32(SysBrk)).Movi(1, 2).Syscall()
+		a.Jnz(0, "fail")
+		a.Mov(7, 1) // new base
+		a.Movi(2, 77)
+		a.St(7, 0, 2)
+		a.Ld(3, 7, 0)
+		a.Mov(1, 3)
+		a.Movi(0, uint32(SysLog)).Syscall()
+		a.Movi(0, uint32(SysExit)).Movi(1, 0).Syscall()
+		a.Label("fail")
+		a.Movi(0, uint32(SysExit)).Movi(1, 1).Syscall()
+		return a.MustAssemble(base)
+	}, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	free := os.Client().Heap().FreeBytes()
+	if err := os.RunAll(0, 10_000, 5); err != nil {
+		t.Fatal(err)
+	}
+	p, _ := os.Process(pid)
+	if p.State() != ProcExited || p.ExitCode() != 0 {
+		t.Fatalf("process: %v exit=%d fault=%v", p.State(), p.ExitCode(), p.Fault())
+	}
+	if logs := p.Logs(); len(logs) != 1 || logs[0] != 77 {
+		t.Fatalf("logs = %v", logs)
+	}
+	// Reap returns the brk pages too.
+	if err := os.Reap(pid); err != nil {
+		t.Fatal(err)
+	}
+	// Code (1 page) + brk (2 pages) came back; free must exceed the
+	// mid-run level.
+	if os.Client().Heap().FreeBytes() <= free {
+		t.Fatal("brk memory leaked at reap")
+	}
+}
+
+func TestBrkValidation(t *testing.T) {
+	_, os := bootOS(t)
+	pid, err := os.Spawn("badbrk", func(base phys.Addr) []byte {
+		a := hw.NewAsm()
+		a.Movi(0, uint32(SysBrk)).Movi(1, 0).Syscall() // zero pages
+		a.Mov(1, 0)
+		a.Movi(0, uint32(SysLog)).Syscall()                // log 1
+		a.Movi(0, uint32(SysBrk)).Movi(1, 1<<20).Syscall() // absurd
+		a.Mov(1, 0)
+		a.Movi(0, uint32(SysLog)).Syscall() // log 1
+		a.Movi(0, uint32(SysExit)).Movi(1, 0).Syscall()
+		return a.MustAssemble(base)
+	}, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.RunAll(0, 10_000, 5); err != nil {
+		t.Fatal(err)
+	}
+	p, _ := os.Process(pid)
+	if logs := p.Logs(); len(logs) != 2 || logs[0] != 1 || logs[1] != 1 {
+		t.Fatalf("logs = %v", logs)
+	}
+}

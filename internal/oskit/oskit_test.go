@@ -1,0 +1,321 @@
+package oskit
+
+import (
+	"testing"
+
+	"github.com/tyche-sim/tyche/internal/cap"
+	"github.com/tyche-sim/tyche/internal/core"
+	"github.com/tyche-sim/tyche/internal/hw"
+	"github.com/tyche-sim/tyche/internal/image"
+	"github.com/tyche-sim/tyche/internal/libtyche"
+	"github.com/tyche-sim/tyche/internal/phys"
+	"github.com/tyche-sim/tyche/internal/tpm"
+)
+
+const pg = phys.PageSize
+
+// bootOS boots a monitor and an OS in dom0, with dom0 idling on core 0.
+func bootOS(t testing.TB) (*core.Monitor, *OS) {
+	t.Helper()
+	mach, err := hw.NewMachine(hw.Config{
+		MemBytes: 16 << 20, NumCores: 2, IOMMUAllowByDefault: true,
+		Devices: []hw.DeviceConfig{{Name: "gpu0", Class: hw.DevAccelerator}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rot, err := tpm.New(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon, err := core.Boot(core.BootConfig{Machine: mach, TPM: rot})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Kernel idle text at page 4.
+	idle := hw.NewAsm()
+	idle.Hlt()
+	if err := mon.CopyInto(core.InitialDomain, 4*pg, idle.MustAssemble(4*pg)); err != nil {
+		t.Fatal(err)
+	}
+	if err := mon.SetEntry(core.InitialDomain, core.InitialDomain, 4*pg); err != nil {
+		t.Fatal(err)
+	}
+	if err := mon.Launch(core.InitialDomain, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mon.RunCore(0, 10); err != nil {
+		t.Fatal(err)
+	}
+	os, err := New(mon, core.InitialDomain, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mon, os
+}
+
+// logAndExit builds a process that logs its pid and exits with code.
+func logAndExit(code uint32) func(base phys.Addr) []byte {
+	return func(base phys.Addr) []byte {
+		a := hw.NewAsm()
+		a.Movi(0, uint32(SysGetPid)).Syscall() // r1 = pid
+		a.Movi(0, uint32(SysLog)).Syscall()    // log r1 (= pid)
+		a.Movi(0, uint32(SysExit)).Movi(1, code).Syscall()
+		a.Hlt()
+		return a.MustAssemble(base)
+	}
+}
+
+func TestSpawnScheduleExit(t *testing.T) {
+	_, os := bootOS(t)
+	p1, err := os.Spawn("a", logAndExit(11), 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := os.Spawn("b", logAndExit(22), 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.RunAll(0, 1000, 10); err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		pid  Pid
+		code uint64
+	}{{p1, 11}, {p2, 22}} {
+		p, err := os.Process(tc.pid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.State() != ProcExited || p.ExitCode() != tc.code {
+			t.Fatalf("process %d: %v exit=%d", tc.pid, p.State(), p.ExitCode())
+		}
+		if logs := p.Logs(); len(logs) != 1 || logs[0] != uint64(tc.pid) {
+			t.Fatalf("process %d logs = %v", tc.pid, logs)
+		}
+	}
+	st := os.Stats()
+	if st.Spawns != 2 || st.Switches < 2 || st.Syscalls < 6 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestProcessIsolationFirstLevel(t *testing.T) {
+	_, os := bootOS(t)
+	// Victim with a data page.
+	victim, err := os.Spawn("victim", logAndExit(0), 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vp, _ := os.Process(victim)
+	vData := vp.DataRegion()
+	// Attacker reads the victim's data page.
+	attacker, err := os.Spawn("attacker", func(base phys.Addr) []byte {
+		a := hw.NewAsm()
+		a.Movi(1, uint32(vData.Start))
+		a.Ld(2, 1, 0)
+		a.Movi(0, uint32(SysExit)).Movi(1, 0).Syscall()
+		return a.MustAssemble(base)
+	}, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.RunAll(0, 1000, 10); err != nil {
+		t.Fatal(err)
+	}
+	ap, _ := os.Process(attacker)
+	if ap.State() != ProcFaulted {
+		t.Fatalf("attacker state = %v, want faulted", ap.State())
+	}
+	if ap.Fault().Addr != vData.Start {
+		t.Fatalf("fault at %v, want %v", ap.Fault().Addr, vData.Start)
+	}
+	// The kernel, however, bypasses process isolation within its domain
+	// (§2.2): privileged read of the victim's data succeeds.
+	if _, err := os.KernelRead(vData.Start, 8); err != nil {
+		t.Fatalf("kernel bypass failed inside own domain: %v", err)
+	}
+}
+
+func TestKernelCannotReachEnclave(t *testing.T) {
+	// The C8 closing move: same kernel, but the page now belongs to an
+	// enclave created through the monitor — the kernel's privilege
+	// stops at the domain boundary.
+	_, os := bootOS(t)
+	enc := hw.NewAsm()
+	enc.Hlt()
+	img := image.NewProgram("enclave", enc.MustAssemble(0))
+	opts := libtyche.DefaultLoadOptions()
+	opts.Cores = []phys.CoreID{0}
+	dom, err := os.Client().NewEnclave(img, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, _ := dom.SegmentRegion(".text")
+	if _, err := os.KernelRead(text.Start, 8); err == nil {
+		t.Fatal("kernel read enclave memory through the monitor")
+	}
+}
+
+func TestYieldRoundRobin(t *testing.T) {
+	_, os := bootOS(t)
+	// Two processes that yield between logs; interleaving proves
+	// round-robin.
+	yielder := func(tag uint32) func(base phys.Addr) []byte {
+		return func(base phys.Addr) []byte {
+			a := hw.NewAsm()
+			a.Movi(0, uint32(SysLog)).Movi(1, tag).Syscall()
+			a.Movi(0, uint32(SysYield)).Syscall()
+			a.Movi(0, uint32(SysLog)).Movi(1, tag+1).Syscall()
+			a.Movi(0, uint32(SysExit)).Movi(1, 0).Syscall()
+			return a.MustAssemble(base)
+		}
+	}
+	p1, err := os.Spawn("y1", yielder(100), 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := os.Spawn("y2", yielder(200), 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.RunAll(0, 10000, 10); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := os.Process(p1)
+	b, _ := os.Process(p2)
+	if a.State() != ProcExited || b.State() != ProcExited {
+		t.Fatalf("states: %v %v", a.State(), b.State())
+	}
+	if logs := a.Logs(); len(logs) != 2 || logs[0] != 100 || logs[1] != 101 {
+		t.Fatalf("p1 logs = %v", logs)
+	}
+	if logs := b.Logs(); len(logs) != 2 || logs[0] != 200 || logs[1] != 201 {
+		t.Fatalf("p2 logs = %v", logs)
+	}
+	// Yields forced at least 4 switches (2 per process).
+	if os.Stats().Switches < 4 {
+		t.Fatalf("switches = %d", os.Stats().Switches)
+	}
+}
+
+func TestQuantumPreemption(t *testing.T) {
+	_, os := bootOS(t)
+	// Infinite loop: only preemption gets it off-core.
+	spinner := func(base phys.Addr) []byte {
+		a := hw.NewAsm()
+		a.Label("spin")
+		a.Jmp("spin")
+		return a.MustAssemble(base)
+	}
+	pid, err := os.Spawn("spin", spinner, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ran, runnable, err := os.Schedule(0, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ran != pid || !runnable {
+		t.Fatalf("ran=%d runnable=%v", ran, runnable)
+	}
+	p, _ := os.Process(pid)
+	if p.State() != ProcReady {
+		t.Fatalf("state = %v", p.State())
+	}
+	// Still schedulable and makes no syscalls.
+	if _, _, err := os.Schedule(0, 50); err != nil {
+		t.Fatal(err)
+	}
+	if os.Stats().Switches != 2 {
+		t.Fatalf("switches = %d", os.Stats().Switches)
+	}
+}
+
+func TestUnknownSyscall(t *testing.T) {
+	_, os := bootOS(t)
+	pid, err := os.Spawn("weird", func(base phys.Addr) []byte {
+		a := hw.NewAsm()
+		a.Movi(0, 999).Syscall()
+		a.Mov(1, 0)                         // save the ENOSYS marker from r0
+		a.Movi(0, uint32(SysLog)).Syscall() // log it
+		a.Movi(0, uint32(SysExit)).Movi(1, 0).Syscall()
+		return a.MustAssemble(base)
+	}, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.RunAll(0, 1000, 5); err != nil {
+		t.Fatal(err)
+	}
+	p, _ := os.Process(pid)
+	if logs := p.Logs(); len(logs) != 1 || logs[0] != ^uint64(0) {
+		t.Fatalf("logs = %v, want ENOSYS", logs)
+	}
+}
+
+func TestReap(t *testing.T) {
+	_, os := bootOS(t)
+	free := os.Client().Heap().FreeBytes()
+	pid, err := os.Spawn("short", logAndExit(0), 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Reap(pid); err == nil {
+		t.Fatal("reaped a runnable process")
+	}
+	if err := os.RunAll(0, 1000, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Reap(pid); err != nil {
+		t.Fatal(err)
+	}
+	if os.Client().Heap().FreeBytes() != free {
+		t.Fatal("reap leaked memory")
+	}
+	if _, err := os.Process(pid); err == nil {
+		t.Fatal("reaped process still listed")
+	}
+	if err := os.Reap(pid); err == nil {
+		t.Fatal("double reap succeeded")
+	}
+}
+
+func TestMonitorEnforcesUnderneathProcesses(t *testing.T) {
+	// A process (ring 3, OS filter) additionally confined by the
+	// monitor: grant part of dom0's memory away and have a process try
+	// to read it — both filters deny, and the fault is attributed to the
+	// monitor-level filter (checked first).
+	mon, os := bootOS(t)
+	other, err := mon.CreateDomain(core.InitialDomain, "other")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var memNode cap.NodeID
+	for _, n := range mon.OwnerNodes(core.InitialDomain) {
+		if n.Resource.Kind == cap.ResMemory {
+			memNode = n.ID
+		}
+	}
+	stolen := phys.MakeRegion(2<<20, 4*pg)
+	if _, err := mon.Grant(core.InitialDomain, memNode, other, cap.MemResource(stolen), cap.MemRW, cap.CleanNone); err != nil {
+		t.Fatal(err)
+	}
+	pid, err := os.Spawn("snoop", func(base phys.Addr) []byte {
+		a := hw.NewAsm()
+		a.Movi(1, uint32(stolen.Start))
+		a.Ld(2, 1, 0)
+		a.Movi(0, uint32(SysExit)).Movi(1, 0).Syscall()
+		return a.MustAssemble(base)
+	}, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.RunAll(0, 1000, 5); err != nil {
+		t.Fatal(err)
+	}
+	p, _ := os.Process(pid)
+	if p.State() != ProcFaulted || p.Fault().Addr != stolen.Start {
+		t.Fatalf("process = %v fault=%v", p.State(), p.Fault())
+	}
+}

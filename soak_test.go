@@ -1,0 +1,141 @@
+package tyche_test
+
+import (
+	"math/rand"
+	"testing"
+
+	tyche "github.com/tyche-sim/tyche"
+)
+
+// TestSoakMixedWorkload interleaves everything the system offers — OS
+// processes, enclave create/invoke/kill, channels, attestation, and the
+// refcount audit — under one monitor for many rounds. It exists to
+// catch cross-feature interactions no focused test provokes; the
+// invariants checked each round are the same ones the judiciary relies
+// on.
+func TestSoakMixedWorkload(t *testing.T) {
+	rounds := 30
+	if testing.Short() {
+		rounds = 8
+	}
+	rng := rand.New(rand.NewSource(2026))
+	p, err := tyche.NewPlatform(tyche.Options{MemBytes: 64 << 20, Cores: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	os, err := tyche.NewOSWithClient(p.Monitor, p.Dom0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := p.VerifySession([]byte("soak"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var enclaves []*tyche.Domain
+	for round := 0; round < rounds; round++ {
+		switch rng.Intn(5) {
+		case 0: // spawn and run an OS process
+			pid, err := os.Spawn("p", func(base tyche.Addr) []byte {
+				a := tyche.NewAsm()
+				a.Movi(0, 2).Movi(1, uint32(round)).Syscall()
+				a.Movi(0, 1).Movi(1, 0).Syscall()
+				return a.MustAssemble(base)
+			}, 1, 1)
+			if err != nil {
+				t.Fatalf("round %d spawn: %v", round, err)
+			}
+			if err := os.RunAll(0, 1000, 4); err != nil {
+				t.Fatalf("round %d run: %v", round, err)
+			}
+			if err := os.Reap(pid); err != nil {
+				t.Fatalf("round %d reap: %v", round, err)
+			}
+		case 1: // create an enclave
+			opts := tyche.DefaultLoadOptions()
+			opts.Cores = []tyche.CoreID{1}
+			dom, err := p.Dom0.NewEnclave(addTwoImage("soak"), opts)
+			if err != nil {
+				t.Fatalf("round %d enclave: %v", round, err)
+			}
+			enclaves = append(enclaves, dom)
+		case 2: // invoke a random enclave
+			if len(enclaves) == 0 {
+				continue
+			}
+			dom := enclaves[rng.Intn(len(enclaves))]
+			if err := p.HostDom0(1); err != nil {
+				t.Fatalf("round %d host: %v", round, err)
+			}
+			got, err := dom.Invoke(1, 10_000, uint64(round))
+			if err != nil {
+				t.Fatalf("round %d invoke: %v", round, err)
+			}
+			if got != uint64(round)+2 {
+				t.Fatalf("round %d: got %d", round, got)
+			}
+		case 3: // kill a random enclave
+			if len(enclaves) == 0 {
+				continue
+			}
+			i := rng.Intn(len(enclaves))
+			if err := enclaves[i].Kill(); err != nil {
+				t.Fatalf("round %d kill: %v", round, err)
+			}
+			enclaves = append(enclaves[:i], enclaves[i+1:]...)
+		case 4: // channel to an unsealed service
+			opts := tyche.DefaultLoadOptions()
+			opts.Cores = []tyche.CoreID{1}
+			opts.Seal = false
+			dom, err := p.Dom0.Load(addTwoImage("chan"), opts)
+			if err != nil {
+				t.Fatalf("round %d load: %v", round, err)
+			}
+			ch, err := p.Dom0.OpenChannel(dom.ID(), 1, tyche.CleanZero)
+			if err != nil {
+				t.Fatalf("round %d channel: %v", round, err)
+			}
+			if err := ch.Write(0, []byte{byte(round)}); err != nil {
+				t.Fatal(err)
+			}
+			if got, err := ch.ReadAs(dom.ID(), 0, 1); err != nil || got[0] != byte(round) {
+				t.Fatalf("round %d channel read: %v %v", round, got, err)
+			}
+			if err := ch.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if err := dom.Kill(); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		// Round invariants.
+		for _, rc := range p.Monitor.RefCounts() {
+			if rc.Count != len(rc.Owners) {
+				t.Fatalf("round %d: refcount %d != owners %v", round, rc.Count, rc.Owners)
+			}
+			if rc.Count > 2 {
+				t.Fatalf("round %d: unexpected refcount %d at %v", round, rc.Count, rc.Region)
+			}
+		}
+		for _, dom := range enclaves {
+			text, _ := dom.SegmentRegion(".text")
+			if p.Monitor.CheckAccess(tyche.InitialDomain, text.Start, tyche.RightRead) {
+				t.Fatalf("round %d: dom0 can read enclave %d", round, dom.ID())
+			}
+			rep, err := dom.Attest([]byte("soak"))
+			if err != nil {
+				t.Fatalf("round %d attest: %v", round, err)
+			}
+			if err := sess.VerifyDomain(rep, []byte("soak")); err != nil {
+				t.Fatalf("round %d verify: %v", round, err)
+			}
+		}
+	}
+	// Everything tears down.
+	for _, dom := range enclaves {
+		if err := dom.Kill(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

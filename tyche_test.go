@@ -1,0 +1,155 @@
+package tyche_test
+
+import (
+	"testing"
+
+	tyche "github.com/tyche-sim/tyche"
+)
+
+// The root-package tests exercise the library exactly as a downstream
+// user would: only the public API.
+
+func addTwoImage(name string) *tyche.Image {
+	a := tyche.NewAsm()
+	a.Movi(3, 2)
+	a.Add(1, 2, 3)
+	a.Movi(0, 3) // CallReturn
+	a.Vmcall()
+	a.Hlt()
+	return tyche.NewProgram(name, a.MustAssemble(0))
+}
+
+func TestPublicAPIQuickstart(t *testing.T) {
+	p, err := tyche.NewPlatform(tyche.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.String() == "" {
+		t.Fatal("empty platform summary")
+	}
+	img := addTwoImage("svc")
+	opts := tyche.DefaultLoadOptions()
+	opts.Cores = []tyche.CoreID{0}
+	enclave, err := p.Dom0.NewEnclave(img, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := enclave.Invoke(0, 10000, 40)
+	if err != nil || got != 42 {
+		t.Fatalf("invoke = %d, %v", got, err)
+	}
+
+	// Full judiciary chain through the public API.
+	sess, err := p.VerifySession([]byte("boot"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := enclave.Attest([]byte("n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.VerifyDomain(rep, []byte("n")); err != nil {
+		t.Fatal(err)
+	}
+	want, err := img.Measurement(enclave.Base())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tyche.RequireMeasurement(rep, want); err != nil {
+		t.Fatal(err)
+	}
+	if err := tyche.RequireSealed(rep); err != nil {
+		t.Fatal(err)
+	}
+	if err := tyche.RequireExclusiveMemory(rep); err != nil {
+		t.Fatal(err)
+	}
+
+	// dom0 lost the enclave's memory.
+	text, _ := enclave.SegmentRegion(".text")
+	if p.Monitor.CheckAccess(tyche.InitialDomain, text.Start, tyche.RightRead) {
+		t.Fatal("creator retains enclave access")
+	}
+	if err := enclave.Kill(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicAPIPMPBackend(t *testing.T) {
+	p, err := tyche.NewPlatform(tyche.Options{Backend: tyche.BackendPMP, PMPEntries: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := addTwoImage("svc")
+	opts := tyche.DefaultLoadOptions()
+	opts.Cores = []tyche.CoreID{0}
+	enclave, err := p.Dom0.NewEnclave(img, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := enclave.Invoke(0, 10000, 1)
+	if err != nil || got != 3 {
+		t.Fatalf("invoke = %d, %v", got, err)
+	}
+}
+
+func TestPublicAPIOSKit(t *testing.T) {
+	p, err := tyche.NewPlatform(tyche.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	os, err := tyche.NewOSWithClient(p.Monitor, p.Dom0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pid, err := os.Spawn("hello", func(base tyche.Addr) []byte {
+		a := tyche.NewAsm()
+		a.Movi(0, 2).Movi(1, 99).Syscall() // SysLog 99
+		a.Movi(0, 1).Movi(1, 0).Syscall()  // SysExit 0
+		return a.MustAssemble(base)
+	}, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.RunAll(0, 1000, 4); err != nil {
+		t.Fatal(err)
+	}
+	proc, err := os.Process(pid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if logs := proc.Logs(); len(logs) != 1 || logs[0] != 99 {
+		t.Fatalf("logs = %v", logs)
+	}
+}
+
+func TestPublicAPIChannelsAndRefcounts(t *testing.T) {
+	p, err := tyche.NewPlatform(tyche.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := tyche.DefaultLoadOptions()
+	opts.Cores = []tyche.CoreID{1}
+	opts.Seal = false
+	dom, err := p.Dom0.Load(addTwoImage("peer"), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := p.Dom0.OpenChannel(dom.ID(), 1, tyche.CleanZero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ch.RefCount() != 2 {
+		t.Fatalf("refcount = %d", ch.RefCount())
+	}
+	if err := ch.Write(0, []byte("hi")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ch.ReadAs(dom.ID(), 0, 2)
+	if err != nil || string(got) != "hi" {
+		t.Fatalf("peer read = %q, %v", got, err)
+	}
+	if err := ch.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
