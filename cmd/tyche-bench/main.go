@@ -7,6 +7,7 @@
 //	tyche-bench -experiment F2
 //	tyche-bench                  # run everything
 //	tyche-bench -backend pmp -experiment F4
+//	tyche-bench -parallel 4 -out BENCH_smp.json
 //
 // The process exits non-zero if any experiment's shape checks fail.
 package main
@@ -16,19 +17,35 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"time"
 
 	"github.com/tyche-sim/tyche/internal/bench"
 	"github.com/tyche-sim/tyche/internal/core"
 )
 
+// benchOutput is the BENCH_smp.json schema: the run configuration plus
+// every experiment result (tables, checks, wall-clock, metrics).
+type benchOutput struct {
+	Backend   string
+	Quick     bool
+	Seed      int64
+	Parallel  int
+	GoMaxProc int
+	WallNanos int64
+	Results   []*bench.Result
+}
+
 func main() {
 	var (
-		experiment = flag.String("experiment", "", "experiment ID (F1-F4, C1-C14); empty runs all")
+		experiment = flag.String("experiment", "", "experiment ID (F1-F4, C1-C15); empty runs all")
 		backend    = flag.String("backend", "vtx", "enforcement backend: vtx or pmp")
 		quick      = flag.Bool("quick", false, "smaller sweeps")
 		seed       = flag.Int64("seed", 1, "workload seed")
 		list       = flag.Bool("list", false, "list experiments and exit")
-		asJSON     = flag.Bool("json", false, "emit results as JSON (for CI)")
+		asJSON     = flag.Bool("json", false, "emit results as JSON to stdout (for CI)")
+		parallel   = flag.Int("parallel", 1, "experiments to run concurrently")
+		out        = flag.String("out", "", "write machine-readable results (BENCH_smp.json) to this file")
 	)
 	flag.Parse()
 
@@ -44,33 +61,28 @@ func main() {
 		Quick:   *quick,
 		Seed:    *seed,
 	}
-	failed := 0
-	var results []*bench.Result
-	run := func(e bench.Experiment) {
-		res, err := e.Run(cfg)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "tyche-bench: %s: %v\n", e.ID, err)
-			failed++
-			return
-		}
-		if *asJSON {
-			results = append(results, res)
-		} else {
-			res.Render(os.Stdout)
-		}
-		failed += len(res.Failed())
-	}
+	exps := bench.Experiments()
 	if *experiment != "" {
 		e, ok := bench.Lookup(*experiment)
 		if !ok {
 			fmt.Fprintf(os.Stderr, "tyche-bench: unknown experiment %q (-list to enumerate)\n", *experiment)
 			os.Exit(2)
 		}
-		run(e)
-	} else {
-		for _, e := range bench.Experiments() {
-			run(e)
+		exps = []bench.Experiment{e}
+	}
+	start := time.Now()
+	results, err := bench.RunExperiments(exps, cfg, *parallel)
+	wall := time.Since(start)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tyche-bench: %v\n", err)
+		os.Exit(1)
+	}
+	failed := 0
+	for _, res := range results {
+		if !*asJSON {
+			res.Render(os.Stdout)
 		}
+		failed += len(res.Failed())
 	}
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)
@@ -79,6 +91,27 @@ func main() {
 			fmt.Fprintln(os.Stderr, "tyche-bench:", err)
 			os.Exit(1)
 		}
+	}
+	if *out != "" {
+		doc := benchOutput{
+			Backend:   *backend,
+			Quick:     *quick,
+			Seed:      *seed,
+			Parallel:  *parallel,
+			GoMaxProc: runtime.GOMAXPROCS(0),
+			WallNanos: wall.Nanoseconds(),
+			Results:   results,
+		}
+		blob, err := json.MarshalIndent(doc, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*out, append(blob, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tyche-bench: writing %s: %v\n", *out, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "tyche-bench: wrote %s (%d experiments, %s wall)\n",
+			*out, len(results), wall.Round(time.Millisecond))
 	}
 	if failed > 0 {
 		fmt.Fprintf(os.Stderr, "tyche-bench: %d failed check(s)\n", failed)

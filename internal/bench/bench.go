@@ -13,6 +13,8 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"sync"
+	"time"
 
 	"github.com/tyche-sim/tyche/internal/core"
 	"github.com/tyche-sim/tyche/internal/hw"
@@ -50,6 +52,12 @@ type Result struct {
 	Rows    [][]string
 	Notes   []string
 	Checks  []Check
+	// WallNanos is the experiment's wall-clock duration, stamped by the
+	// harness (RunExperiments).
+	WallNanos int64 `json:",omitempty"`
+	// Metrics carries machine-readable scalars (cycle counts, hit
+	// rates) for BENCH_smp.json; experiments fill it via metric().
+	Metrics map[string]float64 `json:",omitempty"`
 }
 
 // Failed returns the failed checks.
@@ -68,6 +76,13 @@ func (r *Result) check(name string, ok bool, format string, args ...any) {
 }
 
 func (r *Result) row(cells ...string) { r.Rows = append(r.Rows, cells) }
+
+func (r *Result) metric(name string, v float64) {
+	if r.Metrics == nil {
+		r.Metrics = make(map[string]float64)
+	}
+	r.Metrics[name] = v
+}
 
 func (r *Result) note(format string, args ...any) {
 	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
@@ -151,19 +166,71 @@ func Lookup(id string) (Experiment, bool) {
 	return Experiment{}, false
 }
 
-// RunAll executes every experiment, rendering to w, and returns the
-// failed checks across all of them.
+// RunAll executes every experiment serially, rendering to w, and
+// returns the failed checks across all of them.
 func RunAll(w io.Writer, cfg Config) ([]Check, error) {
+	return RunAllParallel(w, cfg, 1)
+}
+
+// RunAllParallel is RunAll over a pool of `workers` goroutines.
+// Experiments are independent (each boots its own machine), so they
+// parallelise trivially; output stays deterministic because results are
+// rendered in ID order after the pool drains.
+func RunAllParallel(w io.Writer, cfg Config, workers int) ([]Check, error) {
+	results, err := RunExperiments(Experiments(), cfg, workers)
+	if err != nil {
+		return nil, err
+	}
 	var failed []Check
-	for _, e := range Experiments() {
-		res, err := e.Run(cfg)
-		if err != nil {
-			return failed, fmt.Errorf("bench: %s: %w", e.ID, err)
-		}
+	for _, res := range results {
 		res.Render(w)
 		failed = append(failed, res.Failed()...)
 	}
 	return failed, nil
+}
+
+// RunExperiments runs the given experiments over a pool of `workers`
+// goroutines and returns their results in input order, each stamped
+// with its wall-clock duration. The first experiment error aborts the
+// batch.
+func RunExperiments(exps []Experiment, cfg Config, workers int) ([]*Result, error) {
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(exps) {
+		workers = len(exps)
+	}
+	results := make([]*Result, len(exps))
+	errs := make([]error, len(exps))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				start := time.Now()
+				res, err := exps[j].Run(cfg)
+				if err != nil {
+					errs[j] = err
+					continue
+				}
+				res.WallNanos = time.Since(start).Nanoseconds()
+				results[j] = res
+			}
+		}()
+	}
+	for j := range exps {
+		jobs <- j
+	}
+	close(jobs)
+	wg.Wait()
+	for j, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s: %w", exps[j].ID, err)
+		}
+	}
+	return results, nil
 }
 
 // --- shared world construction --------------------------------------

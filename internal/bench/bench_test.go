@@ -55,8 +55,8 @@ func TestExperimentsOnPMPBackend(t *testing.T) {
 }
 
 func TestRegistryAndRunAll(t *testing.T) {
-	if len(Experiments()) < 18 {
-		t.Fatalf("registered experiments = %d, want 18 (F1-F4, C1-C14)", len(Experiments()))
+	if len(Experiments()) < 19 {
+		t.Fatalf("registered experiments = %d, want 19 (F1-F4, C1-C15)", len(Experiments()))
 	}
 	if _, ok := Lookup("F1"); !ok {
 		t.Fatal("F1 missing")
@@ -70,5 +70,34 @@ func TestRegistryAndRunAll(t *testing.T) {
 	}
 	if len(failed) != 0 {
 		t.Fatalf("failed checks: %+v", failed)
+	}
+}
+
+// TestRunAllParallel runs the whole suite over a worker pool: every
+// check must still pass (experiments must stay independent of each
+// other), every experiment must be stamped with a wall-clock duration,
+// and rendering must come out in ID order despite out-of-order
+// completion.
+func TestRunAllParallel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite run")
+	}
+	results, err := RunExperiments(Experiments(), Config{Quick: true, Seed: 3}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(Experiments()) {
+		t.Fatalf("results = %d, want %d", len(results), len(Experiments()))
+	}
+	for i, res := range results {
+		if want := Experiments()[i].ID; res.ID != want {
+			t.Fatalf("result %d is %s, want %s (ID order)", i, res.ID, want)
+		}
+		if res.WallNanos <= 0 {
+			t.Errorf("%s missing wall-clock stamp", res.ID)
+		}
+		for _, c := range res.Failed() {
+			t.Errorf("%s check %s failed under parallel run: %s", res.ID, c.Name, c.Detail)
+		}
 	}
 }

@@ -58,9 +58,11 @@ const (
 	StatusDenied uint64 = 2
 )
 
-// handleVMCall services one guest hypercall on core. It returns
-// stop=true when the run loop should hand control back to the embedder
-// (currently: never; errors do that).
+// handleVMCall services one guest hypercall on core. It runs with the
+// monitor lock held (RunCore acquires it around the trap window), so it
+// uses the internal lock-assumed variants, never the exported API. It
+// returns stop=true when the run loop should hand control back to the
+// embedder (currently: never; errors do that).
 func (m *Monitor) handleVMCall(c *hw.Core, core phys.CoreID) (stop bool, err error) {
 	cur := DomainID(c.Context().Owner)
 	call := c.Regs[0]
@@ -70,7 +72,7 @@ func (m *Monitor) handleVMCall(c *hw.Core, core phys.CoreID) (stop bool, err err
 		c.Regs[1] = uint64(cur)
 	case CallDomainCall:
 		target := DomainID(c.Regs[1])
-		if err := m.Call(core, target); err != nil {
+		if err := m.call(core, target); err != nil {
 			c.Regs[0] = StatusDenied
 			return false, nil
 		}
@@ -78,7 +80,7 @@ func (m *Monitor) handleVMCall(c *hw.Core, core phys.CoreID) (stop bool, err err
 		// the caller's VMCALL with r0/r1 set by Return.
 	case CallReturn:
 		ret := c.Regs[1]
-		if err := m.Return(core); err != nil {
+		if err := m.ret(core); err != nil {
 			c.Regs[0] = StatusDenied
 			return false, nil
 		}
@@ -90,7 +92,7 @@ func (m *Monitor) handleVMCall(c *hw.Core, core phys.CoreID) (stop bool, err err
 		c.Regs[0] = StatusOK
 	case CallFastSwitch:
 		target := DomainID(c.Regs[1])
-		if err := m.FastSwitch(core, target); err != nil {
+		if err := m.fastSwitch(core, target); err != nil {
 			c.Regs[0] = StatusDenied
 			return false, nil
 		}
@@ -103,15 +105,7 @@ func (m *Monitor) handleVMCall(c *hw.Core, core phys.CoreID) (stop bool, err err
 		sub := cap.MemResource(phys.MakeRegion(phys.Addr(c.Regs[3]), c.Regs[4]))
 		rights := cap.Rights(c.Regs[5] & 0xffff)
 		cleanup := cap.Cleanup(c.Regs[5] >> 16)
-		var (
-			id  cap.NodeID
-			err error
-		)
-		if call == CallShare {
-			id, err = m.Share(cur, node, dst, sub, rights, cleanup)
-		} else {
-			id, err = m.Grant(cur, node, dst, sub, rights, cleanup)
-		}
+		id, err := m.delegate(cur, node, dst, sub, rights, cleanup, call == CallGrant)
 		if err != nil {
 			c.Regs[0] = StatusDenied
 			return false, nil
@@ -119,13 +113,13 @@ func (m *Monitor) handleVMCall(c *hw.Core, core phys.CoreID) (stop bool, err err
 		c.Regs[0] = StatusOK
 		c.Regs[1] = uint64(id)
 	case CallRevoke:
-		if err := m.Revoke(cur, cap.NodeID(c.Regs[1])); err != nil {
+		if err := m.revoke(cur, cap.NodeID(c.Regs[1])); err != nil {
 			c.Regs[0] = StatusDenied
 			return false, nil
 		}
 		c.Regs[0] = StatusOK
 	case CallSealSelf:
-		if _, err := m.Seal(cur, cur); err != nil {
+		if _, err := m.seal(cur, cur); err != nil {
 			c.Regs[0] = StatusDenied
 			return false, nil
 		}

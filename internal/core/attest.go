@@ -113,6 +113,8 @@ func writeBytes(b *bytes.Buffer, p []byte) {
 // nonce. Reports are not secret: any live domain (or the embedding
 // system on behalf of a remote verifier) may request one.
 func (m *Monitor) Attest(id DomainID, nonce []byte) (*Report, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	d, err := m.liveDomain(id)
 	if err != nil {
 		return nil, err

@@ -20,6 +20,8 @@ type IRQHandler func(c *hw.Core, irq hw.IRQ) error
 // SetIRQHandler installs the domain's interrupt handler. The domain
 // itself or its creator may configure it.
 func (m *Monitor) SetIRQHandler(caller, id DomainID, h IRQHandler) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	d, err := m.liveDomain(id)
 	if err != nil {
 		return err
@@ -35,30 +37,40 @@ func (m *Monitor) SetIRQHandler(caller, id DomainID, h IRQHandler) error {
 // to the domain holding the device capability. Interrupts for devices
 // whose holder has no handler (or devices nobody holds) are dropped and
 // counted — exactly what real hardware does with masked vectors.
+//
+// Routing (capability lookup, stats) happens under the monitor lock;
+// the handler itself is invoked with the lock released, because
+// Go-level handlers are domain kernels that re-enter the monitor
+// through its public API.
 func (m *Monitor) routeIRQs(c *hw.Core) error {
 	for {
 		irq, ok := m.mach.TakeIRQ()
 		if !ok {
 			return nil
 		}
-		delivered := false
+		m.mu.Lock()
+		var handler IRQHandler
 		for _, owner := range m.space.DeviceUsers(irq.Device) {
 			d, ok := m.domains[DomainID(owner)]
 			if !ok || d.state == StateDead || d.irq == nil {
 				continue
 			}
 			m.stats.IRQsRouted++
-			m.mach.Clock.Advance(m.mach.Cost.VMExit)
-			err := d.irq(c, irq)
-			m.mach.Clock.Advance(m.mach.Cost.VMEntry)
-			if err != nil {
-				return err
-			}
-			delivered = true
+			handler = d.irq
 			break
 		}
-		if !delivered {
+		if handler == nil {
 			m.stats.IRQsDropped++
+		}
+		m.mu.Unlock()
+		if handler == nil {
+			continue
+		}
+		m.mach.Clock.Advance(m.mach.Cost.VMExit)
+		err := handler(c, irq)
+		m.mach.Clock.Advance(m.mach.Cost.VMEntry)
+		if err != nil {
+			return err
 		}
 	}
 }

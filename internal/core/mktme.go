@@ -73,6 +73,8 @@ func (m *Monitor) MemoryEncryptionActive() bool { return m.mach.Crypto != nil }
 // DomainKeyID exposes the key a domain's exclusive memory is encrypted
 // under (diagnostics; key material never leaves the engine).
 func (m *Monitor) DomainKeyID(id DomainID) (hw.KeyID, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	k, ok := m.memKeys[id]
 	return k, ok
 }

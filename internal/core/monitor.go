@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 
 	"github.com/tyche-sim/tyche/internal/backend"
 	pmpbk "github.com/tyche-sim/tyche/internal/backend/pmp"
@@ -69,7 +70,21 @@ type Stats struct {
 }
 
 // Monitor is the isolation monitor instance controlling one machine.
+//
+// The monitor is safe for concurrent use: every API entry — Go-level
+// calls and guest VMCall traps alike — serialises on one mutex, the
+// simulated analogue of the per-core monitor entry lock real monitors
+// take on trap (Tyche serialises capability engine operations the same
+// way). Guest execution between traps runs without the lock, so cores
+// make progress in parallel and only monitor entries contend.
+//
+// Lock ordering: the monitor lock is taken first, hardware-object locks
+// (memory, TLB, EPT, PMP, IOMMU) second, always via downward calls.
+// Go-level syscall and IRQ handlers are invoked with the lock released
+// — they re-enter the monitor through the public API like any caller.
 type Monitor struct {
+	mu sync.Mutex
+
 	mach  *hw.Machine
 	space *cap.Space
 	bk    backend.Backend
@@ -222,7 +237,11 @@ func (m *Monitor) Backend() string { return m.bk.Name() }
 func (m *Monitor) MonitorRegion() phys.Region { return m.monRegion }
 
 // Stats returns a copy of the monitor's event counters.
-func (m *Monitor) Stats() Stats { return m.stats }
+func (m *Monitor) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
 
 // Identity returns the monitor binary that was measured at boot.
 func (m *Monitor) Identity() []byte { return append([]byte(nil), m.identity...) }
@@ -236,6 +255,13 @@ func (m *Monitor) AttestationKey() ed25519.PublicKey {
 
 // Domain returns the domain record for id.
 func (m *Monitor) Domain(id DomainID) (*Domain, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.domain(id)
+}
+
+// domain is Domain with the monitor lock held.
+func (m *Monitor) domain(id DomainID) (*Domain, error) {
 	d, ok := m.domains[id]
 	if !ok {
 		return nil, fmt.Errorf("%w: %d", ErrNoSuchDomain, id)
@@ -245,6 +271,8 @@ func (m *Monitor) Domain(id DomainID) (*Domain, error) {
 
 // Domains returns the IDs of all non-dead domains in ascending order.
 func (m *Monitor) Domains() []DomainID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	var out []DomainID
 	for id := InitialDomain; id < m.nextID; id++ {
 		if d, ok := m.domains[id]; ok && d.state != StateDead {
@@ -254,8 +282,9 @@ func (m *Monitor) Domains() []DomainID {
 	return out
 }
 
+// liveDomain requires the monitor lock.
 func (m *Monitor) liveDomain(id DomainID) (*Domain, error) {
-	d, err := m.Domain(id)
+	d, err := m.domain(id)
 	if err != nil {
 		return nil, err
 	}
@@ -275,6 +304,8 @@ func (m *Monitor) deny(format string, args ...any) error {
 // "software running in any trust domain can access the isolation
 // monitor API").
 func (m *Monitor) CreateDomain(caller DomainID, name string) (DomainID, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if _, err := m.liveDomain(caller); err != nil {
 		return 0, err
 	}
@@ -304,12 +335,16 @@ func (m *Monitor) nodeOwnedBy(node cap.NodeID, owner DomainID) (cap.Info, error)
 
 // Share derives a shared child capability from caller's node for dst.
 func (m *Monitor) Share(caller DomainID, node cap.NodeID, dst DomainID, sub cap.Resource, rights cap.Rights, cleanup cap.Cleanup) (cap.NodeID, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	return m.delegate(caller, node, dst, sub, rights, cleanup, false)
 }
 
 // Grant transfers exclusive, revocable control of the sub-resource from
 // caller's node to dst.
 func (m *Monitor) Grant(caller DomainID, node cap.NodeID, dst DomainID, sub cap.Resource, rights cap.Rights, cleanup cap.Cleanup) (cap.NodeID, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	return m.delegate(caller, node, dst, sub, rights, cleanup, true)
 }
 
@@ -349,6 +384,13 @@ func (m *Monitor) delegate(caller DomainID, node cap.NodeID, dst DomainID, sub c
 // management code in control despite making policy configuration
 // available to all software" (§3.2).
 func (m *Monitor) Revoke(caller DomainID, node cap.NodeID) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.revoke(caller, node)
+}
+
+// revoke is Revoke with the monitor lock held (the guest ABI path).
+func (m *Monitor) revoke(caller DomainID, node cap.NodeID) error {
 	if _, err := m.liveDomain(caller); err != nil {
 		return err
 	}
@@ -431,6 +473,8 @@ func (m *Monitor) syncAllDevices() error {
 // entry point"). Only the domain itself or its creator may configure it,
 // and only before sealing.
 func (m *Monitor) SetEntry(caller, id DomainID, entry phys.Addr) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	d, err := m.liveDomain(id)
 	if err != nil {
 		return err
@@ -454,6 +498,8 @@ func (m *Monitor) SetEntry(caller, id DomainID, entry phys.Addr) error {
 // ring 3 so the domain's first-level filter applies from the first
 // instruction). Same authorization and sealing rules as SetEntry.
 func (m *Monitor) SetEntryRing(caller, id DomainID, ring hw.Ring) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	d, err := m.liveDomain(id)
 	if err != nil {
 		return err
@@ -471,6 +517,8 @@ func (m *Monitor) SetEntryRing(caller, id DomainID, ring hw.Ring) error {
 // AddMeasuredRegion marks a region of the domain's memory whose content
 // is included in the seal-time measurement.
 func (m *Monitor) AddMeasuredRegion(caller, id DomainID, r phys.Region) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	d, err := m.liveDomain(id)
 	if err != nil {
 		return err
@@ -496,6 +544,13 @@ func (m *Monitor) AddMeasuredRegion(caller, id DomainID, r phys.Region) error {
 // A sealed domain can no longer receive resources; its attestation
 // becomes stable (§3.1).
 func (m *Monitor) Seal(caller, id DomainID) (tpm.Digest, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.seal(caller, id)
+}
+
+// seal is Seal with the monitor lock held (the guest ABI path).
+func (m *Monitor) seal(caller, id DomainID) (tpm.Digest, error) {
 	d, err := m.liveDomain(id)
 	if err != nil {
 		return tpm.Digest{}, err
@@ -528,6 +583,8 @@ func (m *Monitor) Seal(caller, id DomainID) (tpm.Digest, error) {
 // capabilities ever derived from them) is revoked with its cleanup
 // policies executed, and its hardware state is removed.
 func (m *Monitor) KillDomain(caller, id DomainID) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	d, err := m.liveDomain(id)
 	if err != nil {
 		return err
@@ -562,6 +619,8 @@ func (m *Monitor) KillDomain(caller, id DomainID) error {
 // counts (§3.4: "resource enumeration and reference counts make sharing
 // and communication paths between domains explicit").
 func (m *Monitor) Enumerate(id DomainID) ([]ResourceRecord, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if _, err := m.liveDomain(id); err != nil {
 		return nil, err
 	}
@@ -608,20 +667,41 @@ func (m *Monitor) enumerate(owner cap.OwnerID) []ResourceRecord {
 
 // RefCounts exposes the system-wide memory reference-count map
 // (Figure 4).
-func (m *Monitor) RefCounts() []cap.RegionCount { return m.space.RefCounts() }
+func (m *Monitor) RefCounts() []cap.RegionCount {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.space.RefCounts()
+}
+
+// CapGeneration exposes the capability space's mutation generation —
+// every delegation or revocation bumps it, so concurrency tests can
+// assert the monitor observed the expected volume of mutations.
+func (m *Monitor) CapGeneration() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.space.Generation()
+}
 
 // LineageTree renders the capability derivation forest (diagnostics).
-func (m *Monitor) LineageTree() string { return m.space.TreeString() }
+func (m *Monitor) LineageTree() string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.space.TreeString()
+}
 
 // OwnerNodes lists a domain's capability nodes (for libraries building
 // on the API; capabilities are not secret from their owner).
 func (m *Monitor) OwnerNodes(id DomainID) []cap.Info {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	return m.space.OwnerNodes(cap.OwnerID(id))
 }
 
 // CheckAccess reports whether a domain has effective access at an
 // address (diagnostic / test hook; enforcement happens in hardware).
 func (m *Monitor) CheckAccess(id DomainID, a phys.Addr, want cap.Rights) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	return m.space.CheckMemAccess(cap.OwnerID(id), a, want)
 }
 
@@ -630,6 +710,8 @@ func (m *Monitor) CheckAccess(id DomainID, a phys.Addr, want cap.Rights) bool {
 // logic (the OS kit, libraries, examples) uses this instead of raw
 // physical writes so that the capability system is never bypassed.
 func (m *Monitor) CopyInto(id DomainID, a phys.Addr, data []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if err := m.checkRange(id, a, uint64(len(data)), cap.RightWrite); err != nil {
 		return err
 	}
@@ -638,6 +720,8 @@ func (m *Monitor) CopyInto(id DomainID, a phys.Addr, data []byte) error {
 
 // CopyFrom reads the domain's memory after validating read access.
 func (m *Monitor) CopyFrom(id DomainID, a phys.Addr, n uint64) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if err := m.checkRange(id, a, n, cap.RightRead); err != nil {
 		return nil, err
 	}
@@ -673,6 +757,8 @@ func (m *Monitor) checkRange(id DomainID, a phys.Addr, n uint64, want cap.Rights
 // itself may set it — it is runtime material (e.g. the hash of a
 // key-exchange public key), settable even after sealing.
 func (m *Monitor) SetReportData(caller, id DomainID, data tpm.Digest) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	d, err := m.liveDomain(id)
 	if err != nil {
 		return err
@@ -687,6 +773,8 @@ func (m *Monitor) SetReportData(caller, id DomainID, data tpm.Digest) error {
 // SetSyscallHandler installs the Go-level ring-0 trap handler for the
 // domain (its "kernel").
 func (m *Monitor) SetSyscallHandler(caller, id DomainID, h SyscallHandler) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	d, err := m.liveDomain(id)
 	if err != nil {
 		return err
@@ -703,6 +791,8 @@ func (m *Monitor) SetSyscallHandler(caller, id DomainID, h SyscallHandler) error
 // first-level filter). The monitor-controlled Filter inside it keeps
 // enforcing regardless of what the domain does to OSFilter.
 func (m *Monitor) DomainContext(caller, id DomainID, core phys.CoreID) (*hw.Context, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	d, err := m.liveDomain(id)
 	if err != nil {
 		return nil, err

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"github.com/tyche-sim/tyche/internal/cap"
 	"github.com/tyche-sim/tyche/internal/hw"
@@ -23,6 +24,13 @@ var ErrCallDepth = errors.New("core: call stack empty")
 // switches change it without a monitor exit, exactly as on real
 // hardware — the monitor only learns at the next trap.
 func (m *Monitor) Current(core phys.CoreID) (DomainID, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.currentDomain(core)
+}
+
+// currentDomain is Current with the monitor lock held.
+func (m *Monitor) currentDomain(core phys.CoreID) (DomainID, bool) {
 	if c := m.mach.Core(core); c != nil && c.Context() != nil {
 		return DomainID(c.Context().Owner), true
 	}
@@ -33,6 +41,8 @@ func (m *Monitor) Current(core phys.CoreID) (DomainID, bool) {
 // Launch starts the initial domain (or any domain with an entry point)
 // on a core with an empty call stack — boot-time scheduling.
 func (m *Monitor) Launch(id DomainID, core phys.CoreID) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	d, err := m.liveDomain(id)
 	if err != nil {
 		return err
@@ -64,7 +74,14 @@ func (m *Monitor) Launch(id DomainID, core phys.CoreID) error {
 // r0..r5 copied from the caller. The transfer is validated: the target
 // must be live, runnable on the core, and have an entry point.
 func (m *Monitor) Call(core phys.CoreID, target DomainID) error {
-	cur, ok := m.Current(core)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.call(core, target)
+}
+
+// call is Call with the monitor lock held (the guest ABI path).
+func (m *Monitor) call(core phys.CoreID, target DomainID) error {
+	cur, ok := m.currentDomain(core)
 	if !ok {
 		return fmt.Errorf("%w: %v", ErrNotRunning, core)
 	}
@@ -105,6 +122,13 @@ func (m *Monitor) Call(core phys.CoreID, target DomainID) error {
 // domain, which resumes after its call site. Registers r0 and r1 of the
 // returning domain are delivered to the caller as return values.
 func (m *Monitor) Return(core phys.CoreID) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.ret(core)
+}
+
+// ret is Return with the monitor lock held (the guest ABI path).
+func (m *Monitor) ret(core phys.CoreID) error {
 	frames := m.frames[core]
 	if len(frames) == 0 {
 		return ErrCallDepth
@@ -138,6 +162,8 @@ func (m *Monitor) Return(core phys.CoreID) error {
 // "accelerate existing operations with hardware, such as fast (100
 // cycles) domain transitions using VMFUNC" (§4.1).
 func (m *Monitor) RegisterFastPath(caller DomainID, a, b DomainID, core phys.CoreID) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if _, err := m.liveDomain(caller); err != nil {
 		return err
 	}
@@ -160,6 +186,13 @@ func (m *Monitor) RegisterFastPath(caller DomainID, a, b DomainID, core phys.Cor
 // entirely (the fast path trades register hygiene for speed; domains
 // using it share a protocol, like Hodor-style data-plane libraries).
 func (m *Monitor) FastSwitch(core phys.CoreID, target DomainID) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.fastSwitch(core, target)
+}
+
+// fastSwitch is FastSwitch with the monitor lock held.
+func (m *Monitor) fastSwitch(core phys.CoreID, target DomainID) error {
 	if _, ok := m.current[core]; !ok {
 		return fmt.Errorf("%w: %v", ErrNotRunning, core)
 	}
@@ -201,6 +234,9 @@ type RunResult struct {
 //     frames (an enclave completing its call), else RunCore stops.
 //   - Fault/Illegal: execution stops and the trap is reported; policy
 //     belongs to the embedding system, not the monitor.
+// RunCore holds the monitor lock only while handling traps: guest
+// execution between traps runs without it, which is what lets RunCores
+// drive many cores in parallel with monitor entries serialised.
 func (m *Monitor) RunCore(core phys.CoreID, budget int) (RunResult, error) {
 	c := m.mach.Core(core)
 	if c == nil {
@@ -211,11 +247,18 @@ func (m *Monitor) RunCore(core phys.CoreID, budget int) (RunResult, error) {
 	}
 	// The installed context decides attribution: guest VMFUNC switches
 	// change the running domain without informing the monitor.
-	cur := func() DomainID {
+	// curLocked requires the monitor lock (for the no-context fallback);
+	// cur acquires it.
+	curLocked := func() DomainID {
 		if ctx := c.Context(); ctx != nil {
 			return DomainID(ctx.Owner)
 		}
 		return m.current[core]
+	}
+	cur := func() DomainID {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		return curLocked()
 	}
 	total := 0
 	for total < budget {
@@ -233,17 +276,23 @@ func (m *Monitor) RunCore(core phys.CoreID, budget int) (RunResult, error) {
 			// control back to the embedding scheduler.
 			return RunResult{Steps: total, Trap: trap, Domain: cur()}, nil
 		case hw.TrapHalt:
+			m.mu.Lock()
 			if len(m.frames[core]) > 0 {
-				if err := m.Return(core); err != nil {
+				err := m.ret(core)
+				m.mu.Unlock()
+				if err != nil {
 					return RunResult{Steps: total, Trap: trap, Domain: cur()}, err
 				}
 				continue
 			}
+			m.mu.Unlock()
 			return RunResult{Steps: total, Trap: trap, Domain: cur()}, nil
 		case hw.TrapVMCall:
-			m.stats.VMExits++
 			m.mach.Clock.Advance(m.mach.Cost.VMExit)
+			m.mu.Lock()
+			m.stats.VMExits++
 			stop, err := m.handleVMCall(c, core)
+			m.mu.Unlock()
 			m.mach.Clock.Advance(m.mach.Cost.VMEntry)
 			if err != nil {
 				return RunResult{Steps: total, Trap: trap, Domain: cur()}, err
@@ -252,15 +301,24 @@ func (m *Monitor) RunCore(core phys.CoreID, budget int) (RunResult, error) {
 				return RunResult{Steps: total, Trap: trap, Domain: cur()}, nil
 			}
 		case hw.TrapSyscall:
-			m.stats.Syscalls++
 			m.mach.Clock.Advance(m.mach.Cost.Syscall)
-			d := m.domains[cur()]
-			if d == nil || d.syscall == nil {
-				return RunResult{Steps: total, Trap: trap, Domain: cur()},
-					fmt.Errorf("core: domain %d has no syscall handler", cur())
+			m.mu.Lock()
+			m.stats.Syscalls++
+			id := curLocked()
+			d := m.domains[id]
+			var handler SyscallHandler
+			if d != nil {
+				handler = d.syscall
 			}
-			if err := d.syscall(c); err != nil {
-				return RunResult{Steps: total, Trap: trap, Domain: cur()}, err
+			m.mu.Unlock()
+			if handler == nil {
+				return RunResult{Steps: total, Trap: trap, Domain: id},
+					fmt.Errorf("core: domain %d has no syscall handler", id)
+			}
+			// The handler is the domain's Go-level kernel: it re-enters
+			// the monitor through the public API, so it runs unlocked.
+			if err := handler(c); err != nil {
+				return RunResult{Steps: total, Trap: trap, Domain: id}, err
 			}
 			m.mach.Clock.Advance(m.mach.Cost.Sysret)
 		default: // fault, illegal
@@ -268,4 +326,41 @@ func (m *Monitor) RunCore(core phys.CoreID, budget int) (RunResult, error) {
 		}
 	}
 	return RunResult{Steps: total, Trap: hw.Trap{Kind: hw.TrapNone}, Domain: cur()}, nil
+}
+
+// RunCores drives the given cores concurrently, one goroutine per core,
+// each with its own instruction budget — the SMP execution engine. With
+// no cores listed it runs every core that has a domain installed. It
+// returns per-core results and the first error any core hit; the other
+// cores still run to completion (a failing core does not stop the
+// machine, matching hardware).
+func (m *Monitor) RunCores(budget int, cores ...phys.CoreID) (map[phys.CoreID]RunResult, error) {
+	if len(cores) == 0 {
+		for _, id := range m.mach.CoreIDs() {
+			if _, ok := m.Current(id); ok {
+				cores = append(cores, id)
+			}
+		}
+	}
+	results := make(map[phys.CoreID]RunResult, len(cores))
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	for _, id := range cores {
+		wg.Add(1)
+		go func(id phys.CoreID) {
+			defer wg.Done()
+			res, err := m.RunCore(id, budget)
+			mu.Lock()
+			defer mu.Unlock()
+			results[id] = res
+			if err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("core %v: %w", id, err)
+			}
+		}(id)
+	}
+	wg.Wait()
+	return results, firstErr
 }

@@ -1,6 +1,10 @@
 package hw
 
-import "github.com/tyche-sim/tyche/internal/phys"
+import (
+	"sync"
+
+	"github.com/tyche-sim/tyche/internal/phys"
+)
 
 // CacheLineSize is the modelled cache line size in bytes.
 const CacheLineSize = 64
@@ -18,7 +22,12 @@ const DefaultCacheLines = 512
 //
 // The model is direct-mapped by line index with tags, which is enough to
 // produce real conflict-eviction behaviour for prime+probe.
+//
+// The cache belongs to one core, but the monitor's flush-on-transition
+// cleanups flush other cores' caches (the simulated IPI), so operations
+// take a mutex. It is uncontended on the hot path.
 type Cache struct {
+	mu    sync.Mutex
 	lines []uint64 // resident line tag per set, 0 = empty (tag is addr/64+1)
 	dirty []bool
 
@@ -42,6 +51,8 @@ func (c *Cache) slot(a phys.Addr) (idx int, tag uint64) {
 // mark the line dirty.
 func (c *Cache) Touch(a phys.Addr, write bool) bool {
 	idx, tag := c.slot(a)
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	hit := c.lines[idx] == tag
 	if hit {
 		c.hits++
@@ -60,11 +71,15 @@ func (c *Cache) Touch(a phys.Addr, write bool) bool {
 // attacker's measurement primitive.
 func (c *Cache) Probe(a phys.Addr) bool {
 	idx, tag := c.slot(a)
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	return c.lines[idx] == tag
 }
 
 // Resident returns the number of occupied line slots.
 func (c *Cache) Resident() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	n := 0
 	for _, t := range c.lines {
 		if t != 0 {
@@ -77,6 +92,8 @@ func (c *Cache) Resident() int {
 // Flush invalidates the whole cache and returns the number of lines that
 // were resident (callers charge CacheFlushLine per line).
 func (c *Cache) Flush() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	var n uint64
 	for i := range c.lines {
 		if c.lines[i] != 0 {
@@ -91,5 +108,7 @@ func (c *Cache) Flush() uint64 {
 
 // Stats returns hit/miss/flushed-line counters.
 func (c *Cache) Stats() (hits, misses, flushed uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	return c.hits, c.misses, c.flushedLines
 }

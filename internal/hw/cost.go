@@ -15,6 +15,8 @@
 // pressure, cache-flush revocation policies) are preserved.
 package hw
 
+import "sync/atomic"
+
 // CostModel holds the cycle costs charged for simulated hardware events.
 // The defaults are drawn from published measurements on contemporary
 // x86_64 parts (VM exits ~1000-1500 cycles, VMFUNC EPT switch ~100-150
@@ -95,19 +97,40 @@ func DefaultCostModel() CostModel {
 	}
 }
 
-// Clock is the machine's global cycle counter. All simulated hardware
-// events advance it; benchmarks read it to report cycle costs alongside
-// wall-clock time.
+// Clock is a cycle counter. The machine's global clock aggregates one
+// shard per core so that concurrently running cores never contend on a
+// single counter: each core advances only its own shard, the monitor
+// and devices advance the global counter, and Cycles sums them all.
+// Counters are atomic so aggregate reads are safe while cores run.
 type Clock struct {
-	cycles uint64
+	cycles atomic.Uint64
+	// shards are per-core clocks registered at machine construction;
+	// the slice is immutable afterwards, so reads need no lock.
+	shards []*Clock
 }
 
 // Advance adds n cycles to the clock.
-func (c *Clock) Advance(n uint64) { c.cycles += n }
+func (c *Clock) Advance(n uint64) { c.cycles.Add(n) }
 
 // Cycles returns the cycles elapsed since machine construction or the
-// last Reset.
-func (c *Clock) Cycles() uint64 { return c.cycles }
+// last Reset, summed across the clock and its shards.
+func (c *Clock) Cycles() uint64 {
+	total := c.cycles.Load()
+	for _, s := range c.shards {
+		total += s.cycles.Load()
+	}
+	return total
+}
 
-// Reset zeroes the clock.
-func (c *Clock) Reset() { c.cycles = 0 }
+// Reset zeroes the clock and all its shards.
+func (c *Clock) Reset() {
+	c.cycles.Store(0)
+	for _, s := range c.shards {
+		s.cycles.Store(0)
+	}
+}
+
+// AddShard registers s so its cycles count toward c's total. Only the
+// machine constructor calls this; shards must not be added while cores
+// run.
+func (c *Clock) AddShard(s *Clock) { c.shards = append(c.shards, s) }

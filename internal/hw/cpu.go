@@ -2,6 +2,8 @@ package hw
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"github.com/tyche-sim/tyche/internal/phys"
 )
@@ -108,7 +110,12 @@ type Context struct {
 	SavedRing Ring
 }
 
-// Core is one simulated CPU core.
+// Core is one simulated CPU core. Architectural state (Regs, PC, Ring,
+// the MRU translation cache, the timer) belongs to the goroutine
+// driving the core and is deliberately lock-free; state that other
+// cores or the monitor touch while this core runs (installed context,
+// halt latch, VMFUNC list, TLB, cache, instruction counters) is atomic
+// or internally locked.
 type Core struct {
 	id   phys.CoreID
 	mach *Machine
@@ -124,28 +131,47 @@ type Core struct {
 	// backend; idle under the VT-x backend).
 	PMPUnit *PMP
 
-	ctx    *Context
+	ctx    atomic.Pointer[Context]
 	tlb    *TLB
 	cache  *Cache
-	halted bool
+	halted atomic.Bool
+
+	// clk is this core's clock shard: guest execution charges it
+	// lock-free, and the machine clock aggregates shards on read.
+	clk Clock
+
+	// mru is a 1-entry translation cache in front of the TLB: straight-
+	// line code touching one page repeatedly skips the TLB map lookup.
+	// It validates the filter generation and the TLB flush count, so a
+	// permission change or shootdown invalidates it implicitly. Only the
+	// driving goroutine touches it.
+	mru struct {
+		ok    bool
+		asid  uint64
+		page  uint64
+		gen   uint64
+		flush uint64
+		perm  Perm
+	}
 
 	// vmfunc is the core's pre-registered fast-switch list (the VMFUNC
 	// EPTP list): guest code may switch only to contexts the monitor
-	// installed here.
-	vmfunc map[uint64]*Context
+	// installed here. The backend edits it cross-core on domain removal.
+	vmfuncMu sync.Mutex
+	vmfunc   map[uint64]*Context
 
 	timer      int
 	timerArmed bool
 
-	instrs uint64
-	faults uint64
+	instrs atomic.Uint64
+	faults atomic.Uint64
 }
 
 // ID returns the core's identifier.
 func (c *Core) ID() phys.CoreID { return c.id }
 
 // Context returns the installed execution context (nil if none).
-func (c *Core) Context() *Context { return c.ctx }
+func (c *Core) Context() *Context { return c.ctx.Load() }
 
 // TLBUnit exposes the core's TLB (for monitor flush operations and
 // tests).
@@ -155,31 +181,38 @@ func (c *Core) TLBUnit() *TLB { return c.tlb }
 func (c *Core) CacheUnit() *Cache { return c.cache }
 
 // InstrCount returns the number of retired instructions.
-func (c *Core) InstrCount() uint64 { return c.instrs }
+func (c *Core) InstrCount() uint64 { return c.instrs.Load() }
 
 // FaultCount returns the number of access faults taken.
-func (c *Core) FaultCount() uint64 { return c.faults }
+func (c *Core) FaultCount() uint64 { return c.faults.Load() }
 
 // Halted reports whether the core executed HLT and was not resumed.
-func (c *Core) Halted() bool { return c.halted }
+func (c *Core) Halted() bool { return c.halted.Load() }
+
+// Cycles returns the cycles this core's guest execution has consumed.
+// The machine clock already includes them in its total.
+func (c *Core) Cycles() uint64 { return c.clk.Cycles() }
 
 // InstallContext binds ctx to the core, flushing the TLB (a full
 // context switch on untagged hardware invalidates cached translations).
 func (c *Core) InstallContext(ctx *Context) {
-	c.ctx = ctx
+	c.ctx.Store(ctx)
 	c.tlb.Flush()
-	c.halted = false
+	c.mru.ok = false
+	c.halted.Store(false)
 }
 
 // ClearHalt resumes a halted core: the privileged software that just
 // reprogrammed the core's state (a kernel scheduling a process, the
 // monitor re-entering a domain) clears the halt latch.
-func (c *Core) ClearHalt() { c.halted = false }
+func (c *Core) ClearHalt() { c.halted.Store(false) }
 
 // SetVMFuncEntry installs ctx at index idx of the core's VMFUNC list.
 // Only the monitor's backend calls this; guest code can then switch to
 // the view without an exit.
 func (c *Core) SetVMFuncEntry(idx uint64, ctx *Context) {
+	c.vmfuncMu.Lock()
+	defer c.vmfuncMu.Unlock()
 	if c.vmfunc == nil {
 		c.vmfunc = make(map[uint64]*Context)
 	}
@@ -187,13 +220,25 @@ func (c *Core) SetVMFuncEntry(idx uint64, ctx *Context) {
 }
 
 // ClearVMFuncEntry removes index idx from the VMFUNC list.
-func (c *Core) ClearVMFuncEntry(idx uint64) { delete(c.vmfunc, idx) }
+func (c *Core) ClearVMFuncEntry(idx uint64) {
+	c.vmfuncMu.Lock()
+	defer c.vmfuncMu.Unlock()
+	delete(c.vmfunc, idx)
+}
+
+// vmfuncEntry looks up index idx of the VMFUNC list.
+func (c *Core) vmfuncEntry(idx uint64) (*Context, bool) {
+	c.vmfuncMu.Lock()
+	defer c.vmfuncMu.Unlock()
+	ctx, ok := c.vmfunc[idx]
+	return ctx, ok
+}
 
 // SwitchContextTagged binds ctx to the core without flushing the TLB,
 // relying on ASID tagging for correctness — the VMFUNC fast path.
 func (c *Core) SwitchContextTagged(ctx *Context) {
-	c.ctx = ctx
-	c.halted = false
+	c.ctx.Store(ctx)
+	c.halted.Store(false)
 }
 
 // SaveInto snapshots the core's register state into ctx.
@@ -208,17 +253,18 @@ func (c *Core) RestoreFrom(ctx *Context) {
 	c.Regs = ctx.SavedRegs
 	c.PC = ctx.SavedPC
 	c.Ring = ctx.SavedRing
-	c.halted = false
+	c.halted.Store(false)
 }
 
 // access checks and charges one guest memory access of size bytes at a.
 // It returns a non-nil trap on denial.
 func (c *Core) access(a phys.Addr, want Perm, size uint64) *Trap {
-	if c.ctx == nil {
+	ctx := c.ctx.Load()
+	if ctx == nil {
 		return &Trap{Kind: TrapFault, Addr: a, Want: want, PC: c.PC, Info: "no context installed"}
 	}
 	cost := &c.mach.Cost
-	clk := c.mach.Clock
+	clk := &c.clk
 	// Bus bounds.
 	if uint64(a) >= c.mach.Mem.Size() || c.mach.Mem.Size()-uint64(a) < size {
 		return &Trap{Kind: TrapFault, Addr: a, Want: want, PC: c.PC, Info: "bus error"}
@@ -226,28 +272,43 @@ func (c *Core) access(a phys.Addr, want Perm, size uint64) *Trap {
 	// Accesses are register-width at most and assumed not to straddle
 	// pages (the assembler and loaders keep data naturally aligned).
 	pg := a.Page()
-	gen := c.ctx.Filter.Generation()
-	perm, hit := c.tlb.Lookup(c.ctx.ASID, pg, gen)
-	if hit {
+	gen := ctx.Filter.Generation()
+	var perm Perm
+	if m := &c.mru; m.ok && m.asid == ctx.ASID && m.page == pg &&
+		m.gen == gen && m.flush == c.tlb.FlushCount() {
+		perm = m.perm
+		c.tlb.RecordHit()
 		clk.Advance(cost.TLBHit)
 	} else {
-		walk := cost.PageWalk
-		if c.ctx.UsesEPT {
-			walk += cost.EPTWalk
+		var hit bool
+		perm, hit = c.tlb.Lookup(ctx.ASID, pg, gen)
+		if hit {
+			clk.Advance(cost.TLBHit)
+		} else {
+			walk := cost.PageWalk
+			if ctx.UsesEPT {
+				walk += cost.EPTWalk
+			}
+			clk.Advance(walk)
+			perm = ctx.Filter.Lookup(a)
+			c.tlb.Insert(ctx.ASID, pg, perm, gen)
 		}
-		clk.Advance(walk)
-		perm = c.ctx.Filter.Lookup(a)
-		c.tlb.Insert(c.ctx.ASID, pg, perm, gen)
+		c.mru.ok = true
+		c.mru.asid = ctx.ASID
+		c.mru.page = pg
+		c.mru.gen = gen
+		c.mru.flush = c.tlb.FlushCount()
+		c.mru.perm = perm
 	}
 	if !perm.Allows(want) {
-		c.faults++
+		c.faults.Add(1)
 		return &Trap{Kind: TrapFault, Addr: a, Want: want, PC: c.PC}
 	}
 	// First-level (OS) filter: enforced for user ring only; ring 0 in a
 	// commodity domain bypasses it — that is the monopoly the monitor's
 	// second-level filter above does NOT bypass.
-	if c.Ring != RingKernel && c.ctx.OSFilter != nil && !c.ctx.OSFilter.Check(a, want) {
-		c.faults++
+	if c.Ring != RingKernel && ctx.OSFilter != nil && !ctx.OSFilter.Check(a, want) {
+		c.faults.Add(1)
 		return &Trap{Kind: TrapFault, Addr: a, Want: want, PC: c.PC, Info: "first-level (OS) denial"}
 	}
 	if c.cache.Touch(a, want.Allows(PermW)) {
@@ -262,7 +323,7 @@ func (c *Core) access(a phys.Addr, want Perm, size uint64) *Trap {
 // exit event; Trap.Kind==TrapNone means the instruction retired and
 // execution may continue.
 func (c *Core) Step() Trap {
-	if c.halted {
+	if c.halted.Load() {
 		return Trap{Kind: TrapHalt, PC: c.PC}
 	}
 	if t := c.access(c.PC, PermX, InstrSize); t != nil {
@@ -277,13 +338,13 @@ func (c *Core) Step() Trap {
 		return Trap{Kind: TrapIllegal, PC: c.PC, Info: err.Error()}
 	}
 	cost := &c.mach.Cost
-	clk := c.mach.Clock
+	clk := &c.clk
 	next := c.PC + InstrSize
 	r := &c.Regs
 	switch ins.Op {
 	case OpHlt:
-		c.halted = true
-		c.instrs++
+		c.halted.Store(true)
+		c.instrs.Add(1)
 		return Trap{Kind: TrapHalt, PC: c.PC}
 	case OpNop:
 		clk.Advance(cost.ALUOp)
@@ -378,26 +439,26 @@ func (c *Core) Step() Trap {
 		// The guest-level fast switch: no exit, tagged TLB survives.
 		// An index outside the monitor-installed list vm-exits on real
 		// hardware; we model it as a fault the run loop reports.
-		target, ok := c.vmfunc[r[14]]
+		target, ok := c.vmfuncEntry(r[14])
 		if !ok {
-			c.faults++
+			c.faults.Add(1)
 			return Trap{Kind: TrapFault, Addr: c.PC, Want: PermX, PC: c.PC,
 				Info: fmt.Sprintf("vmfunc: index %d not registered", r[14])}
 		}
 		clk.Advance(cost.VMFunc)
 		c.SwitchContextTagged(target)
 	case OpVmcall:
-		c.instrs++
+		c.instrs.Add(1)
 		c.PC = next // resume after the call
 		return Trap{Kind: TrapVMCall, PC: c.PC - InstrSize}
 	case OpSyscall:
-		c.instrs++
+		c.instrs.Add(1)
 		c.PC = next
 		return Trap{Kind: TrapSyscall, PC: c.PC - InstrSize}
 	default:
 		return Trap{Kind: TrapIllegal, PC: c.PC, Info: ins.Op.String()}
 	}
-	c.instrs++
+	c.instrs.Add(1)
 	c.PC = next
 	if c.tickTimer() {
 		return Trap{Kind: TrapTimer, PC: c.PC}
@@ -411,12 +472,12 @@ func (c *Core) Step() Trap {
 // faulting instructions do not retire) and the trap (TrapNone when the
 // budget ran out).
 func (c *Core) Run(maxInstrs int) (int, Trap) {
-	start := c.instrs
-	for int(c.instrs-start) < maxInstrs {
+	start := c.instrs.Load()
+	for int(c.instrs.Load()-start) < maxInstrs {
 		t := c.Step()
 		if t.Kind != TrapNone {
-			return int(c.instrs - start), t
+			return int(c.instrs.Load() - start), t
 		}
 	}
-	return int(c.instrs - start), Trap{Kind: TrapNone, PC: c.PC}
+	return int(c.instrs.Load() - start), Trap{Kind: TrapNone, PC: c.PC}
 }

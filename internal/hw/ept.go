@@ -3,6 +3,8 @@ package hw
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"github.com/tyche-sim/tyche/internal/phys"
 )
@@ -13,9 +15,15 @@ import (
 // physical names, the translation is identity and the EPT is purely an
 // access filter (§3.3: "memory virtualization provides a second level of
 // page tables to enforce memory access control at page granularity").
+//
+// Cores walk the EPT while the monitor rebuilds it on another core, so
+// the page map is behind an RWMutex and the generation is atomic: a
+// reader never observes a torn update, and a generation bump publishes
+// each rebuild to the TLB/MRU coherence checks.
 type EPT struct {
+	mu    sync.RWMutex
 	pages map[uint64]Perm
-	gen   uint64
+	gen   atomic.Uint64
 }
 
 // NewEPT returns an empty EPT denying all access.
@@ -25,14 +33,18 @@ func NewEPT() *EPT {
 
 // Check implements AccessFilter.
 func (e *EPT) Check(a phys.Addr, want Perm) bool {
-	return e.pages[a.Page()].Allows(want)
+	return e.Lookup(a).Allows(want)
 }
 
 // Lookup implements AccessFilter.
-func (e *EPT) Lookup(a phys.Addr) Perm { return e.pages[a.Page()] }
+func (e *EPT) Lookup(a phys.Addr) Perm {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.pages[a.Page()]
+}
 
 // Generation implements AccessFilter.
-func (e *EPT) Generation() uint64 { return e.gen }
+func (e *EPT) Generation() uint64 { return e.gen.Load() }
 
 // Map sets the permission for every page of region r, replacing any
 // previous permission. r must be page-aligned.
@@ -40,6 +52,7 @@ func (e *EPT) Map(r phys.Region, p Perm) error {
 	if err := r.Validate(); err != nil {
 		return fmt.Errorf("hw: ept map: %w", err)
 	}
+	e.mu.Lock()
 	for pg := r.Start.Page(); pg < r.End.Page(); pg++ {
 		if p == PermNone {
 			delete(e.pages, pg)
@@ -47,7 +60,8 @@ func (e *EPT) Map(r phys.Region, p Perm) error {
 			e.pages[pg] = p
 		}
 	}
-	e.gen++
+	e.mu.Unlock()
+	e.gen.Add(1)
 	return nil
 }
 
@@ -56,17 +70,25 @@ func (e *EPT) Unmap(r phys.Region) error { return e.Map(r, PermNone) }
 
 // Clear removes every mapping.
 func (e *EPT) Clear() {
+	e.mu.Lock()
 	e.pages = make(map[uint64]Perm)
-	e.gen++
+	e.mu.Unlock()
+	e.gen.Add(1)
 }
 
 // MappedPages returns the number of pages with any permission.
-func (e *EPT) MappedPages() int { return len(e.pages) }
+func (e *EPT) MappedPages() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return len(e.pages)
+}
 
 // Mappings returns the EPT contents as maximal runs of identically
 // permissioned pages, in address order. Used for attestation enumeration
 // and debugging dumps.
 func (e *EPT) Mappings() []EPTMapping {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	if len(e.pages) == 0 {
 		return nil
 	}

@@ -2,6 +2,8 @@ package hw
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"github.com/tyche-sim/tyche/internal/phys"
 )
@@ -15,12 +17,16 @@ import (
 // the IOMMU into deny-by-default and attaches per-device filters derived
 // from device capabilities (§3.3: "devices can be partitioned using
 // SR-IOV and isolated using I/O-MMUs").
+// Context entries are behind an RWMutex (DMA checks race with the
+// monitor attaching filters) and the counters are atomic.
 type IOMMU struct {
+	mu  sync.RWMutex
 	ctx map[phys.DeviceID]AccessFilter
-	// DefaultAllow admits DMA from devices with no context entry.
+	// DefaultAllow admits DMA from devices with no context entry. The
+	// monitor flips it once at boot, before cores run.
 	DefaultAllow bool
 
-	checks, denials uint64
+	checks, denials atomic.Uint64
 }
 
 // NewIOMMU returns an IOMMU with no context entries. allowByDefault
@@ -31,38 +37,51 @@ func NewIOMMU(allowByDefault bool) *IOMMU {
 
 // Attach installs f as the context entry for dev.
 func (iu *IOMMU) Attach(dev phys.DeviceID, f AccessFilter) {
+	iu.mu.Lock()
+	defer iu.mu.Unlock()
 	iu.ctx[dev] = f
 }
 
 // Detach removes dev's context entry.
 func (iu *IOMMU) Detach(dev phys.DeviceID) {
+	iu.mu.Lock()
+	defer iu.mu.Unlock()
 	delete(iu.ctx, dev)
 }
 
 // ContextOf returns dev's filter, or nil if none installed.
-func (iu *IOMMU) ContextOf(dev phys.DeviceID) AccessFilter { return iu.ctx[dev] }
+func (iu *IOMMU) ContextOf(dev phys.DeviceID) AccessFilter {
+	iu.mu.RLock()
+	defer iu.mu.RUnlock()
+	return iu.ctx[dev]
+}
 
 // Check reports whether device dev may access address a with permission
 // want.
 func (iu *IOMMU) Check(dev phys.DeviceID, a phys.Addr, want Perm) bool {
-	iu.checks++
+	iu.checks.Add(1)
+	iu.mu.RLock()
 	f, ok := iu.ctx[dev]
+	allow := iu.DefaultAllow
+	iu.mu.RUnlock()
 	if !ok {
-		if iu.DefaultAllow {
+		if allow {
 			return true
 		}
-		iu.denials++
+		iu.denials.Add(1)
 		return false
 	}
 	if !f.Check(a, want) {
-		iu.denials++
+		iu.denials.Add(1)
 		return false
 	}
 	return true
 }
 
 // Stats returns check/denial counters.
-func (iu *IOMMU) Stats() (checks, denials uint64) { return iu.checks, iu.denials }
+func (iu *IOMMU) Stats() (checks, denials uint64) {
+	return iu.checks.Load(), iu.denials.Load()
+}
 
 // DMAFaultError reports a DMA access denied by the IOMMU.
 type DMAFaultError struct {

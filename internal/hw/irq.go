@@ -20,11 +20,15 @@ type IRQ struct {
 
 // RaiseIRQ posts an interrupt from a device to the controller.
 func (m *Machine) RaiseIRQ(dev phys.DeviceID, vector uint32) {
+	m.irqMu.Lock()
+	defer m.irqMu.Unlock()
 	m.irqs = append(m.irqs, IRQ{Device: dev, Vector: vector})
 }
 
 // TakeIRQ pops the oldest pending interrupt.
 func (m *Machine) TakeIRQ() (IRQ, bool) {
+	m.irqMu.Lock()
+	defer m.irqMu.Unlock()
 	if len(m.irqs) == 0 {
 		return IRQ{}, false
 	}
@@ -34,7 +38,11 @@ func (m *Machine) TakeIRQ() (IRQ, bool) {
 }
 
 // PendingIRQs returns the number of undelivered interrupts.
-func (m *Machine) PendingIRQs() int { return len(m.irqs) }
+func (m *Machine) PendingIRQs() int {
+	m.irqMu.Lock()
+	defer m.irqMu.Unlock()
+	return len(m.irqs)
+}
 
 // RaiseIRQ lets a device signal completion to its driver.
 func (d *Device) RaiseIRQ(vector uint32) { d.mach.RaiseIRQ(d.ID, vector) }

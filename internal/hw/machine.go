@@ -2,6 +2,8 @@ package hw
 
 import (
 	"fmt"
+	"sort"
+	"sync"
 
 	"github.com/tyche-sim/tyche/internal/phys"
 )
@@ -64,8 +66,10 @@ type Machine struct {
 	// encryption).
 	Crypto *MKTME
 
-	// irqs is the interrupt controller's pending queue.
-	irqs []IRQ
+	// irqs is the interrupt controller's pending queue; devices raise
+	// from any goroutine, so it is lock-protected.
+	irqMu sync.Mutex
+	irqs  []IRQ
 }
 
 // NewMachine builds a machine from cfg.
@@ -95,13 +99,17 @@ func NewMachine(cfg Config) (*Machine, error) {
 		pmpN = DefaultPMPEntries
 	}
 	for i := 0; i < cfg.NumCores; i++ {
-		m.Cores = append(m.Cores, &Core{
+		c := &Core{
 			id:      phys.CoreID(i),
 			mach:    m,
 			PMPUnit: NewPMP(pmpN),
 			tlb:     NewTLB(cfg.TLBEntries),
 			cache:   NewCache(cfg.CacheLines),
-		})
+		}
+		// Guest execution charges the core's own clock shard; the
+		// machine clock aggregates shards so totals stay global.
+		m.Clock.AddShard(&c.clk)
+		m.Cores = append(m.Cores, c)
 	}
 	for i, dc := range cfg.Devices {
 		id := phys.DeviceID(i)
@@ -149,4 +157,40 @@ func (m *Machine) CoreIDs() []phys.CoreID {
 		ids[i] = phys.CoreID(i)
 	}
 	return ids
+}
+
+// CoreRun reports one core's outcome from Machine.RunAll.
+type CoreRun struct {
+	Core phys.CoreID
+	// Steps is the number of instructions the core retired.
+	Steps int
+	// Trap is why the core stopped (TrapNone when the budget ran out).
+	Trap Trap
+}
+
+// RunAll runs every core that has an installed context concurrently,
+// one goroutine per core, each for up to maxInstrs instructions or
+// until its first trap. It returns per-core results in core-ID order.
+// This is raw SMP guest execution — traps are reported, not handled;
+// the monitor's RunCores drives trap dispatch on top of it.
+func (m *Machine) RunAll(maxInstrs int) []CoreRun {
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var out []CoreRun
+	for _, c := range m.Cores {
+		if c.Context() == nil {
+			continue
+		}
+		wg.Add(1)
+		go func(c *Core) {
+			defer wg.Done()
+			steps, trap := c.Run(maxInstrs)
+			mu.Lock()
+			out = append(out, CoreRun{Core: c.ID(), Steps: steps, Trap: trap})
+			mu.Unlock()
+		}(c)
+	}
+	wg.Wait()
+	sort.Slice(out, func(i, j int) bool { return out[i].Core < out[j].Core })
+	return out
 }

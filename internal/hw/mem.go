@@ -3,6 +3,7 @@ package hw
 import (
 	"encoding/binary"
 	"fmt"
+	"sync"
 
 	"github.com/tyche-sim/tyche/internal/phys"
 )
@@ -13,7 +14,14 @@ import (
 // PhysMem performs no access control itself: cores and DMA engines check
 // their filters before touching it. The monitor accesses it directly
 // (the monitor is the most privileged software on the machine).
+//
+// Memory is shared by every core and DMA engine, so each operation
+// holds an RWMutex — the simulator's stand-in for a coherent memory
+// bus. Isolation between domains comes from the access filters, not
+// from this lock; it only keeps Go-level access to the backing array
+// defined when cores genuinely race.
 type PhysMem struct {
+	mu   sync.RWMutex
 	data []byte
 }
 
@@ -46,6 +54,8 @@ func (m *PhysMem) ReadAt(a phys.Addr, buf []byte) error {
 	if err := m.check(a, uint64(len(buf))); err != nil {
 		return err
 	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	copy(buf, m.data[a:])
 	return nil
 }
@@ -55,6 +65,8 @@ func (m *PhysMem) WriteAt(a phys.Addr, buf []byte) error {
 	if err := m.check(a, uint64(len(buf))); err != nil {
 		return err
 	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	copy(m.data[a:], buf)
 	return nil
 }
@@ -64,6 +76,8 @@ func (m *PhysMem) Read64(a phys.Addr) (uint64, error) {
 	if err := m.check(a, 8); err != nil {
 		return 0, err
 	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	return binary.LittleEndian.Uint64(m.data[a:]), nil
 }
 
@@ -72,6 +86,8 @@ func (m *PhysMem) Write64(a phys.Addr, v uint64) error {
 	if err := m.check(a, 8); err != nil {
 		return err
 	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	binary.LittleEndian.PutUint64(m.data[a:], v)
 	return nil
 }
@@ -81,6 +97,8 @@ func (m *PhysMem) ReadByteAt(a phys.Addr) (byte, error) {
 	if err := m.check(a, 1); err != nil {
 		return 0, err
 	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	return m.data[a], nil
 }
 
@@ -89,6 +107,8 @@ func (m *PhysMem) WriteByteAt(a phys.Addr, b byte) error {
 	if err := m.check(a, 1); err != nil {
 		return err
 	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	m.data[a] = b
 	return nil
 }
@@ -99,6 +119,8 @@ func (m *PhysMem) Zero(r phys.Region) error {
 	if err := m.check(r.Start, r.Size()); err != nil {
 		return err
 	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	clear(m.data[r.Start:r.End])
 	return nil
 }
@@ -109,6 +131,8 @@ func (m *PhysMem) View(r phys.Region) ([]byte, error) {
 	if err := m.check(r.Start, r.Size()); err != nil {
 		return nil, err
 	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	out := make([]byte, r.Size())
 	copy(out, m.data[r.Start:r.End])
 	return out, nil

@@ -3,6 +3,8 @@ package hw
 import (
 	"fmt"
 	"math/bits"
+	"sync"
+	"sync/atomic"
 
 	"github.com/tyche-sim/tyche/internal/phys"
 )
@@ -34,9 +36,13 @@ func (e PMPEntry) Used() bool { return e.used }
 // calls out for the RISC-V backend: "PMP only supports a fixed number of
 // segments, which requires a careful memory layout of trust domains and
 // validation by the monitor" (§4).
+// The register file is behind an RWMutex because the PMP backend
+// reprograms *other* cores' units when a domain's footprint changes
+// while those cores may be executing guest code against them.
 type PMP struct {
+	mu      sync.RWMutex
 	entries []PMPEntry
-	gen     uint64
+	gen     atomic.Uint64
 	// napotOnly restricts ranges to naturally-aligned power-of-two
 	// regions (NAPOT encoding), the stricter hardware mode. When false,
 	// TOR (top-of-range) encoding permits arbitrary page-aligned ranges.
@@ -64,6 +70,8 @@ func (p *PMP) NumEntries() int { return len(p.entries) }
 
 // FreeEntries returns how many entries are unprogrammed.
 func (p *PMP) FreeEntries() int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	free := 0
 	for _, e := range p.entries {
 		if !e.used {
@@ -89,17 +97,19 @@ func (p *PMP) Program(i int, r phys.Region, perm Perm) error {
 	if i < 0 || i >= len(p.entries) {
 		return fmt.Errorf("hw: pmp entry %d out of range (have %d)", i, len(p.entries))
 	}
-	if p.entries[i].Locked {
-		return fmt.Errorf("hw: pmp entry %d is locked", i)
-	}
 	if err := r.Validate(); err != nil {
 		return fmt.Errorf("hw: pmp program: %w", err)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.entries[i].Locked {
+		return fmt.Errorf("hw: pmp entry %d is locked", i)
 	}
 	if p.napotOnly && !IsNAPOT(r) {
 		return fmt.Errorf("hw: pmp entry %d: region %v not NAPOT-encodable", i, r)
 	}
 	p.entries[i] = PMPEntry{Region: r, Perm: perm, used: true}
-	p.gen++
+	p.gen.Add(1)
 	return nil
 }
 
@@ -108,11 +118,13 @@ func (p *PMP) ClearEntry(i int) error {
 	if i < 0 || i >= len(p.entries) {
 		return fmt.Errorf("hw: pmp entry %d out of range", i)
 	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if p.entries[i].Locked {
 		return fmt.Errorf("hw: pmp entry %d is locked", i)
 	}
 	p.entries[i] = PMPEntry{}
-	p.gen++
+	p.gen.Add(1)
 	return nil
 }
 
@@ -121,17 +133,21 @@ func (p *PMP) Lock(i int) error {
 	if i < 0 || i >= len(p.entries) {
 		return fmt.Errorf("hw: pmp entry %d out of range", i)
 	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if !p.entries[i].used {
 		return fmt.Errorf("hw: cannot lock unprogrammed pmp entry %d", i)
 	}
 	p.entries[i].Locked = true
-	p.gen++
+	p.gen.Add(1)
 	return nil
 }
 
 // ClearAll deprograms every unlocked entry. Returns the number of
 // entries cleared (callers charge PMPWrite cost per entry).
 func (p *PMP) ClearAll() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	n := 0
 	for i := range p.entries {
 		if p.entries[i].used && !p.entries[i].Locked {
@@ -140,7 +156,7 @@ func (p *PMP) ClearAll() int {
 		}
 	}
 	if n > 0 {
-		p.gen++
+		p.gen.Add(1)
 	}
 	return n
 }
@@ -153,6 +169,8 @@ func (p *PMP) Check(a phys.Addr, want Perm) bool {
 
 // Lookup implements AccessFilter.
 func (p *PMP) Lookup(a phys.Addr) Perm {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	for _, e := range p.entries {
 		if e.used && e.Region.Contains(a) {
 			return e.Perm
@@ -162,10 +180,12 @@ func (p *PMP) Lookup(a phys.Addr) Perm {
 }
 
 // Generation implements AccessFilter.
-func (p *PMP) Generation() uint64 { return p.gen }
+func (p *PMP) Generation() uint64 { return p.gen.Load() }
 
 // Entries returns a copy of the register file for inspection.
 func (p *PMP) Entries() []PMPEntry {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	out := make([]PMPEntry, len(p.entries))
 	copy(out, p.entries)
 	return out

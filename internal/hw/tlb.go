@@ -1,6 +1,11 @@
 package hw
 
-import "github.com/tyche-sim/tyche/internal/phys"
+import (
+	"sync"
+	"sync/atomic"
+
+	"github.com/tyche-sim/tyche/internal/phys"
+)
 
 // DefaultTLBEntries is the modelled TLB capacity per core.
 const DefaultTLBEntries = 64
@@ -17,14 +22,29 @@ const DefaultTLBEntries = 64
 // behaviour, which turns a revocation without a TLB shootdown into a
 // modelled vulnerability the failure-injection tests exercise. The
 // monitor's flush-on-revoke cleanup is what closes the window.
+//
+// Storage is a fixed slot array with clock-hand (second-chance)
+// eviction: a lookup sets the slot's reference bit, and the hand sweeps
+// past referenced slots once before reclaiming them. This replaces the
+// earlier slice-based FIFO, whose eviction shifted a queue on every
+// fill (see BenchmarkTLBInsertEvict).
+//
+// The TLB belongs to one core but is mutated cross-core by the
+// monitor's cleanup shootdowns (backend.RunCleanups flushes every
+// core's TLB), so all operations take an internal mutex; statistics
+// counters are atomic so they can be read while the core runs.
 type TLB struct {
-	entries map[tlbKey]tlbEntry
-	cap     int
-	fifo    []tlbKey
-	// Strict, when true, validates generation on every hit.
+	// Strict, when true, validates generation on every hit. Toggled
+	// only while the core is quiescent.
 	Strict bool
 
-	hits, misses, flushes uint64
+	mu      sync.Mutex
+	entries map[tlbKey]int // key -> slot index
+	slots   []tlbSlot
+	hand    int
+	used    int
+
+	hits, misses, flushes atomic.Uint64
 }
 
 type tlbKey struct {
@@ -32,9 +52,12 @@ type tlbKey struct {
 	page uint64
 }
 
-type tlbEntry struct {
+type tlbSlot struct {
+	key  tlbKey
 	perm Perm
 	gen  uint64
+	used bool
+	ref  bool
 }
 
 // NewTLB returns a TLB holding capacity entries.
@@ -42,7 +65,10 @@ func NewTLB(capacity int) *TLB {
 	if capacity <= 0 {
 		capacity = DefaultTLBEntries
 	}
-	return &TLB{entries: make(map[tlbKey]tlbEntry, capacity), cap: capacity}
+	return &TLB{
+		entries: make(map[tlbKey]int, capacity),
+		slots:   make([]tlbSlot, capacity),
+	}
 }
 
 // Lookup consults the TLB for page pg of address space asid against
@@ -50,57 +76,113 @@ func NewTLB(capacity int) *TLB {
 // was a hit. In non-strict mode a stale entry is still returned as a hit.
 func (t *TLB) Lookup(asid, pg uint64, gen uint64) (Perm, bool) {
 	k := tlbKey{asid, pg}
-	e, ok := t.entries[k]
+	t.mu.Lock()
+	i, ok := t.entries[k]
 	if !ok {
-		t.misses++
+		t.mu.Unlock()
+		t.misses.Add(1)
 		return 0, false
 	}
-	if t.Strict && e.gen != gen {
-		t.misses++
+	s := &t.slots[i]
+	if t.Strict && s.gen != gen {
 		delete(t.entries, k)
+		s.used = false
+		s.ref = false
+		t.used--
+		t.mu.Unlock()
+		t.misses.Add(1)
 		return 0, false
 	}
-	t.hits++
-	return e.perm, true
+	s.ref = true
+	perm := s.perm
+	t.mu.Unlock()
+	t.hits.Add(1)
+	return perm, true
 }
 
-// Insert caches the decision for page pg of asid, evicting FIFO if full.
+// RecordHit counts a translation served by a faster structure in front
+// of the TLB (the core's 1-entry MRU cache) so hit-rate statistics keep
+// describing the whole translation path.
+func (t *TLB) RecordHit() { t.hits.Add(1) }
+
+// FlushCount returns the number of flush operations so far. The core's
+// MRU translation cache keys on it to stay coherent with shootdowns.
+func (t *TLB) FlushCount() uint64 { return t.flushes.Load() }
+
+// Insert caches the decision for page pg of asid, evicting with the
+// clock hand if full.
 func (t *TLB) Insert(asid, pg uint64, perm Perm, gen uint64) {
 	k := tlbKey{asid, pg}
-	if _, ok := t.entries[k]; !ok {
-		if len(t.entries) >= t.cap && len(t.fifo) > 0 {
-			victim := t.fifo[0]
-			t.fifo = t.fifo[1:]
-			delete(t.entries, victim)
-		}
-		t.fifo = append(t.fifo, k)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if i, ok := t.entries[k]; ok {
+		t.slots[i] = tlbSlot{key: k, perm: perm, gen: gen, used: true, ref: true}
+		return
 	}
-	t.entries[k] = tlbEntry{perm: perm, gen: gen}
+	i := t.reclaim()
+	t.slots[i] = tlbSlot{key: k, perm: perm, gen: gen, used: true, ref: true}
+	t.entries[k] = i
+	t.used++
+}
+
+// reclaim returns a free slot index, evicting via the clock hand when
+// the array is full: referenced slots get a second chance (ref cleared,
+// hand moves on), unreferenced ones are reclaimed.
+func (t *TLB) reclaim() int {
+	for {
+		s := &t.slots[t.hand]
+		i := t.hand
+		t.hand = (t.hand + 1) % len(t.slots)
+		if !s.used {
+			return i
+		}
+		if s.ref {
+			s.ref = false
+			continue
+		}
+		delete(t.entries, s.key)
+		s.used = false
+		t.used--
+		return i
+	}
 }
 
 // Flush invalidates every entry on the core.
 func (t *TLB) Flush() {
-	t.entries = make(map[tlbKey]tlbEntry, t.cap)
-	t.fifo = t.fifo[:0]
-	t.flushes++
+	t.mu.Lock()
+	clear(t.entries)
+	for i := range t.slots {
+		t.slots[i] = tlbSlot{}
+	}
+	t.hand = 0
+	t.used = 0
+	t.mu.Unlock()
+	t.flushes.Add(1)
 }
 
 // FlushRegion invalidates entries covering r in every address space —
 // the shootdown a revocation triggers.
 func (t *TLB) FlushRegion(r phys.Region) {
-	for k := range t.entries {
+	t.mu.Lock()
+	for k, i := range t.entries {
 		if k.page >= r.Start.Page() && k.page < r.End.Page() {
 			delete(t.entries, k)
+			t.slots[i] = tlbSlot{}
+			t.used--
 		}
 	}
-	// The FIFO compacts lazily: stale slots simply miss on eviction.
-	t.flushes++
+	t.mu.Unlock()
+	t.flushes.Add(1)
 }
 
 // Stats returns hit/miss/flush counters.
 func (t *TLB) Stats() (hits, misses, flushes uint64) {
-	return t.hits, t.misses, t.flushes
+	return t.hits.Load(), t.misses.Load(), t.flushes.Load()
 }
 
 // Len returns the number of cached entries.
-func (t *TLB) Len() int { return len(t.entries) }
+func (t *TLB) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.entries)
+}
