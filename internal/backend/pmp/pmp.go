@@ -143,6 +143,15 @@ func (b *Backend) RemoveDomain(owner cap.OwnerID) error {
 	if _, err := b.state(owner); err != nil {
 		return err
 	}
+	// Scrub the register files of cores the domain died on: PMP state
+	// outlives the domain otherwise, and cleared entries (plus the
+	// locked monitor guard) deny every access.
+	for _, c := range b.mach.Cores {
+		if ctx := c.Context(); ctx != nil && ctx.Owner == uint64(owner) {
+			cleared := c.PMPUnit.ClearAll()
+			b.mach.Clock.Advance(uint64(cleared) * b.mach.Cost.PMPWrite)
+		}
+	}
 	delete(b.domains, owner)
 	return nil
 }

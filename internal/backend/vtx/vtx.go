@@ -102,9 +102,14 @@ func (b *Backend) SyncDomain(owner cap.OwnerID) error {
 
 // RemoveDomain implements backend.Backend.
 func (b *Backend) RemoveDomain(owner cap.OwnerID) error {
-	if _, err := b.state(owner); err != nil {
+	st, err := b.state(owner)
+	if err != nil {
 		return err
 	}
+	// Empty the EPT before dropping the state: a core that still has
+	// one of the domain's contexts installed (it died mid-run) keeps a
+	// pointer to this table, and an empty table denies every access.
+	st.ept.Clear()
 	delete(b.domains, owner)
 	for k := range b.fastPairs {
 		if k.a == owner || k.b == owner {

@@ -250,6 +250,161 @@ func TestRevocationCascadeReachesEverything(t *testing.T) {
 	}
 }
 
+// capState is the observable capability state the revoke-under-fault
+// properties compare: the exact refcount segmentation plus a
+// brute-force access map for every owner at sampled pages.
+type capState struct {
+	segs   []RegionCount
+	nodes  int
+	access map[OwnerID][propPages]bool
+}
+
+func captureState(s *Space, owners []OwnerID) capState {
+	st := capState{segs: s.RefCounts(), nodes: s.NumNodes(), access: make(map[OwnerID][propPages]bool)}
+	for _, o := range owners {
+		var m [propPages]bool
+		for pgN := 0; pgN < propPages; pgN++ {
+			m[pgN] = s.CheckMemAccess(o, phys.Addr(pgN*pg), RightsNone)
+		}
+		st.access[o] = m
+	}
+	return st
+}
+
+func diffStates(t *testing.T, label string, before, after capState) {
+	t.Helper()
+	if before.nodes != after.nodes {
+		t.Fatalf("%s: node count %d -> %d (leak or double-free)", label, before.nodes, after.nodes)
+	}
+	if len(before.segs) != len(after.segs) {
+		t.Fatalf("%s: refcount map changed shape:\n  %v\n  %v", label, before.segs, after.segs)
+	}
+	for i := range before.segs {
+		b, a := before.segs[i], after.segs[i]
+		if b.Region != a.Region || b.Count != a.Count {
+			t.Fatalf("%s: segment %d changed: %v -> %v", label, i, b, a)
+		}
+	}
+	for o, bm := range before.access {
+		am := after.access[o]
+		for pgN := range bm {
+			if bm[pgN] != am[pgN] {
+				t.Fatalf("%s: owner %d access at page %d changed %v -> %v",
+					label, o, pgN, bm[pgN], am[pgN])
+			}
+		}
+	}
+}
+
+// TestRevokeOwnerMidGrantNeutrality is the containment path's core
+// property (Monitor.destroyDomain calls RevokeOwner on the victim):
+// killing an owner at an *arbitrary point* of an in-flight
+// grant-and-reshare sequence restores the surviving owners' view
+// exactly — no leaked refcount from a half-built chain, no double-free
+// from a cascade meeting a direct revocation, and no residual access
+// for the victim or anyone who derived from it.
+func TestRevokeOwnerMidGrantNeutrality(t *testing.T) {
+	const victim, accomplice = OwnerID(9), OwnerID(10)
+	for seed := int64(1); seed <= 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		s := NewSpace()
+		root, err := s.CreateRoot(1, mem(0, propPages), MemFull, CleanNone)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Pre-existing survivor topology among owners 1..3.
+		base := []NodeID{root}
+		for i := 0; i < rng.Intn(8); i++ {
+			src := base[rng.Intn(len(base))]
+			info, err := s.Node(src)
+			if err != nil || info.Resource.Mem.Pages() == 0 {
+				continue
+			}
+			r := info.Resource.Mem
+			off := uint64(rng.Int63n(int64(r.Pages())))
+			n := uint64(rng.Int63n(int64(r.Pages()-off))) + 1
+			sub := MemResource(phys.MakeRegion(r.Start+phys.Addr(off*pg), n*pg))
+			if id, err := s.Share(src, OwnerID(rng.Intn(3)+1), sub, info.Rights, CleanNone); err == nil {
+				base = append(base, id)
+			}
+		}
+		survivors := []OwnerID{1, 2, 3, victim, accomplice}
+		before := captureState(s, survivors)
+
+		// The victim's in-flight activity: receive shares and grants,
+		// re-share onward to an accomplice, grant back to survivors. The
+		// random op count is the "mid-grant" part — the kill lands after
+		// an arbitrary prefix of the chain.
+		var vids []NodeID
+		steps := rng.Intn(14) + 1
+		for i := 0; i < steps; i++ {
+			pickSub := func(id NodeID) (Resource, Rights, bool) {
+				info, err := s.Node(id)
+				if err != nil || info.Resource.Kind != ResMemory || info.Resource.Mem.Pages() == 0 {
+					return Resource{}, 0, false
+				}
+				r := info.Resource.Mem
+				off := uint64(rng.Int63n(int64(r.Pages())))
+				n := uint64(rng.Int63n(int64(r.Pages()-off))) + 1
+				return MemResource(phys.MakeRegion(r.Start+phys.Addr(off*pg), n*pg)), info.Rights, true
+			}
+			switch {
+			case len(vids) == 0 || rng.Intn(3) == 0: // inbound share/grant
+				src := base[rng.Intn(len(base))]
+				sub, rights, ok := pickSub(src)
+				if !ok {
+					continue
+				}
+				var id NodeID
+				if rng.Intn(2) == 0 {
+					id, err = s.Share(src, victim, sub, rights, CleanZero)
+				} else {
+					id, err = s.Grant(src, victim, sub, rights, CleanObfuscate)
+				}
+				if err == nil {
+					vids = append(vids, id)
+				}
+			default: // victim re-derives onward
+				src := vids[rng.Intn(len(vids))]
+				sub, rights, ok := pickSub(src)
+				if !ok {
+					continue
+				}
+				dst := accomplice
+				if rng.Intn(3) == 0 {
+					dst = OwnerID(rng.Intn(3) + 1)
+				}
+				if id, err := s.Share(src, dst, sub, rights, CleanFlushTLB); err == nil {
+					vids = append(vids, id)
+				}
+			}
+		}
+
+		// The fault: the monitor kills the victim mid-chain.
+		s.RevokeOwner(victim)
+		// Anything the victim re-shared dies with its lineage; the
+		// accomplice's derived-only access must be gone too.
+		after := captureState(s, survivors)
+		diffStates(t, "kill mid-grant", before, after)
+		for pgN := 0; pgN < propPages; pgN++ {
+			if s.CheckMemAccess(victim, phys.Addr(pgN*pg), RightsNone) {
+				t.Fatalf("seed %d: victim retains access at page %d after kill", seed, pgN)
+			}
+		}
+		// Double-kill is a no-op: no action emitted, nothing changes.
+		if acts := s.RevokeOwner(victim); len(acts) != 0 {
+			t.Fatalf("seed %d: second RevokeOwner emitted %d cleanups", seed, len(acts))
+		}
+		diffStates(t, "double kill", after, captureState(s, survivors))
+		// Full refcount audit after the cascade.
+		for _, rc := range s.RefCounts() {
+			if rc.Count != len(rc.Owners) {
+				t.Fatalf("seed %d: refcount %d != owners %v", seed, rc.Count, rc.Owners)
+			}
+		}
+	}
+}
+
 // Property: Grant then Revoke is access-neutral for every owner.
 func TestGrantRevokeNeutrality(t *testing.T) {
 	rng := rand.New(rand.NewSource(99))

@@ -1,0 +1,112 @@
+package core
+
+// Fault containment. When the hardware reports a machine check — an
+// injected fault in the simulator, broken silicon or a crashed domain
+// in real life — the monitor's job is Dorami-style blast-radius
+// control: destroy the victim domain completely (capability subtree,
+// hardware filters, TLB entries, memory contents, encryption key) while
+// every other domain keeps running. The path reuses the capability
+// engine's cascading revocation and adds a forced scrub: containment
+// cannot trust the cleanup policies a crashed domain chose for itself.
+
+import (
+	"github.com/tyche-sim/tyche/internal/cap"
+	"github.com/tyche-sim/tyche/internal/hw"
+	"github.com/tyche-sim/tyche/internal/phys"
+)
+
+// ForceKill destroys a domain with monitor authority: no caller
+// authorization, cleanup policies overridden by a full scrub of the
+// domain's exclusive memory. It is the containment entry point RunCore
+// uses on machine checks, exposed for embedders (watchdogs, operators)
+// that detect a wedged domain out-of-band. The initial domain is not
+// force-killable — it is the platform's root workload; faults on it
+// park the faulting core instead (see containFault).
+func (m *Monitor) ForceKill(id DomainID) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	d, err := m.liveDomain(id)
+	if err != nil {
+		return err
+	}
+	if id == InitialDomain {
+		return m.deny("the initial domain cannot be force-killed")
+	}
+	m.stats.ForcedKills++
+	return m.destroyDomain(d, true)
+}
+
+// destroyDomain is the shared kill path (monitor lock held): revoke the
+// domain's entire capability subtree with cleanups, resynchronise every
+// surviving owner's hardware state, remove the backend state (which
+// leaves any still-installed context of the victim denying all
+// accesses), drop the encryption key, and clear scheduling state. With
+// scrub set, the domain's exclusively-held memory is additionally
+// zeroed and shot down from every TLB regardless of cleanup policies.
+func (m *Monitor) destroyDomain(d *Domain, scrub bool) error {
+	owner := cap.OwnerID(d.id)
+	var scrubRegions []phys.Region
+	if scrub {
+		// Exclusive regions must be computed before revocation destroys
+		// the ownership records. Shared regions are left intact — a
+		// surviving co-owner still uses them.
+		for _, rc := range m.space.RefCounts() {
+			if rc.Count == 1 && len(rc.Owners) == 1 && rc.Owners[0] == owner {
+				scrubRegions = append(scrubRegions, rc.Region)
+			}
+		}
+		scrubRegions = phys.NormalizeRegions(scrubRegions)
+	}
+	acts := m.space.RevokeOwner(owner)
+	d.state = StateDead
+	m.stats.Revocations++
+	if err := m.afterRevocation(acts); err != nil {
+		return err
+	}
+	for _, r := range scrubRegions {
+		if err := m.mach.Mem.Zero(r); err != nil {
+			return err
+		}
+		m.mach.Clock.Advance(r.Size() / hw.CacheLineSize * m.mach.Cost.ZeroLine)
+		for _, c := range m.mach.Cores {
+			c.TLBUnit().FlushRegion(r)
+			m.mach.Clock.Advance(m.mach.Cost.TLBFlush)
+		}
+		m.stats.PagesScrubbed += r.Pages()
+	}
+	if err := m.bk.RemoveDomain(owner); err != nil {
+		return err
+	}
+	m.cryptoErase(d.id)
+	// Clear scheduling state referring to the dead domain.
+	for c, cur := range m.current {
+		if cur == d.id {
+			delete(m.current, c)
+		}
+	}
+	return nil
+}
+
+// containFault handles a machine check taken on core while victim ran
+// (monitor lock held). The victim is force-killed and the core's call
+// stack discarded; survivors on other cores are untouched. A fault
+// while the initial domain ran only parks the core — dom0 holds the
+// platform's root capabilities, and destroying it would take down
+// every descendant, the opposite of containment.
+func (m *Monitor) containFault(core phys.CoreID, victim DomainID) error {
+	m.stats.MachineChecks++
+	m.frames[core] = nil
+	delete(m.current, core)
+	m.stats.CoresParked++
+	d, ok := m.domains[victim]
+	if !ok || d.state == StateDead {
+		// Nothing live was running (the fault hit a half-torn-down
+		// domain); parking the core is the whole containment.
+		return nil
+	}
+	if victim == InitialDomain {
+		return nil
+	}
+	m.stats.ForcedKills++
+	return m.destroyDomain(d, true)
+}

@@ -9,79 +9,136 @@ import (
 	"github.com/tyche-sim/tyche/internal/phys"
 )
 
-// TestMonitorAPIFuzz drives a long random sequence of monitor API calls
-// from randomly chosen (frequently unauthorized) callers and checks the
-// system-wide isolation invariants after every step. This is the
+// The monitor API fuzzer drives a sequence of monitor calls decoded
+// from an opaque byte stream — frequently from unauthorized callers,
+// against dead domains, with misaligned or overlapping regions — and
+// checks the system-wide isolation invariants as it goes. This is the
 // "malicious-domain API abuse" failure-injection from DESIGN.md: no
 // sequence of legal-or-rejected API calls may produce a state where the
 // hardware filter of one domain admits memory the capability space says
-// it does not have.
+// it does not have. The byte-stream encoding makes it a native Go fuzz
+// target (FuzzMonitorAPI) with a checked-in seed corpus under
+// testdata/fuzz/, while TestMonitorAPIFuzz keeps the long seeded runs
+// in the ordinary test suite.
+
+// driveMonitorOps interprets data as a monitor-call program: each op is
+// one opcode byte plus operand bytes, all drawn modulo the live object
+// sets so every input decodes to something executable. Invariants are
+// re-checked periodically and at the end.
+func driveMonitorOps(tb testing.TB, m *Monitor, data []byte) {
+	domains := []DomainID{InitialDomain}
+	var nodes []cap.NodeID
+	for _, n := range m.OwnerNodes(InitialDomain) {
+		nodes = append(nodes, n.ID)
+	}
+	pos := 0
+	next := func() byte {
+		if pos >= len(data) {
+			pos++ // still consume, so the loop terminates
+			return 0
+		}
+		b := data[pos]
+		pos++
+		return b
+	}
+	pick := func(n int) int {
+		if n <= 0 {
+			return 0
+		}
+		return int(next()) % n
+	}
+	randDomain := func() DomainID { return domains[pick(len(domains))] }
+	randNode := func() cap.NodeID {
+		if len(nodes) == 0 {
+			return 0
+		}
+		return nodes[pick(len(nodes))]
+	}
+	randRegion := func() cap.Resource {
+		start := uint64(next()) << 2 // 0..1020 pages, page-aligned
+		pages := uint64(pick(16) + 1)
+		return cap.MemResource(phys.MakeRegion(phys.Addr(start*pg), pages*pg))
+	}
+	steps := 0
+	for pos < len(data) {
+		switch next() % 12 {
+		case 0:
+			if len(domains) < 32 {
+				if id, err := m.CreateDomain(randDomain(), "fuzz"); err == nil {
+					domains = append(domains, id)
+				}
+			}
+		case 1, 2, 3:
+			if id, err := m.Share(randDomain(), randNode(), randDomain(), randRegion(), cap.MemRW|cap.RightShare, cap.CleanZero); err == nil {
+				nodes = append(nodes, id)
+			}
+		case 4, 5:
+			if id, err := m.Grant(randDomain(), randNode(), randDomain(), randRegion(), cap.MemRW, cap.CleanObfuscate); err == nil {
+				nodes = append(nodes, id)
+			}
+		case 6:
+			_ = m.Revoke(randDomain(), randNode())
+		case 7:
+			d := randDomain()
+			if d != InitialDomain {
+				_ = m.KillDomain(randDomain(), d)
+			}
+		case 8:
+			d := randDomain()
+			if next()%4 == 0 {
+				// Occasionally give it an entry so seal can land.
+				_ = m.SetEntry(randDomain(), d, phys.Addr(uint64(pick(512))*pg))
+			}
+			_, _ = m.Seal(randDomain(), d)
+		case 9:
+			_, _ = m.Attest(randDomain(), []byte("fuzz"))
+		case 10:
+			// Containment path under fuzz: force-kill with monitor
+			// authority, exactly what a machine check triggers.
+			_ = m.ForceKill(randDomain())
+		case 11:
+			_ = m.Launch(randDomain(), phys.CoreID(pick(2)))
+		}
+		steps++
+		if steps%32 == 0 {
+			checkIsolationInvariants(tb, m, domains)
+		}
+	}
+	checkIsolationInvariants(tb, m, domains)
+}
+
+// FuzzMonitorAPI is the native fuzz entry point. Seed corpus lives in
+// testdata/fuzz/FuzzMonitorAPI; CI runs a short -fuzz smoke on top of
+// the corpus replay that ordinary `go test` already performs.
+func FuzzMonitorAPI(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 2048 {
+			t.Skip("bounded input size")
+		}
+		m := bootWorld(t, BackendVTX)
+		driveMonitorOps(t, m, data)
+	})
+}
+
+// TestMonitorAPIFuzz keeps long pseudo-random op streams in the plain
+// test suite (the fuzz target only replays its corpus under `go test`).
 func TestMonitorAPIFuzz(t *testing.T) {
 	for seed := int64(1); seed <= 4; seed++ {
 		seed := seed
 		t.Run(string(rune('a'+seed)), func(t *testing.T) {
 			rng := rand.New(rand.NewSource(seed))
+			data := make([]byte, 1600)
+			rng.Read(data)
 			m := bootWorld(t, BackendVTX)
-			domains := []DomainID{InitialDomain}
-			var nodes []cap.NodeID
-			for _, n := range m.OwnerNodes(InitialDomain) {
-				nodes = append(nodes, n.ID)
-			}
-			randDomain := func() DomainID { return domains[rng.Intn(len(domains))] }
-			randNode := func() cap.NodeID {
-				if len(nodes) == 0 {
-					return 0
-				}
-				return nodes[rng.Intn(len(nodes))]
-			}
-			randRegion := func() cap.Resource {
-				start := uint64(rng.Intn(1024)) * pg
-				pages := uint64(rng.Intn(16) + 1)
-				return cap.MemResource(phys.MakeRegion(phys.Addr(start), pages*pg))
-			}
-			for step := 0; step < 400; step++ {
-				switch rng.Intn(10) {
-				case 0:
-					if id, err := m.CreateDomain(randDomain(), "fuzz"); err == nil {
-						domains = append(domains, id)
-					}
-				case 1, 2, 3:
-					if id, err := m.Share(randDomain(), randNode(), randDomain(), randRegion(), cap.MemRW|cap.RightShare, cap.CleanZero); err == nil {
-						nodes = append(nodes, id)
-					}
-				case 4, 5:
-					if id, err := m.Grant(randDomain(), randNode(), randDomain(), randRegion(), cap.MemRW, cap.CleanObfuscate); err == nil {
-						nodes = append(nodes, id)
-					}
-				case 6:
-					_ = m.Revoke(randDomain(), randNode())
-				case 7:
-					d := randDomain()
-					if d != InitialDomain {
-						_ = m.KillDomain(randDomain(), d)
-					}
-				case 8:
-					d := randDomain()
-					if rng.Intn(4) == 0 {
-						// Occasionally give it an entry so seal can land.
-						_ = m.SetEntry(randDomain(), d, phys.Addr(uint64(rng.Intn(512))*pg))
-					}
-					_, _ = m.Seal(randDomain(), d)
-				case 9:
-					_, _ = m.Attest(randDomain(), []byte("fuzz"))
-				}
-				if step%25 == 0 {
-					checkIsolationInvariants(t, m, domains)
-				}
-			}
-			checkIsolationInvariants(t, m, domains)
+			driveMonitorOps(t, m, data)
 		})
 	}
 }
 
 // checkIsolationInvariants cross-checks the capability space against
 // the hardware filters the backend programmed.
-func checkIsolationInvariants(t *testing.T, m *Monitor, domains []DomainID) {
+func checkIsolationInvariants(t testing.TB, m *Monitor, domains []DomainID) {
 	t.Helper()
 	for _, id := range domains {
 		d, err := m.Domain(id)

@@ -67,6 +67,12 @@ type Stats struct {
 	DeniedOps    uint64 // API calls rejected by validation
 	IRQsRouted   uint64 // device interrupts delivered by capability
 	IRQsDropped  uint64 // interrupts with no capable receiver
+
+	// Fault containment (contain.go).
+	MachineChecks uint64 // hardware machine-check traps taken
+	ForcedKills   uint64 // domains destroyed by the containment path
+	PagesScrubbed uint64 // pages zeroed while reclaiming dead domains
+	CoresParked   uint64 // cores taken out of scheduling after a fault
 }
 
 // Monitor is the isolation monitor instance controlling one machine.
@@ -595,23 +601,7 @@ func (m *Monitor) KillDomain(caller, id DomainID) error {
 	if id == InitialDomain {
 		return m.deny("the initial domain cannot be killed")
 	}
-	acts := m.space.RevokeOwner(cap.OwnerID(id))
-	d.state = StateDead
-	m.stats.Revocations++
-	if err := m.afterRevocation(acts); err != nil {
-		return err
-	}
-	if err := m.bk.RemoveDomain(cap.OwnerID(id)); err != nil {
-		return err
-	}
-	m.cryptoErase(id)
-	// Clear scheduling state referring to the dead domain.
-	for c, cur := range m.current {
-		if cur == id {
-			delete(m.current, c)
-		}
-	}
-	return nil
+	return m.destroyDomain(d, false)
 }
 
 // Enumerate returns the domain's resources as the attestation would

@@ -234,6 +234,7 @@ type RunResult struct {
 //     frames (an enclave completing its call), else RunCore stops.
 //   - Fault/Illegal: execution stops and the trap is reported; policy
 //     belongs to the embedding system, not the monitor.
+//
 // RunCore holds the monitor lock only while handling traps: guest
 // execution between traps runs without it, which is what lets RunCores
 // drive many cores in parallel with monitor entries serialised.
@@ -321,6 +322,17 @@ func (m *Monitor) RunCore(core phys.CoreID, budget int) (RunResult, error) {
 				return RunResult{Steps: total, Trap: trap, Domain: id}, err
 			}
 			m.mach.Clock.Advance(m.mach.Cost.Sysret)
+		case hw.TrapMachineCheck:
+			// A hardware fault killed whatever ran here. Contain it:
+			// destroy the victim domain (scrubbed), park the core, and
+			// report the trap. Other cores keep running throughout.
+			m.mach.Clock.Advance(m.mach.Cost.VMExit)
+			m.mu.Lock()
+			m.stats.VMExits++
+			victim := curLocked()
+			cErr := m.containFault(core, victim)
+			m.mu.Unlock()
+			return RunResult{Steps: total, Trap: trap, Domain: victim}, cErr
 		default: // fault, illegal
 			return RunResult{Steps: total, Trap: trap, Domain: cur()}, nil
 		}

@@ -33,19 +33,20 @@ type TrapKind int
 
 // Trap kinds.
 const (
-	TrapNone    TrapKind = iota // instruction budget exhausted, no event
-	TrapHalt                    // explicit HLT
-	TrapVMCall                  // trap to the isolation monitor
-	TrapSyscall                 // trap to the domain's kernel
-	TrapFault                   // memory access denied (or bus error)
-	TrapIllegal                 // undecodable instruction
-	TrapTimer                   // the core's one-shot timer expired
+	TrapNone         TrapKind = iota // instruction budget exhausted, no event
+	TrapHalt                         // explicit HLT
+	TrapVMCall                       // trap to the isolation monitor
+	TrapSyscall                      // trap to the domain's kernel
+	TrapFault                        // memory access denied (or bus error)
+	TrapIllegal                      // undecodable instruction
+	TrapTimer                        // the core's one-shot timer expired
+	TrapMachineCheck                 // hardware fault (injected machine check or core stall)
 )
 
 var trapNames = [...]string{
 	TrapNone: "none", TrapHalt: "halt", TrapVMCall: "vmcall",
 	TrapSyscall: "syscall", TrapFault: "fault", TrapIllegal: "illegal",
-	TrapTimer: "timer",
+	TrapTimer: "timer", TrapMachineCheck: "machine-check",
 }
 
 func (k TrapKind) String() string {
@@ -74,6 +75,8 @@ func (t Trap) String() string {
 		return fmt.Sprintf("fault(%v %v at pc=%v)", t.Addr, t.Want, t.PC)
 	case TrapIllegal:
 		return fmt.Sprintf("illegal(pc=%v: %s)", t.PC, t.Info)
+	case TrapMachineCheck:
+		return fmt.Sprintf("machine-check(pc=%v: %s)", t.PC, t.Info)
 	default:
 		return t.Kind.String()
 	}
@@ -131,10 +134,11 @@ type Core struct {
 	// backend; idle under the VT-x backend).
 	PMPUnit *PMP
 
-	ctx    atomic.Pointer[Context]
-	tlb    *TLB
-	cache  *Cache
-	halted atomic.Bool
+	ctx     atomic.Pointer[Context]
+	tlb     *TLB
+	cache   *Cache
+	halted  atomic.Bool
+	stalled atomic.Bool
 
 	// clk is this core's clock shard: guest execution charges it
 	// lock-free, and the machine clock aggregates shards on read.
@@ -188,6 +192,15 @@ func (c *Core) FaultCount() uint64 { return c.faults.Load() }
 
 // Halted reports whether the core executed HLT and was not resumed.
 func (c *Core) Halted() bool { return c.halted.Load() }
+
+// Stalled reports whether the core took an injected hard stall. A
+// stalled core raises TrapMachineCheck on every step until ClearStall.
+func (c *Core) Stalled() bool { return c.stalled.Load() }
+
+// ClearStall un-poisons a stalled core — the model of a firmware-level
+// core reset. The monitor only does this once the crashed domain's
+// state is fully contained.
+func (c *Core) ClearStall() { c.stalled.Store(false) }
 
 // Cycles returns the cycles this core's guest execution has consumed.
 // The machine clock already includes them in its total.
@@ -263,6 +276,17 @@ func (c *Core) access(a phys.Addr, want Perm, size uint64) *Trap {
 	if ctx == nil {
 		return &Trap{Kind: TrapFault, Addr: a, Want: want, PC: c.PC, Info: "no context installed"}
 	}
+	if fi := c.mach.FaultInjector(); fi != nil {
+		switch fi.OnAccess(c.id, a, want) {
+		case FaultAbort:
+			c.faults.Add(1)
+			return &Trap{Kind: TrapMachineCheck, Addr: a, Want: want, PC: c.PC, Info: "injected machine check"}
+		case FaultStall:
+			c.faults.Add(1)
+			c.stalled.Store(true)
+			return &Trap{Kind: TrapMachineCheck, Addr: a, Want: want, PC: c.PC, Info: "core stalled"}
+		}
+	}
 	cost := &c.mach.Cost
 	clk := &c.clk
 	// Bus bounds.
@@ -323,6 +347,9 @@ func (c *Core) access(a phys.Addr, want Perm, size uint64) *Trap {
 // exit event; Trap.Kind==TrapNone means the instruction retired and
 // execution may continue.
 func (c *Core) Step() Trap {
+	if c.stalled.Load() {
+		return Trap{Kind: TrapMachineCheck, PC: c.PC, Info: "core stalled"}
+	}
 	if c.halted.Load() {
 		return Trap{Kind: TrapHalt, PC: c.PC}
 	}

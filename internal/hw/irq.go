@@ -18,15 +18,25 @@ type IRQ struct {
 	Vector uint32
 }
 
-// RaiseIRQ posts an interrupt from a device to the controller.
+// RaiseIRQ posts an interrupt from a device to the controller. An
+// installed fault injector may eat the line (a lost interrupt).
 func (m *Machine) RaiseIRQ(dev phys.DeviceID, vector uint32) {
+	if fi := m.FaultInjector(); fi != nil && fi.OnRaiseIRQ(dev, vector) {
+		return
+	}
 	m.irqMu.Lock()
 	defer m.irqMu.Unlock()
 	m.irqs = append(m.irqs, IRQ{Device: dev, Vector: vector})
 }
 
-// TakeIRQ pops the oldest pending interrupt.
+// TakeIRQ pops the oldest pending interrupt. An installed fault
+// injector may deliver a spurious interrupt ahead of the real queue.
 func (m *Machine) TakeIRQ() (IRQ, bool) {
+	if fi := m.FaultInjector(); fi != nil {
+		if irq, ok := fi.TakeSpuriousIRQ(); ok {
+			return irq, true
+		}
+	}
 	m.irqMu.Lock()
 	defer m.irqMu.Unlock()
 	if len(m.irqs) == 0 {

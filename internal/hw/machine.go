@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"github.com/tyche-sim/tyche/internal/phys"
 )
@@ -70,6 +71,10 @@ type Machine struct {
 	// from any goroutine, so it is lock-protected.
 	irqMu sync.Mutex
 	irqs  []IRQ
+
+	// fault is the optional fault injector (see fault.go); read on every
+	// guest access, so it is an atomic pointer rather than a locked field.
+	fault atomic.Pointer[FaultInjector]
 }
 
 // NewMachine builds a machine from cfg.

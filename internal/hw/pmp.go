@@ -190,3 +190,68 @@ func (p *PMP) Entries() []PMPEntry {
 	copy(out, p.entries)
 	return out
 }
+
+// --- pmpaddr register encodings ---------------------------------------
+//
+// Real RISC-V PMP entries are programmed through pmpaddr CSRs holding
+// physical address bits [55:2]. Two range encodings matter here:
+//
+//   NAPOT: a naturally aligned power-of-two region of size 2^(z+3)
+//   bytes is encoded in one register as (base>>2) | (2^z - 1) — the
+//   size is carried by the count of trailing one bits. Minimum
+//   encodable size is 8 bytes (z = 0).
+//
+//   TOR (top of range): entry i covers [pmpaddr[i-1]<<2, pmpaddr[i]<<2),
+//   so an arbitrary 4-byte-aligned range takes a register pair.
+//
+// The simulator stores regions directly, but layout planning and the
+// C5 entry-budget experiment reason about what silicon can express, so
+// the codecs are exact.
+
+// EncodeNAPOT encodes r as a single pmpaddr register value. r must be
+// naturally aligned, power-of-two sized, and at least 8 bytes.
+func EncodeNAPOT(r phys.Region) (uint64, error) {
+	if !IsNAPOT(r) {
+		return 0, fmt.Errorf("hw: region %v not NAPOT-encodable", r)
+	}
+	size := r.Size()
+	if size < 8 {
+		return 0, fmt.Errorf("hw: region %v below the 8-byte NAPOT minimum", r)
+	}
+	return uint64(r.Start)>>2 | (size>>3 - 1), nil
+}
+
+// DecodeNAPOT inverts EncodeNAPOT. An all-ones value (the whole
+// address space, size 2^66 on RV64) is rejected: it is not
+// representable as a Region.
+func DecodeNAPOT(v uint64) (phys.Region, error) {
+	z := bits.TrailingZeros64(^v) // count of trailing one bits
+	if z >= 61 {
+		return phys.Region{}, fmt.Errorf("hw: pmpaddr %#x: NAPOT size overflows the address space", v)
+	}
+	size := uint64(1) << (z + 3)
+	base := (v &^ (uint64(1)<<z - 1)) << 2
+	return phys.MakeRegion(phys.Addr(base), size), nil
+}
+
+// EncodeTOR encodes r as a (pmpaddr[i-1], pmpaddr[i]) register pair.
+// Both bounds must be 4-byte aligned; any such non-empty range is
+// encodable.
+func EncodeTOR(r phys.Region) (lo, hi uint64, err error) {
+	if r.Empty() {
+		return 0, 0, fmt.Errorf("hw: tor encode: empty region %v", r)
+	}
+	if r.Start%4 != 0 || r.End%4 != 0 {
+		return 0, 0, fmt.Errorf("hw: region %v not 4-byte aligned", r)
+	}
+	return uint64(r.Start) >> 2, uint64(r.End) >> 2, nil
+}
+
+// DecodeTOR inverts EncodeTOR. An empty range (hi <= lo) is an error:
+// hardware treats such an entry as matching nothing.
+func DecodeTOR(lo, hi uint64) (phys.Region, error) {
+	if hi <= lo {
+		return phys.Region{}, fmt.Errorf("hw: tor pair (%#x, %#x) is an empty range", lo, hi)
+	}
+	return phys.Region{Start: phys.Addr(lo << 2), End: phys.Addr(hi << 2)}, nil
+}

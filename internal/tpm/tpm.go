@@ -21,6 +21,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 )
 
 // NumPCRs is the number of platform configuration registers, matching
@@ -61,6 +62,31 @@ type TPM struct {
 
 	ek  ed25519.PrivateKey
 	ekp ed25519.PublicKey
+
+	// quoteHook, when set, is consulted at the top of MakeQuote; a
+	// non-nil error aborts the quote. Fault injection uses it to model
+	// transient root-of-trust failures. Guarded by hookMu so concurrent
+	// quoting races neither the hook pointer nor its internal state.
+	hookMu    sync.Mutex
+	quoteHook func() error
+}
+
+// SetQuoteHook installs (or, with nil, removes) a hook consulted before
+// every MakeQuote. The hook runs under the TPM's internal lock.
+func (t *TPM) SetQuoteHook(h func() error) {
+	t.hookMu.Lock()
+	defer t.hookMu.Unlock()
+	t.quoteHook = h
+}
+
+// checkQuoteHook runs the installed hook, if any.
+func (t *TPM) checkQuoteHook() error {
+	t.hookMu.Lock()
+	defer t.hookMu.Unlock()
+	if t.quoteHook == nil {
+		return nil
+	}
+	return t.quoteHook()
 }
 
 // New manufactures a TPM with a fresh endorsement key drawn from rng
@@ -147,6 +173,9 @@ func writeBytes(b *bytes.Buffer, p []byte) {
 // MakeQuote signs the current values of the selected PCRs.
 func (t *TPM) MakeQuote(nonce []byte, pcrs []int, userData []byte) (*Quote, error) {
 	idx := make([]int, len(pcrs))
+	if err := t.checkQuoteHook(); err != nil {
+		return nil, fmt.Errorf("tpm: quote: %w", err)
+	}
 	copy(idx, pcrs)
 	vals := make([]Digest, len(idx))
 	for i, ix := range idx {

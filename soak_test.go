@@ -2,6 +2,8 @@ package tyche_test
 
 import (
 	"math/rand"
+	"os"
+	"strconv"
 	"testing"
 
 	tyche "github.com/tyche-sim/tyche"
@@ -17,6 +19,15 @@ func TestSoakMixedWorkload(t *testing.T) {
 	rounds := 30
 	if testing.Short() {
 		rounds = 8
+	}
+	// The nightly workflow raises the budget far beyond what a per-push
+	// CI run can afford (see .github/workflows/nightly.yml).
+	if v := os.Getenv("SOAK_ROUNDS"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			t.Fatalf("invalid SOAK_ROUNDS=%q", v)
+		}
+		rounds = n
 	}
 	rng := rand.New(rand.NewSource(2026))
 	p, err := tyche.NewPlatform(tyche.Options{MemBytes: 64 << 20, Cores: 4})
