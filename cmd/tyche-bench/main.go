@@ -8,6 +8,7 @@
 //	tyche-bench                  # run everything
 //	tyche-bench -backend pmp -experiment F4
 //	tyche-bench -parallel 4 -out BENCH_smp.json
+//	tyche-bench -traced -experiment C15
 //
 // The process exits non-zero if any experiment's shape checks fail.
 package main
@@ -38,7 +39,7 @@ type benchOutput struct {
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "", "experiment ID (F1-F4, C1-C16); empty runs all")
+		experiment = flag.String("experiment", "", "experiment ID (F1-F4, C1-C17); empty runs all")
 		backend    = flag.String("backend", "vtx", "enforcement backend: vtx or pmp")
 		quick      = flag.Bool("quick", false, "smaller sweeps")
 		seed       = flag.Int64("seed", 1, "workload seed")
@@ -46,6 +47,7 @@ func main() {
 		asJSON     = flag.Bool("json", false, "emit results as JSON to stdout (for CI)")
 		parallel   = flag.Int("parallel", 1, "experiments to run concurrently")
 		out        = flag.String("out", "", "write machine-readable results (BENCH_smp.json) to this file")
+		traced     = flag.Bool("traced", false, "run every experiment with the cycle-stamped tracer and online invariant checker attached")
 	)
 	flag.Parse()
 
@@ -57,6 +59,7 @@ func main() {
 		return
 	}
 	cfg := bench.Config{
+		Trace:   *traced,
 		Backend: core.BackendKind(*backend),
 		Quick:   *quick,
 		Seed:    *seed,

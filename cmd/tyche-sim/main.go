@@ -17,6 +17,11 @@
 //	tyche-sim -emit evidence.json
 //	tyche-sim -faultseed 7
 //	tyche-sim -faultschedule mc1@128
+//	tyche-sim -trace trace.json
+//
+// With -trace the whole run is recorded by the cycle-stamped monitor
+// tracer, audited by the online invariant checker, and written out in
+// Chrome trace-event format (load in chrome://tracing or Perfetto).
 package main
 
 import (
@@ -32,6 +37,8 @@ import (
 	"github.com/tyche-sim/tyche/internal/fault"
 	"github.com/tyche-sim/tyche/internal/hw"
 	"github.com/tyche-sim/tyche/internal/phys"
+	"github.com/tyche-sim/tyche/internal/trace"
+	"github.com/tyche-sim/tyche/internal/trace/check"
 )
 
 func main() {
@@ -42,15 +49,16 @@ func main() {
 		emit      = flag.String("emit", "", "write an attestation bundle to this file")
 		faultSeed = flag.Int64("faultseed", 0, "derive a deterministic fault schedule from this seed and run the containment demo")
 		faultSpec = flag.String("faultschedule", "", "explicit fault schedule (e.g. mc1@128,stall1@64); overrides -faultseed")
+		tracePath = flag.String("trace", "", "record the run and write a Chrome trace-event file here")
 	)
 	flag.Parse()
-	if err := run(*backend, *memMiB, *cores, *emit, *faultSeed, *faultSpec); err != nil {
+	if err := run(*backend, *memMiB, *cores, *emit, *faultSeed, *faultSpec, *tracePath); err != nil {
 		fmt.Fprintln(os.Stderr, "tyche-sim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(backend string, memMiB uint64, cores int, emit string, faultSeed int64, faultSpec string) error {
+func run(backend string, memMiB uint64, cores int, emit string, faultSeed int64, faultSpec, tracePath string) error {
 	p, err := tyche.NewPlatform(tyche.Options{
 		MemBytes: memMiB << 20,
 		Cores:    cores,
@@ -58,6 +66,18 @@ func run(backend string, memMiB uint64, cores int, emit string, faultSeed int64,
 	})
 	if err != nil {
 		return err
+	}
+	var tracer *trace.Tracer
+	var checker *check.Checker
+	if tracePath != "" {
+		if !trace.Compiled {
+			return fmt.Errorf("this binary was built with the notrace tag; -trace is unavailable")
+		}
+		mach := p.Monitor.Machine()
+		tracer = mach.NewTracer(1 << 15)
+		checker = check.New()
+		tracer.Attach(checker)
+		mach.SetTracer(tracer)
 	}
 	fmt.Println(p)
 	fmt.Printf("monitor measured into TPM PCR17; attestation key bound via quote\n\n")
@@ -170,6 +190,25 @@ func run(backend string, memMiB uint64, cores int, emit string, faultSeed int64,
 		if err := faultDemo(p, faultSeed, faultSpec); err != nil {
 			return err
 		}
+	}
+	if tracer != nil {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return err
+		}
+		if err := trace.WriteChromeTrace(f, tracer.Events()); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("\nTRACE  %d events recorded (%d beyond ring capacity) -> %s (chrome://tracing)\n",
+			tracer.Len(), tracer.Dropped(), tracePath)
+		if err := checker.Err(); err != nil {
+			return fmt.Errorf("online invariant checker: %w", err)
+		}
+		fmt.Println("online invariant checker: every recorded monitor operation satisfied its invariants")
 	}
 	return nil
 }

@@ -61,13 +61,10 @@ func RunCleanups(m *hw.Machine, acts []cap.CleanupAction) error {
 			}
 		}
 		if a.Cleanup&cap.CleanFlushTLB != 0 {
-			for _, c := range m.Cores {
-				if a.Resource.Kind == cap.ResMemory {
-					c.TLBUnit().FlushRegion(a.Resource.Mem)
-				} else {
-					c.TLBUnit().Flush()
-				}
-				m.Clock.Advance(m.Cost.TLBFlush)
+			if a.Resource.Kind == cap.ResMemory {
+				m.ShootdownRegion(a.Resource.Mem)
+			} else {
+				m.ShootdownAll()
 			}
 		}
 	}

@@ -17,12 +17,14 @@ import (
 	"github.com/tyche-sim/tyche/internal/cap"
 	"github.com/tyche-sim/tyche/internal/hw"
 	"github.com/tyche-sim/tyche/internal/phys"
+	"github.com/tyche-sim/tyche/internal/trace"
 )
 
 type domainState struct {
-	segs []backend.Segment
-	asid uint64
-	ctxs map[phys.CoreID]*hw.Context
+	owner cap.OwnerID
+	segs  []backend.Segment
+	asid  uint64
+	ctxs  map[phys.CoreID]*hw.Context
 }
 
 // Backend is the machine-mode PMP enforcement backend.
@@ -81,8 +83,9 @@ func (b *Backend) InstallDomain(owner cap.OwnerID) error {
 		return fmt.Errorf("pmp: domain %d already installed", owner)
 	}
 	b.domains[owner] = &domainState{
-		asid: b.nextASID,
-		ctxs: make(map[phys.CoreID]*hw.Context),
+		owner: owner,
+		asid:  b.nextASID,
+		ctxs:  make(map[phys.CoreID]*hw.Context),
 	}
 	b.nextASID++
 	return b.SyncDomain(owner)
@@ -134,6 +137,7 @@ func (b *Backend) program(core *hw.Core, st *domainState) {
 			panic(fmt.Sprintf("pmp: validated layout failed to program: %v", err))
 		}
 		b.mach.Clock.Advance(b.mach.Cost.PMPWrite)
+		b.mach.Trace(int32(core.ID()), trace.KPMPWrite, uint64(st.owner), uint64(idx), uint64(s.Perm), uint64(s.Region.Start), s.Region.Size())
 		idx++
 	}
 }

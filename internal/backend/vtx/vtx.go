@@ -14,6 +14,7 @@ import (
 	"github.com/tyche-sim/tyche/internal/cap"
 	"github.com/tyche-sim/tyche/internal/hw"
 	"github.com/tyche-sim/tyche/internal/phys"
+	"github.com/tyche-sim/tyche/internal/trace"
 )
 
 type domainState struct {
@@ -95,6 +96,7 @@ func (b *Backend) SyncDomain(owner cap.OwnerID) error {
 			return fmt.Errorf("vtx: syncing domain %d: %w", owner, err)
 		}
 		pages += s.Region.Pages()
+		b.mach.Trace(trace.GlobalCore, trace.KEPTMap, uint64(owner), 0, uint64(s.Perm), uint64(s.Region.Start), s.Region.Size())
 	}
 	b.mach.Clock.Advance(pages * b.mach.Cost.EPTUpdatePage)
 	return nil
@@ -110,6 +112,7 @@ func (b *Backend) RemoveDomain(owner cap.OwnerID) error {
 	// one of the domain's contexts installed (it died mid-run) keeps a
 	// pointer to this table, and an empty table denies every access.
 	st.ept.Clear()
+	b.mach.Trace(trace.GlobalCore, trace.KEPTClear, uint64(owner), 0, 0, 0, 0)
 	delete(b.domains, owner)
 	for k := range b.fastPairs {
 		if k.a == owner || k.b == owner {

@@ -22,6 +22,8 @@ import (
 	"github.com/tyche-sim/tyche/internal/libtyche"
 	"github.com/tyche-sim/tyche/internal/phys"
 	"github.com/tyche-sim/tyche/internal/tpm"
+	"github.com/tyche-sim/tyche/internal/trace"
+	"github.com/tyche-sim/tyche/internal/trace/check"
 )
 
 // Config tunes an experiment run.
@@ -33,6 +35,56 @@ type Config struct {
 	Quick bool
 	// Seed drives randomized workloads deterministically.
 	Seed int64
+	// Trace installs a cycle-stamped tracer with the online invariant
+	// checker on every experiment world. Experiments with explicit
+	// oracle checks (C15) append exact count reconciliation; the
+	// harness additionally appends one trace-oracle check per
+	// experiment asserting no world saw a violation. No-op under the
+	// notrace build tag.
+	Trace bool
+
+	// audit, when non-nil, collects every traced world so the harness
+	// can render the checker's verdict even for experiments without
+	// explicit trace checks. Wired by RunExperiments.
+	audit *traceAudit
+}
+
+// traceAudit accumulates the checkers of the traced worlds one
+// experiment boots. It holds the checkers themselves, not the worlds:
+// C17 legitimately detaches and replaces a world's tracer mid-run, and
+// the verdict wanted here is each checker's over whatever it saw.
+type traceAudit struct {
+	mu  sync.Mutex
+	cks []*check.Checker
+}
+
+func (a *traceAudit) add(ck *check.Checker) {
+	a.mu.Lock()
+	a.cks = append(a.cks, ck)
+	a.mu.Unlock()
+}
+
+// appendCheck adds one harness-level check over every traced world the
+// experiment booted. Exact count reconciliation stays with the
+// experiments' own traceClean calls; an invariant violation in any
+// world fails the experiment here regardless of whether it audits
+// itself.
+func (a *traceAudit) appendCheck(res *Result) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if len(a.cks) == 0 {
+		return
+	}
+	ok := true
+	detail := fmt.Sprintf("%d traced world(s)", len(a.cks))
+	for i, ck := range a.cks {
+		if err := ck.Err(); err != nil {
+			ok = false
+			detail = fmt.Sprintf("world %d: %v", i, err)
+			break
+		}
+	}
+	res.check("trace-oracle", ok, "online invariant checker clean across %s", detail)
 }
 
 // Check is one shape assertion an experiment evaluated: the property
@@ -209,13 +261,20 @@ func RunExperiments(exps []Experiment, cfg Config, workers int) ([]*Result, erro
 		go func() {
 			defer wg.Done()
 			for j := range jobs {
+				run := cfg
+				if cfg.Trace {
+					run.audit = &traceAudit{}
+				}
 				start := time.Now()
-				res, err := exps[j].Run(cfg)
+				res, err := exps[j].Run(run)
 				if err != nil {
 					errs[j] = err
 					continue
 				}
 				res.WallNanos = time.Since(start).Nanoseconds()
+				if run.audit != nil {
+					run.audit.appendCheck(res)
+				}
 				results[j] = res
 			}
 		}()
@@ -236,12 +295,33 @@ func RunExperiments(exps []Experiment, cfg Config, workers int) ([]*Result, erro
 // --- shared world construction --------------------------------------
 
 // world bundles a booted machine+monitor with a dom0 client idling on
-// core 0.
+// core 0. With Config.Trace set, ck is the online invariant checker
+// fed by the machine's tracer from the moment of boot (nil otherwise).
 type world struct {
 	mach *hw.Machine
 	rot  *tpm.TPM
 	mon  *core.Monitor
 	cl   *libtyche.Client
+	ck   *check.Checker
+}
+
+// traceClean appends the checker-oracle checks to res when the world
+// is traced: no invariant violations, and event-derived counters
+// reconciling exactly with the monitor's statistics.
+func (w *world) traceClean(res *Result, tag string) {
+	if w.ck == nil {
+		return
+	}
+	err := w.ck.Err()
+	res.check(tag+"-trace-clean", err == nil, "online invariant checker over the full run: %v", err)
+	st := w.mon.Stats()
+	c := w.ck.Counts()
+	ok := c.Transitions == st.Transitions && c.FastSwitches == st.FastSwitches &&
+		c.CapOps == st.CapOps && c.Revocations == st.Revocations &&
+		c.ForcedKills == st.ForcedKills && c.PagesScrubbed == st.PagesScrubbed &&
+		c.VMCalls+c.MachineChecks == st.VMExits
+	res.check(tag+"-trace-counts", ok,
+		"event-derived counts match Stats(): trace %+v vs stats %+v", c, st)
 }
 
 type worldOpts struct {
@@ -293,7 +373,21 @@ func newWorld(cfg Config, o worldOpts) (*world, error) {
 	if err != nil {
 		return nil, err
 	}
+	var ck *check.Checker
+	if cfg.Trace && trace.Compiled {
+		// Installed before dom0's first op so the checker's counts and
+		// the monitor's statistics tally the same history from zero.
+		tr := mach.NewTracer(trace.DefaultRingEntries)
+		ck = check.New()
+		tr.Attach(ck)
+		mach.SetTracer(tr)
+	}
+	w := &world{mach: mach, rot: rot, mon: mon, ck: ck}
+	if ck != nil && cfg.audit != nil {
+		cfg.audit.add(ck)
+	}
 	cl := libtyche.New(mon, core.InitialDomain)
+	w.cl = cl
 	if err := cl.AutoHeap(dom0ReservePages); err != nil {
 		return nil, err
 	}
@@ -311,7 +405,7 @@ func newWorld(cfg Config, o worldOpts) (*world, error) {
 	if _, err := mon.RunCore(0, 10); err != nil {
 		return nil, err
 	}
-	return &world{mach: mach, rot: rot, mon: mon, cl: cl}, nil
+	return w, nil
 }
 
 // addImage builds an image whose domain returns r2+delta via the

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"github.com/tyche-sim/tyche/internal/core"
+	"github.com/tyche-sim/tyche/internal/trace"
 )
 
 // TestExperimentsPassAllChecks runs every registered experiment in
@@ -55,8 +56,8 @@ func TestExperimentsOnPMPBackend(t *testing.T) {
 }
 
 func TestRegistryAndRunAll(t *testing.T) {
-	if len(Experiments()) < 19 {
-		t.Fatalf("registered experiments = %d, want 19 (F1-F4, C1-C15)", len(Experiments()))
+	if len(Experiments()) < 21 {
+		t.Fatalf("registered experiments = %d, want 21 (F1-F4, C1-C17)", len(Experiments()))
 	}
 	if _, ok := Lookup("F1"); !ok {
 		t.Fatal("F1 missing")
@@ -99,5 +100,36 @@ func TestRunAllParallel(t *testing.T) {
 		for _, c := range res.Failed() {
 			t.Errorf("%s check %s failed under parallel run: %s", res.ID, c.Name, c.Detail)
 		}
+	}
+}
+
+// TestTracedRunAppendsOracleChecks runs a world-booting experiment with
+// Config.Trace through the harness and requires the harness-level
+// trace-oracle check to appear and pass: with -traced, every
+// experiment world is audited by the online invariant checker even
+// when the experiment carries no trace checks of its own.
+func TestTracedRunAppendsOracleChecks(t *testing.T) {
+	if !trace.Compiled {
+		t.Skip("built with notrace")
+	}
+	e, ok := Lookup("C6")
+	if !ok {
+		t.Fatal("C6 not registered")
+	}
+	results, err := RunExperiments([]Experiment{e}, Config{Quick: true, Seed: 1, Trace: true}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, c := range results[0].Checks {
+		if c.Name == "trace-oracle" {
+			found = true
+			if !c.OK {
+				t.Errorf("trace-oracle failed: %s", c.Detail)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no trace-oracle check appended; checks: %+v", results[0].Checks)
 	}
 }

@@ -51,12 +51,39 @@ func runC15(cfg Config) (*Result, error) {
 	return res, nil
 }
 
-func c15Round(cfg Config, res *Result, workers, iters int) error {
+// ringRun captures one execution of the share+revoke ring workload —
+// the contention kernel shared by C15 (invariant checks under load)
+// and C17 (tracing overhead on the identical workload).
+type ringRun struct {
+	w         *world
+	wall      time.Duration
+	cycles    uint64 // simulated cycles consumed by the concurrent phase
+	vmexits   uint64
+	revokes   uint64
+	genBefore uint64
+	genAfter  uint64
+	ops       uint64 // share+revoke pairs issued
+	complete  bool   // every worker halted cleanly with its loop drained
+	detail    string // failure detail when a check below goes red
+	scratches []phys.Region
+}
+
+// runShareRevokeRing boots a world with one worker domain per core and
+// drives the C15 guest loop concurrently to completion. tweak, when
+// non-nil, runs right after world construction — C17 uses it to
+// install tracers of different configurations on an otherwise
+// identical workload.
+func runShareRevokeRing(cfg Config, workers, iters int, tweak func(*world) error) (*ringRun, error) {
 	opts := defaultWorldOpts()
 	opts.cores = workers + 1 // dom0 idles on core 0
 	w, err := newWorld(cfg, opts)
 	if err != nil {
-		return err
+		return nil, err
+	}
+	if tweak != nil {
+		if err := tweak(w); err != nil {
+			return nil, err
+		}
 	}
 	// Identical worker images: share-scratch-then-revoke in a loop. All
 	// configuration arrives in registers, poked after Launch (which
@@ -96,7 +123,7 @@ func c15Round(cfg Config, res *Result, workers, iters int) error {
 		img, err := buildAt(w.cl, fmt.Sprintf("worker%d", i), prog,
 			func(img *image.Image) { img.WithBSS(".scratch", phys.PageSize) })
 		if err != nil {
-			return err
+			return nil, err
 		}
 		coreID := phys.CoreID(i + 1)
 		lo := libtyche.DefaultLoadOptions()
@@ -104,25 +131,25 @@ func c15Round(cfg Config, res *Result, workers, iters int) error {
 		lo.Seal = false // workers receive shares while running
 		dom, err := w.cl.Load(img, lo)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		scratch, ok := dom.SegmentRegion(".scratch")
 		if !ok {
-			return fmt.Errorf("c15: worker %d has no scratch segment", i)
+			return nil, fmt.Errorf("c15: worker %d has no scratch segment", i)
 		}
 		node, ok := dom.SegmentNode(".scratch")
 		if !ok {
-			return fmt.Errorf("c15: worker %d has no scratch node", i)
+			return nil, fmt.Errorf("c15: worker %d has no scratch node", i)
 		}
 		ws = append(ws, &worker{dom: dom, core: coreID, scratch: scratch, node: node})
 	}
+	r := &ringRun{w: w, ops: uint64(workers * iters), genBefore: w.mon.CapGeneration()}
 	statsBefore := w.mon.Stats()
-	genBefore := w.mon.CapGeneration()
 	cyclesBefore := w.mach.Clock.Cycles()
 	var cores []phys.CoreID
 	for i, wk := range ws {
 		if err := wk.dom.Launch(wk.core); err != nil {
-			return err
+			return nil, err
 		}
 		// Boot arguments, poked into the zeroed register file before the
 		// core starts running.
@@ -141,59 +168,68 @@ func c15Round(cfg Config, res *Result, workers, iters int) error {
 	}
 	start := time.Now()
 	runs, err := w.mon.RunCores(100_000, cores...)
-	wall := time.Since(start)
+	r.wall = time.Since(start)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	cyclesDelta := w.mach.Clock.Cycles() - cyclesBefore
+	r.cycles = w.mach.Clock.Cycles() - cyclesBefore
 	statsAfter := w.mon.Stats()
-	genAfter := w.mon.CapGeneration()
+	r.genAfter = w.mon.CapGeneration()
+	r.vmexits = statsAfter.VMExits - statsBefore.VMExits
+	r.revokes = statsAfter.Revocations - statsBefore.Revocations
 
-	tag := fmt.Sprintf("w%d", workers)
-	ops := uint64(workers * iters)
-	vmexits := statsAfter.VMExits - statsBefore.VMExits
-	revokes := statsAfter.Revocations - statsBefore.Revocations
-	res.row(fmt.Sprintf("%d", workers), fmt.Sprintf("%d", iters),
-		fmt.Sprintf("%d", wall.Microseconds()), fmtU(cyclesDelta),
-		fmtU(vmexits), fmtU(revokes), fmtU(cyclesDelta/(2*ops)))
-	res.metric(tag+"_wall_ns", float64(wall.Nanoseconds()))
-	res.metric(tag+"_cycles", float64(cyclesDelta))
-	res.metric(tag+"_vmexits", float64(vmexits))
-	res.metric(tag+"_revocations", float64(revokes))
-
-	// Every worker must have finished its whole loop cleanly.
-	complete := true
-	detail := ""
+	r.complete = true
 	for _, wk := range ws {
+		r.scratches = append(r.scratches, wk.scratch)
 		run, ok := runs[wk.core]
 		c := w.mach.Core(wk.core)
 		if !ok || run.Trap.Kind != hw.TrapHalt || c.Regs[10] != 0 || c.Regs[15] == 0xdead {
-			complete = false
-			detail = fmt.Sprintf("core %v: trap=%v r10=%d r15=%#x", wk.core, run.Trap, c.Regs[10], c.Regs[15])
-			break
+			r.complete = false
+			r.detail = fmt.Sprintf("core %v: trap=%v r10=%d r15=%#x", wk.core, run.Trap, c.Regs[10], c.Regs[15])
 		}
 	}
-	res.check(tag+"-workers-complete", complete,
-		"all %d workers ran %d share+revoke pairs to completion%s", workers, iters, detail)
+	return r, nil
+}
+
+func c15Round(cfg Config, res *Result, workers, iters int) error {
+	r, err := runShareRevokeRing(cfg, workers, iters, nil)
+	if err != nil {
+		return err
+	}
+	tag := fmt.Sprintf("w%d", workers)
+	res.row(fmt.Sprintf("%d", workers), fmt.Sprintf("%d", iters),
+		fmt.Sprintf("%d", r.wall.Microseconds()), fmtU(r.cycles),
+		fmtU(r.vmexits), fmtU(r.revokes), fmtU(r.cycles/(2*r.ops)))
+	res.metric(tag+"_wall_ns", float64(r.wall.Nanoseconds()))
+	res.metric(tag+"_cycles", float64(r.cycles))
+	res.metric(tag+"_vmexits", float64(r.vmexits))
+	res.metric(tag+"_revocations", float64(r.revokes))
+
+	// Every worker must have finished its whole loop cleanly.
+	res.check(tag+"-workers-complete", r.complete,
+		"all %d workers ran %d share+revoke pairs to completion%s", workers, iters, r.detail)
 
 	// Refcount invariant: every scratch page is exclusive again.
 	exclusive := true
-	for _, rc := range w.mon.RefCounts() {
-		for _, wk := range ws {
-			if rc.Region.Overlaps(wk.scratch) && rc.Count != 1 {
+	detail := ""
+	for _, rc := range r.w.mon.RefCounts() {
+		for _, scratch := range r.scratches {
+			if rc.Region.Overlaps(scratch) && rc.Count != 1 {
 				exclusive = false
 				detail = fmt.Sprintf("%v refcount %d", rc.Region, rc.Count)
 			}
 		}
 	}
 	res.check(tag+"-refcounts-restored", exclusive,
-		"every scratch page back to refcount 1 after %d concurrent revocations%s", revokes, detail)
+		"every scratch page back to refcount 1 after %d concurrent revocations%s", r.revokes, detail)
 
 	// Op accounting: the serialised monitor must have seen exactly one
 	// revocation per loop iteration — none lost, none duplicated.
-	res.check(tag+"-ops-exact", revokes == ops && vmexits >= 2*ops,
-		"%d revocations for %d issued (vmexits %d >= %d)", revokes, ops, vmexits, 2*ops)
-	res.check(tag+"-generation-advances", genAfter > genBefore,
-		"capability generation %d -> %d", genBefore, genAfter)
+	res.check(tag+"-ops-exact", r.revokes == r.ops && r.vmexits >= 2*r.ops,
+		"%d revocations for %d issued (vmexits %d >= %d)", r.revokes, r.ops, r.vmexits, 2*r.ops)
+	res.check(tag+"-generation-advances", r.genAfter > r.genBefore,
+		"capability generation %d -> %d", r.genBefore, r.genAfter)
+	// With -traced, the online checker audited every event of the run.
+	r.w.traceClean(res, tag)
 	return nil
 }

@@ -4,6 +4,7 @@ import (
 	"github.com/tyche-sim/tyche/internal/cap"
 	"github.com/tyche-sim/tyche/internal/hw"
 	"github.com/tyche-sim/tyche/internal/phys"
+	"github.com/tyche-sim/tyche/internal/trace"
 )
 
 // Guest VMCall ABI: interpreted domain code reaches the monitor with the
@@ -66,6 +67,7 @@ const (
 func (m *Monitor) handleVMCall(c *hw.Core, core phys.CoreID) (stop bool, err error) {
 	cur := DomainID(c.Context().Owner)
 	call := c.Regs[0]
+	m.emitCore(core, trace.KVMCall, cur, call, 0, 0, 0)
 	switch call {
 	case CallSelfID:
 		c.Regs[0] = StatusOK

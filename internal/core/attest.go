@@ -11,6 +11,7 @@ import (
 	"github.com/tyche-sim/tyche/internal/cap"
 	"github.com/tyche-sim/tyche/internal/phys"
 	"github.com/tyche-sim/tyche/internal/tpm"
+	"github.com/tyche-sim/tyche/internal/trace"
 )
 
 // This file implements the monitor half of the two-tier attestation
@@ -132,6 +133,7 @@ func (m *Monitor) Attest(id DomainID, nonce []byte) (*Report, error) {
 	}
 	r.Sig = ed25519.Sign(m.attPriv, reportMessage(r))
 	m.stats.Attests++
+	m.emit(trace.KAttest, id, 0, 0, 0, 0)
 	return r, nil
 }
 

@@ -21,7 +21,7 @@ import (
 // paper's verifiers depend on comes out exact: per-region refcounts
 // back to 1, no lost or phantom revocations.
 func TestConcurrentAPICapabilityOps(t *testing.T) {
-	m := bootWorld(t, BackendVTX)
+	m, ck := bootTracedWorld(t, BackendVTX)
 	node := dom0MemNode(t, m)
 	const workers = 8
 	iters := 50
@@ -103,6 +103,7 @@ func TestConcurrentAPICapabilityOps(t *testing.T) {
 			}
 		}
 	}
+	assertTraceClean(t, m, ck)
 }
 
 // TestConcurrentGuestVMCallStress is the guest-ABI version: four cores
@@ -131,6 +132,7 @@ func TestConcurrentGuestVMCallStress(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	ck := attachChecker(t, m)
 	node := dom0MemNode(t, m)
 	coreNodes := map[phys.CoreID]cap.NodeID{}
 	for _, n := range m.OwnerNodes(InitialDomain) {
@@ -241,4 +243,5 @@ func TestConcurrentGuestVMCallStress(t *testing.T) {
 			}
 		}
 	}
+	assertTraceClean(t, m, ck)
 }

@@ -13,6 +13,7 @@ import (
 	"github.com/tyche-sim/tyche/internal/cap"
 	"github.com/tyche-sim/tyche/internal/hw"
 	"github.com/tyche-sim/tyche/internal/phys"
+	"github.com/tyche-sim/tyche/internal/trace"
 )
 
 // ForceKill destroys a domain with monitor authority: no caller
@@ -33,6 +34,7 @@ func (m *Monitor) ForceKill(id DomainID) error {
 		return m.deny("the initial domain cannot be force-killed")
 	}
 	m.stats.ForcedKills++
+	m.emit(trace.KForceKill, id, 0, 0, 0, 0)
 	return m.destroyDomain(d, true)
 }
 
@@ -44,6 +46,8 @@ func (m *Monitor) ForceKill(id DomainID) error {
 // scrub set, the domain's exclusively-held memory is additionally
 // zeroed and shot down from every TLB regardless of cleanup policies.
 func (m *Monitor) destroyDomain(d *Domain, scrub bool) error {
+	m.emit(trace.KOpBegin, d.id, trace.OpKill, 0, 0, 0)
+	defer m.emit(trace.KOpEnd, d.id, trace.OpKill, 0, 0, 0)
 	owner := cap.OwnerID(d.id)
 	var scrubRegions []phys.Region
 	if scrub {
@@ -57,9 +61,13 @@ func (m *Monitor) destroyDomain(d *Domain, scrub bool) error {
 		}
 		scrubRegions = phys.NormalizeRegions(scrubRegions)
 	}
+	for _, r := range scrubRegions {
+		m.emit(trace.KScrubPlan, d.id, 0, 0, uint64(r.Start), r.Size())
+	}
 	acts := m.space.RevokeOwner(owner)
 	d.state = StateDead
 	m.stats.Revocations++
+	m.emit(trace.KRevoke, d.id, 1, 0, 0, 0)
 	if err := m.afterRevocation(acts); err != nil {
 		return err
 	}
@@ -68,11 +76,9 @@ func (m *Monitor) destroyDomain(d *Domain, scrub bool) error {
 			return err
 		}
 		m.mach.Clock.Advance(r.Size() / hw.CacheLineSize * m.mach.Cost.ZeroLine)
-		for _, c := range m.mach.Cores {
-			c.TLBUnit().FlushRegion(r)
-			m.mach.Clock.Advance(m.mach.Cost.TLBFlush)
-		}
+		m.mach.ShootdownRegion(r)
 		m.stats.PagesScrubbed += r.Pages()
+		m.emit(trace.KScrub, d.id, 0, 0, uint64(r.Start), r.Size())
 	}
 	if err := m.bk.RemoveDomain(owner); err != nil {
 		return err
@@ -84,6 +90,7 @@ func (m *Monitor) destroyDomain(d *Domain, scrub bool) error {
 			delete(m.current, c)
 		}
 	}
+	m.emit(trace.KKill, d.id, 0, 0, 0, 0)
 	return nil
 }
 
@@ -95,6 +102,7 @@ func (m *Monitor) destroyDomain(d *Domain, scrub bool) error {
 // every descendant, the opposite of containment.
 func (m *Monitor) containFault(core phys.CoreID, victim DomainID) error {
 	m.stats.MachineChecks++
+	m.emitCore(core, trace.KContain, victim, 0, 0, 0, 0)
 	m.frames[core] = nil
 	delete(m.current, core)
 	m.stats.CoresParked++
@@ -108,5 +116,6 @@ func (m *Monitor) containFault(core phys.CoreID, victim DomainID) error {
 		return nil
 	}
 	m.stats.ForcedKills++
+	m.emit(trace.KForceKill, victim, 0, 0, 0, 0)
 	return m.destroyDomain(d, true)
 }

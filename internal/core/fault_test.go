@@ -142,7 +142,7 @@ func checkContained(t *testing.T, m *Monitor, victim DomainID, results map[phys.
 func TestMachineCheckContainment(t *testing.T) {
 	for _, kind := range []BackendKind{BackendVTX, BackendPMP} {
 		t.Run(string(kind), func(t *testing.T) {
-			m := bootWorld(t, kind)
+			m, ck := bootTracedWorld(t, kind)
 			victim := buildVictim(t, m)
 			launchSurvivor(t, m)
 			if err := m.Launch(victim, 1); err != nil {
@@ -179,12 +179,13 @@ func TestMachineCheckContainment(t *testing.T) {
 			if res, err := m.RunCore(1, 1000); err != nil || res.Trap.Kind != hw.TrapHalt {
 				t.Fatalf("post-recovery run = %+v, %v", res, err)
 			}
+			assertTraceClean(t, m, ck)
 		})
 	}
 }
 
 func TestCoreStallContainment(t *testing.T) {
-	m := bootWorld(t, BackendVTX)
+	m, ck := bootTracedWorld(t, BackendVTX)
 	victim := buildVictim(t, m)
 	launchSurvivor(t, m)
 	if err := m.Launch(victim, 1); err != nil {
@@ -213,6 +214,7 @@ func TestCoreStallContainment(t *testing.T) {
 	if res, err := m.RunCore(1, 1000); err != nil || res.Trap.Kind != hw.TrapHalt {
 		t.Fatalf("post-reset run = %+v, %v", res, err)
 	}
+	assertTraceClean(t, m, ck)
 }
 
 func TestMachineCheckOnInitialDomainParksCore(t *testing.T) {
@@ -289,7 +291,7 @@ func TestFaultReplaysFromSchedule(t *testing.T) {
 }
 
 func TestSharedMemorySurvivesVictimKill(t *testing.T) {
-	m := bootWorld(t, BackendVTX)
+	m, ck := bootTracedWorld(t, BackendVTX)
 	victim := buildVictim(t, m)
 	// Additionally share page 80 between dom0 and the victim... the
 	// victim is sealed, so build the share before sealing is not
@@ -342,6 +344,7 @@ func TestSharedMemorySurvivesVictimKill(t *testing.T) {
 		t.Fatalf("double ForceKill = %v, want dead", err)
 	}
 	checkIsolationInvariants(t, m, []DomainID{InitialDomain, victim, extra})
+	assertTraceClean(t, m, ck)
 }
 
 func TestDroppedIRQIsAbsorbed(t *testing.T) {
@@ -451,7 +454,7 @@ func TestSeededFaultCampaign(t *testing.T) {
 	for seed := int64(1); seed <= 6; seed++ {
 		seed := seed
 		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
-			m := bootWorld(t, BackendVTX)
+			m, ck := bootTracedWorld(t, BackendVTX)
 			victim := buildVictim(t, m)
 			launchSurvivor(t, m)
 			if err := m.Launch(victim, 1); err != nil {
@@ -482,6 +485,7 @@ func TestSeededFaultCampaign(t *testing.T) {
 				}
 			}
 			checkIsolationInvariants(t, m, []DomainID{InitialDomain, victim})
+			assertTraceClean(t, m, ck)
 		})
 	}
 }

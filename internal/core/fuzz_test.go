@@ -109,15 +109,19 @@ func driveMonitorOps(tb testing.TB, m *Monitor, data []byte) {
 
 // FuzzMonitorAPI is the native fuzz entry point. Seed corpus lives in
 // testdata/fuzz/FuzzMonitorAPI; CI runs a short -fuzz smoke on top of
-// the corpus replay that ordinary `go test` already performs.
+// the corpus replay that ordinary `go test` already performs. Every
+// run executes against a traced world with the online invariant
+// checker as a second oracle; a violating input dumps its trace to
+// $TYCHE_TRACE_DIR for the nightly job to upload.
 func FuzzMonitorAPI(f *testing.F) {
 	f.Add([]byte{0, 1, 2, 3})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if len(data) > 2048 {
 			t.Skip("bounded input size")
 		}
-		m := bootWorld(t, BackendVTX)
+		m, ck := bootTracedWorld(t, BackendVTX)
 		driveMonitorOps(t, m, data)
+		assertTraceClean(t, m, ck)
 	})
 }
 
@@ -130,8 +134,9 @@ func TestMonitorAPIFuzz(t *testing.T) {
 			rng := rand.New(rand.NewSource(seed))
 			data := make([]byte, 1600)
 			rng.Read(data)
-			m := bootWorld(t, BackendVTX)
+			m, ck := bootTracedWorld(t, BackendVTX)
 			driveMonitorOps(t, m, data)
+			assertTraceClean(t, m, ck)
 		})
 	}
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"github.com/tyche-sim/tyche/internal/hw"
+	"github.com/tyche-sim/tyche/internal/trace"
 )
 
 // Cross-domain interrupt routing (§4.1: "we are also exploring how to
@@ -56,11 +57,13 @@ func (m *Monitor) routeIRQs(c *hw.Core) error {
 				continue
 			}
 			m.stats.IRQsRouted++
+			m.emit(trace.KIRQRoute, DomainID(owner), uint64(irq.Device), uint64(irq.Vector), 0, 0)
 			handler = d.irq
 			break
 		}
 		if handler == nil {
 			m.stats.IRQsDropped++
+			m.emit(trace.KIRQDrop, 0, uint64(irq.Device), uint64(irq.Vector), 0, 0)
 		}
 		m.mu.Unlock()
 		if handler == nil {

@@ -14,6 +14,7 @@ import (
 	"github.com/tyche-sim/tyche/internal/hw"
 	"github.com/tyche-sim/tyche/internal/phys"
 	"github.com/tyche-sim/tyche/internal/tpm"
+	"github.com/tyche-sim/tyche/internal/trace"
 )
 
 // BackendKind selects the enforcement backend at boot.
@@ -323,6 +324,7 @@ func (m *Monitor) CreateDomain(caller DomainID, name string) (DomainID, error) {
 		delete(m.domains, id)
 		return 0, err
 	}
+	m.emit(trace.KCreate, id, uint64(caller), 0, 0, 0)
 	return id, nil
 }
 
@@ -355,6 +357,12 @@ func (m *Monitor) Grant(caller DomainID, node cap.NodeID, dst DomainID, sub cap.
 }
 
 func (m *Monitor) delegate(caller DomainID, node cap.NodeID, dst DomainID, sub cap.Resource, rights cap.Rights, cleanup cap.Cleanup, grant bool) (cap.NodeID, error) {
+	op := trace.OpShare
+	if grant {
+		op = trace.OpGrant
+	}
+	m.emit(trace.KOpBegin, caller, op, 0, 0, 0)
+	defer m.emit(trace.KOpEnd, caller, op, 0, 0, 0)
 	if _, err := m.liveDomain(caller); err != nil {
 		return 0, err
 	}
@@ -378,6 +386,15 @@ func (m *Monitor) delegate(caller DomainID, node cap.NodeID, dst DomainID, sub c
 		return 0, err
 	}
 	m.stats.CapOps++
+	kind := trace.KShare
+	if grant {
+		kind = trace.KGrant
+	}
+	var addr, size uint64
+	if sub.Kind == cap.ResMemory {
+		addr, size = uint64(sub.Mem.Start), sub.Mem.Size()
+	}
+	m.emit(kind, caller, uint64(dst), uint64(id), addr, size)
 	if err := m.syncAfterChange(caller, dst, sub); err != nil {
 		return 0, err
 	}
@@ -397,6 +414,8 @@ func (m *Monitor) Revoke(caller DomainID, node cap.NodeID) error {
 
 // revoke is Revoke with the monitor lock held (the guest ABI path).
 func (m *Monitor) revoke(caller DomainID, node cap.NodeID) error {
+	m.emit(trace.KOpBegin, caller, trace.OpRevoke, 0, 0, 0)
+	defer m.emit(trace.KOpEnd, caller, trace.OpRevoke, 0, 0, 0)
 	if _, err := m.liveDomain(caller); err != nil {
 		return err
 	}
@@ -419,6 +438,7 @@ func (m *Monitor) revoke(caller DomainID, node cap.NodeID) error {
 	}
 	m.stats.CapOps++
 	m.stats.Revocations++
+	m.emit(trace.KRevoke, caller, 0, uint64(node), 0, 0)
 	return m.afterRevocation(acts, info.Owner)
 }
 
@@ -582,6 +602,7 @@ func (m *Monitor) seal(caller, id DomainID) (tpm.Digest, error) {
 	d.state = StateSealed
 	m.space.Seal(cap.OwnerID(id))
 	m.stats.CapOps++
+	m.emit(trace.KSeal, id, uint64(caller), 0, 0, 0)
 	return d.measurement, nil
 }
 

@@ -1,0 +1,24 @@
+package core
+
+import (
+	"github.com/tyche-sim/tyche/internal/phys"
+	"github.com/tyche-sim/tyche/internal/trace"
+)
+
+// Trace emission. Every emit site sits at the exact commit point where
+// the corresponding Stats counter is updated, so event-derived counts
+// (trace/check.Counts) and Monitor.Stats() are two independent tallies
+// of the same history — the checker cross-validates them. Emission
+// compiles out under the notrace build tag and costs one atomic load
+// when no tracer is installed (see hw.Machine.Trace).
+
+// emit records a monitor-context event (the monitor lock is held at
+// every call site, so sinks observe operations in lock order).
+func (m *Monitor) emit(k trace.Kind, domain DomainID, aux, node, addr, size uint64) {
+	m.mach.Trace(trace.GlobalCore, k, uint64(domain), aux, node, addr, size)
+}
+
+// emitCore records an event attributed to a specific core.
+func (m *Monitor) emitCore(core phys.CoreID, k trace.Kind, domain DomainID, aux, node, addr, size uint64) {
+	m.mach.Trace(int32(core), k, uint64(domain), aux, node, addr, size)
+}

@@ -8,6 +8,7 @@ import (
 	"github.com/tyche-sim/tyche/internal/cap"
 	"github.com/tyche-sim/tyche/internal/hw"
 	"github.com/tyche-sim/tyche/internal/phys"
+	"github.com/tyche-sim/tyche/internal/trace"
 )
 
 // The monitor mediates and validates all control transfers between
@@ -66,6 +67,7 @@ func (m *Monitor) Launch(id DomainID, core phys.CoreID) error {
 	m.current[core] = id
 	m.frames[core] = m.frames[core][:0]
 	m.stats.Transitions++
+	m.emitCore(core, trace.KTransition, id, 0, 0, 0, trace.TransLaunch)
 	return nil
 }
 
@@ -115,6 +117,7 @@ func (m *Monitor) call(core phys.CoreID, target DomainID) error {
 	m.frames[core] = append(m.frames[core], cur)
 	m.current[core] = target
 	m.stats.Transitions++
+	m.emitCore(core, trace.KTransition, target, uint64(cur), 0, 0, trace.TransCall)
 	return nil
 }
 
@@ -151,8 +154,10 @@ func (m *Monitor) ret(core phys.CoreID) error {
 	}
 	c.RestoreFrom(callerCtx)
 	c.Regs[0], c.Regs[1] = ret0, ret1
+	returning := m.current[core]
 	m.current[core] = caller
 	m.stats.Transitions++
+	m.emitCore(core, trace.KTransition, caller, uint64(returning), 0, 0, trace.TransReturn)
 	return nil
 }
 
@@ -207,9 +212,11 @@ func (m *Monitor) fastSwitch(core phys.CoreID, target DomainID) error {
 	if err := m.bk.Transition(c, cap.OwnerID(target), true); err != nil {
 		return err
 	}
+	from := m.current[core]
 	c.PC = td.entry
 	m.current[core] = target
 	m.stats.FastSwitches++
+	m.emitCore(core, trace.KTransition, target, uint64(from), 0, 0, trace.TransFast)
 	return nil
 }
 

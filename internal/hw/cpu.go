@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"github.com/tyche-sim/tyche/internal/phys"
+	"github.com/tyche-sim/tyche/internal/trace"
 )
 
 // Ring is a privilege ring inside a trust domain. The monitor is outside
@@ -503,8 +504,26 @@ func (c *Core) Run(maxInstrs int) (int, Trap) {
 	for int(c.instrs.Load()-start) < maxInstrs {
 		t := c.Step()
 		if t.Kind != TrapNone {
+			c.traceTrap(t)
 			return int(c.instrs.Load() - start), t
 		}
 	}
 	return int(c.instrs.Load() - start), Trap{Kind: TrapNone, PC: c.PC}
+}
+
+// traceTrap emits the guest-exit event for a trap ending a Run. Budget
+// exhaustion (TrapNone) is not a trap and is not traced.
+func (c *Core) traceTrap(t Trap) {
+	if !trace.Compiled {
+		return
+	}
+	tr := c.mach.tracer.Load()
+	if tr == nil {
+		return
+	}
+	var owner uint64
+	if ctx := c.ctx.Load(); ctx != nil {
+		owner = uint64(ctx.Owner)
+	}
+	tr.Emit(int32(c.id), trace.KTrap, owner, uint64(t.Kind), uint64(t.PC), uint64(t.Addr), 0)
 }

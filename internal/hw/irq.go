@@ -1,6 +1,9 @@
 package hw
 
-import "github.com/tyche-sim/tyche/internal/phys"
+import (
+	"github.com/tyche-sim/tyche/internal/phys"
+	"github.com/tyche-sim/tyche/internal/trace"
+)
 
 // Interrupts and timers (§4.1's exploration: "extend capabilities to
 // provide scheduling guarantees, cross-domain interrupt routing").
@@ -22,8 +25,10 @@ type IRQ struct {
 // installed fault injector may eat the line (a lost interrupt).
 func (m *Machine) RaiseIRQ(dev phys.DeviceID, vector uint32) {
 	if fi := m.FaultInjector(); fi != nil && fi.OnRaiseIRQ(dev, vector) {
+		m.Trace(trace.GlobalCore, trace.KIRQLost, 0, uint64(dev), uint64(vector), 0, 0)
 		return
 	}
+	m.Trace(trace.GlobalCore, trace.KIRQRaise, 0, uint64(dev), uint64(vector), 0, 0)
 	m.irqMu.Lock()
 	defer m.irqMu.Unlock()
 	m.irqs = append(m.irqs, IRQ{Device: dev, Vector: vector})
@@ -34,6 +39,7 @@ func (m *Machine) RaiseIRQ(dev phys.DeviceID, vector uint32) {
 func (m *Machine) TakeIRQ() (IRQ, bool) {
 	if fi := m.FaultInjector(); fi != nil {
 		if irq, ok := fi.TakeSpuriousIRQ(); ok {
+			m.Trace(trace.GlobalCore, trace.KIRQSpurious, 0, uint64(irq.Device), uint64(irq.Vector), 0, 0)
 			return irq, true
 		}
 	}

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"github.com/tyche-sim/tyche/internal/phys"
+	"github.com/tyche-sim/tyche/internal/trace"
 )
 
 // Config describes the machine to build.
@@ -75,6 +76,11 @@ type Machine struct {
 	// fault is the optional fault injector (see fault.go); read on every
 	// guest access, so it is an atomic pointer rather than a locked field.
 	fault atomic.Pointer[FaultInjector]
+
+	// tracer is the optional event trace (see trace.go in this package
+	// and internal/trace); checked on every emit site, so it is an
+	// atomic pointer like the fault injector.
+	tracer atomic.Pointer[trace.Tracer]
 }
 
 // NewMachine builds a machine from cfg.

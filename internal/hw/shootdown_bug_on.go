@@ -1,0 +1,14 @@
+//go:build tracebug
+
+package hw
+
+// Seeded mutation build: TLB shootdowns silently skip the last core,
+// leaving it with stale translations and one missing acknowledgement.
+// This exists to prove the trace invariant checker is not vacuous — see
+// TestShootdownMutationOracle. Never ship with this tag.
+
+// ShootdownBugArmed reports whether the seeded shootdown mutation is
+// compiled in.
+const ShootdownBugArmed = true
+
+const shootdownSkipLast = true

@@ -1,0 +1,85 @@
+package hw
+
+import (
+	"github.com/tyche-sim/tyche/internal/phys"
+	"github.com/tyche-sim/tyche/internal/trace"
+)
+
+// Event tracing hookup. The machine owns the tracer the same way it
+// owns the fault injector: an atomic pointer installed at run time, nil
+// by default. Emit sites throughout hw, core, and the backends call
+// Machine.Trace, which is a constant-false branch under the notrace
+// build tag and a single atomic load + nil check when tracing is
+// compiled in but disabled — the C17 experiment bounds that cost.
+
+// SetTracer installs (or, with nil, removes) the machine's event
+// tracer. Installing emits the KBoot event that opens the trace and
+// tells checkers the core count.
+func (m *Machine) SetTracer(t *trace.Tracer) {
+	if t == nil {
+		m.tracer.Store(nil)
+		return
+	}
+	m.tracer.Store(t)
+	m.Trace(trace.GlobalCore, trace.KBoot, 0, 0, 0, 0, uint64(len(m.Cores)))
+}
+
+// Tracer returns the installed tracer, or nil.
+func (m *Machine) Tracer() *trace.Tracer {
+	if !trace.Compiled {
+		return nil
+	}
+	return m.tracer.Load()
+}
+
+// NewTracer builds a tracer sized for this machine whose timestamps
+// read the machine's aggregate cycle clock. It is not installed;
+// callers pass it to SetTracer (usually after attaching sinks).
+func (m *Machine) NewTracer(perRing int) *trace.Tracer {
+	return trace.New(len(m.Cores), perRing, m.Clock.Cycles)
+}
+
+// Trace emits one event if a tracer is installed. Compiles to nothing
+// under the notrace build tag.
+func (m *Machine) Trace(core int32, k trace.Kind, domain, aux, node, addr, size uint64) {
+	if !trace.Compiled {
+		return
+	}
+	if t := m.tracer.Load(); t != nil {
+		t.Emit(core, k, domain, aux, node, addr, size)
+	}
+}
+
+// ShootdownRegion invalidates a physical region from every core's TLB —
+// the cross-core shootdown a revocation or a scrub triggers on real
+// hardware via IPIs. Each core's flush costs CostModel.TLBFlush cycles
+// and acknowledges with one trace event; the enclosing monitor
+// operation must not return before every core has acked (the trace
+// checker enforces this).
+func (m *Machine) ShootdownRegion(r phys.Region) {
+	m.Trace(trace.GlobalCore, trace.KShootdown, 0, 0, 0, uint64(r.Start), r.Size())
+	for i, c := range m.Cores {
+		if shootdownSkipLast && i == len(m.Cores)-1 {
+			// Seeded mutation (tracebug build tag): the last core keeps
+			// its stale translations and never acks.
+			continue
+		}
+		c.tlb.FlushRegion(r)
+		m.Clock.Advance(m.Cost.TLBFlush)
+		m.Trace(trace.GlobalCore, trace.KShootdownAck, 0, uint64(i), 0, uint64(r.Start), r.Size())
+	}
+}
+
+// ShootdownAll flushes every core's entire TLB (the shootdown for
+// non-memory resources and address-space-wide invalidations).
+func (m *Machine) ShootdownAll() {
+	m.Trace(trace.GlobalCore, trace.KShootdown, 0, 0, 0, 0, 0)
+	for i, c := range m.Cores {
+		if shootdownSkipLast && i == len(m.Cores)-1 {
+			continue
+		}
+		c.tlb.Flush()
+		m.Clock.Advance(m.Cost.TLBFlush)
+		m.Trace(trace.GlobalCore, trace.KShootdownAck, 0, uint64(i), 0, 0, 0)
+	}
+}

@@ -1,0 +1,324 @@
+// Package check is an online invariant checker over the monitor's
+// event trace. It attaches to a trace.Tracer as a Sink — validating
+// the stream as it is produced, inline in any test or benchmark — or
+// replays a previously captured trace.
+//
+// The temporal safety properties it enforces:
+//
+//  1. Dead-domain silence: once a domain's destruction completes
+//     (KKill), the monitor never again performs a successful mediated
+//     operation by or for that domain — no transitions into it, no
+//     delegations from it, no capability mutations, and no enforcement
+//     filter (EPT/PMP) programmed for it.
+//  2. Shootdown acknowledgement: every TLB shootdown started inside a
+//     monitor operation is acknowledged by all cores before the
+//     operation completes (KOpEnd) — a revocation or kill must not
+//     return while any core can still hit stale translations.
+//  3. Scrub before kill completes: every exclusively-held region a
+//     kill plans to reclaim (KScrubPlan) is zeroed and shot down
+//     (KScrub) before the destruction closes (KKill) — memory is never
+//     reusable before it is scrubbed.
+//  4. Structural sanity: operations balance (KOpEnd matches KOpBegin),
+//     and acknowledgements only occur for an open shootdown.
+//
+// Alongside the properties the checker tallies event-derived counters
+// (Counts) that tests compare against Monitor.Stats(): the two are
+// produced by independent code paths at the same commit points, so a
+// mismatch means an emit point or a stats update drifted.
+package check
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/tyche-sim/tyche/internal/phys"
+	"github.com/tyche-sim/tyche/internal/trace"
+)
+
+// Violation is one invariant failure, anchored to the offending event.
+type Violation struct {
+	Event trace.Event
+	Msg   string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s (at %s)", v.Msg, v.Event)
+}
+
+// Counts are monitor statistics derived purely from the event stream.
+// With a tracer installed at boot they must equal the corresponding
+// Monitor.Stats() fields.
+type Counts struct {
+	VMCalls       uint64
+	Transitions   uint64 // launch/call/return (not fast switches)
+	FastSwitches  uint64
+	CapOps        uint64 // share + grant + revoke + seal
+	Revocations   uint64
+	ForcedKills   uint64
+	MachineChecks uint64
+	CoresParked   uint64
+	PagesScrubbed uint64
+	Shootdowns    uint64
+	IRQsRouted    uint64
+	IRQsDropped   uint64
+	Attests       uint64
+}
+
+// shootdown is one in-flight cross-core TLB shootdown.
+type shootdown struct {
+	ev   trace.Event
+	acks map[uint64]bool
+}
+
+// frame is one open monitor operation (KOpBegin..KOpEnd).
+type frame struct {
+	ev        trace.Event
+	shootdown []*shootdown
+}
+
+// region is a planned scrub target.
+type region struct{ addr, size uint64 }
+
+// Checker validates the event stream online. It implements trace.Sink;
+// all methods are safe for concurrent use.
+type Checker struct {
+	mu sync.Mutex
+
+	cores      int
+	dead       map[uint64]bool
+	frames     []*frame
+	last       *shootdown // most recent shootdown awaiting acks
+	orphans    []*shootdown
+	scrubPlans map[uint64][]region
+	counts     Counts
+	violations []Violation
+	seen       uint64
+}
+
+// New returns an empty checker. The machine core count is learned from
+// the KBoot event the machine emits when a tracer is installed.
+func New() *Checker {
+	return &Checker{
+		dead:       make(map[uint64]bool),
+		scrubPlans: make(map[uint64][]region),
+	}
+}
+
+// Replay runs a captured trace (any order; sorted by Seq first) through
+// a fresh checker and returns it.
+func Replay(events []trace.Event) *Checker {
+	evs := append([]trace.Event(nil), events...)
+	sort.Slice(evs, func(i, j int) bool { return evs[i].Seq < evs[j].Seq })
+	c := New()
+	for _, ev := range evs {
+		c.Event(ev)
+	}
+	return c
+}
+
+func (c *Checker) violate(ev trace.Event, format string, args ...any) {
+	c.violations = append(c.violations, Violation{
+		Event: ev,
+		Msg:   fmt.Sprintf(format, args...),
+	})
+}
+
+// Event consumes one trace event (trace.Sink).
+func (c *Checker) Event(ev trace.Event) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.seen++
+
+	// Property 1: dead-domain silence. Only kinds emitted on a
+	// *successful* monitor-mediated operation participate — raw
+	// hardware events (traps, IRQ raises) and VMCall entries can race
+	// with a kill on another core and prove nothing by themselves.
+	switch ev.Kind {
+	case trace.KTransition, trace.KShare, trace.KGrant, trace.KRevoke,
+		trace.KSeal, trace.KEPTMap, trace.KPMPWrite, trace.KAttest:
+		if c.dead[ev.Domain] {
+			c.violate(ev, "dead domain %d used in successful %s", ev.Domain, ev.Kind)
+		}
+	case trace.KCreate:
+		if c.dead[ev.Aux] {
+			c.violate(ev, "dead domain %d created domain %d", ev.Aux, ev.Domain)
+		}
+	}
+
+	switch ev.Kind {
+	case trace.KBoot:
+		c.cores = int(ev.Size)
+
+	case trace.KOpBegin:
+		c.frames = append(c.frames, &frame{ev: ev})
+
+	case trace.KOpEnd:
+		if len(c.frames) == 0 {
+			c.violate(ev, "operation end with no open operation")
+			break
+		}
+		f := c.frames[len(c.frames)-1]
+		c.frames = c.frames[:len(c.frames)-1]
+		if f.ev.Aux != ev.Aux {
+			c.violate(ev, "operation end %d does not match open operation %d", ev.Aux, f.ev.Aux)
+		}
+		// Property 2: every shootdown this operation started must have
+		// been acknowledged by all cores before the operation returns.
+		for _, sd := range f.shootdown {
+			if len(sd.acks) != c.cores {
+				c.violate(ev, "shootdown [%#x,+%d) acked by %d/%d cores when operation completed",
+					sd.ev.Addr, sd.ev.Size, len(sd.acks), c.cores)
+			}
+			if c.last == sd {
+				c.last = nil
+			}
+		}
+
+	case trace.KShootdown:
+		c.counts.Shootdowns++
+		sd := &shootdown{ev: ev, acks: make(map[uint64]bool)}
+		c.last = sd
+		if len(c.frames) > 0 {
+			f := c.frames[len(c.frames)-1]
+			f.shootdown = append(f.shootdown, sd)
+		} else {
+			// Shootdown outside any operation: nothing closes it, so
+			// require full acknowledgement by End().
+			c.violateLater(sd)
+		}
+
+	case trace.KShootdownAck:
+		if c.last == nil {
+			c.violate(ev, "shootdown ack from core %d with no shootdown in flight", ev.Aux)
+			break
+		}
+		if c.last.acks[ev.Aux] {
+			c.violate(ev, "core %d acknowledged the same shootdown twice", ev.Aux)
+		}
+		c.last.acks[ev.Aux] = true
+
+	case trace.KScrubPlan:
+		c.scrubPlans[ev.Domain] = append(c.scrubPlans[ev.Domain],
+			region{addr: ev.Addr, size: ev.Size})
+
+	case trace.KScrub:
+		c.counts.PagesScrubbed += ev.Size / phys.PageSize
+		plan := c.scrubPlans[ev.Domain]
+		found := false
+		for i, r := range plan {
+			if r.addr == ev.Addr && r.size == ev.Size {
+				c.scrubPlans[ev.Domain] = append(plan[:i], plan[i+1:]...)
+				found = true
+				break
+			}
+		}
+		if !found {
+			c.violate(ev, "scrub of [%#x,+%d) not in domain %d's scrub plan", ev.Addr, ev.Size, ev.Domain)
+		}
+
+	case trace.KKill:
+		// Property 3: nothing the kill planned to reclaim may remain
+		// unscrubbed when the destruction completes.
+		for _, r := range c.scrubPlans[ev.Domain] {
+			c.violate(ev, "domain %d killed with unscrubbed exclusive region [%#x,+%d)",
+				ev.Domain, r.addr, r.size)
+		}
+		delete(c.scrubPlans, ev.Domain)
+		c.dead[ev.Domain] = true
+
+	case trace.KVMCall:
+		c.counts.VMCalls++
+	case trace.KTransition:
+		if ev.Size == trace.TransFast {
+			c.counts.FastSwitches++
+		} else {
+			c.counts.Transitions++
+		}
+	case trace.KShare, trace.KGrant, trace.KSeal:
+		c.counts.CapOps++
+	case trace.KRevoke:
+		// Aux=1 marks the implicit owner-revoke inside domain
+		// destruction: a revocation, but not an API capability op.
+		if ev.Aux == 0 {
+			c.counts.CapOps++
+		}
+		c.counts.Revocations++
+	case trace.KForceKill:
+		c.counts.ForcedKills++
+	case trace.KContain:
+		c.counts.MachineChecks++
+		c.counts.CoresParked++
+	case trace.KIRQRoute:
+		c.counts.IRQsRouted++
+	case trace.KIRQDrop:
+		c.counts.IRQsDropped++
+	case trace.KAttest:
+		c.counts.Attests++
+	}
+}
+
+// orphan shootdowns (started outside any operation) are validated at
+// End(); violateLater records them.
+func (c *Checker) violateLater(sd *shootdown) {
+	c.orphans = append(c.orphans, sd)
+}
+
+// End closes the check: open operations and unacknowledged orphan
+// shootdowns become violations. Call once the run is quiescent (tests
+// call it via Err).
+func (c *Checker) End() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, f := range c.frames {
+		c.violate(f.ev, "operation %d still open at end of trace", f.ev.Aux)
+	}
+	c.frames = nil
+	for _, sd := range c.orphans {
+		if len(sd.acks) != c.cores {
+			c.violate(sd.ev, "shootdown outside any operation acked by %d/%d cores",
+				len(sd.acks), c.cores)
+		}
+	}
+	c.orphans = nil
+}
+
+// Violations returns every failure recorded so far.
+func (c *Checker) Violations() []Violation {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Violation(nil), c.violations...)
+}
+
+// Err finalises the check (End) and returns an error describing the
+// violations, or nil if the trace is clean.
+func (c *Checker) Err() error {
+	c.End()
+	vs := c.Violations()
+	if len(vs) == 0 {
+		return nil
+	}
+	msg := fmt.Sprintf("%d trace invariant violation(s):", len(vs))
+	for i, v := range vs {
+		if i == 8 {
+			msg += fmt.Sprintf("\n  ... and %d more", len(vs)-i)
+			break
+		}
+		msg += "\n  " + v.String()
+	}
+	return fmt.Errorf("%s", msg)
+}
+
+// Counts returns the event-derived statistics tally.
+func (c *Checker) Counts() Counts {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.counts
+}
+
+// Seen returns how many events the checker has consumed.
+func (c *Checker) Seen() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.seen
+}

@@ -1,0 +1,155 @@
+package check
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/tyche-sim/tyche/internal/phys"
+	"github.com/tyche-sim/tyche/internal/trace"
+)
+
+// feeder builds synthetic event streams without a machine.
+type feeder struct {
+	seq uint64
+	c   *Checker
+}
+
+func newFeeder(cores int) *feeder {
+	f := &feeder{c: New()}
+	f.emit(trace.KBoot, 0, 0, 0, 0, uint64(cores))
+	return f
+}
+
+func (f *feeder) emit(k trace.Kind, dom, aux, node, addr, size uint64) {
+	f.seq++
+	f.c.Event(trace.Event{
+		Seq: f.seq, Core: trace.GlobalCore, Kind: k,
+		Domain: dom, Aux: aux, Node: node, Addr: addr, Size: size,
+	})
+}
+
+func wantClean(t *testing.T, f *feeder) {
+	t.Helper()
+	if err := f.c.Err(); err != nil {
+		t.Fatalf("clean stream flagged: %v", err)
+	}
+}
+
+func wantViolation(t *testing.T, f *feeder, substr string) {
+	t.Helper()
+	err := f.c.Err()
+	if err == nil {
+		t.Fatalf("stream accepted; want violation containing %q", substr)
+	}
+	if !strings.Contains(err.Error(), substr) {
+		t.Fatalf("violation %q does not mention %q", err, substr)
+	}
+}
+
+func TestCleanRevokeStream(t *testing.T) {
+	f := newFeeder(2)
+	f.emit(trace.KOpBegin, 1, trace.OpRevoke, 0, 0, 0)
+	f.emit(trace.KRevoke, 1, 0, 7, 0, 0)
+	f.emit(trace.KShootdown, 0, 0, 0, 0x1000, 4096)
+	f.emit(trace.KShootdownAck, 0, 0, 0, 0x1000, 4096)
+	f.emit(trace.KShootdownAck, 0, 1, 0, 0x1000, 4096)
+	f.emit(trace.KOpEnd, 1, trace.OpRevoke, 0, 0, 0)
+	wantClean(t, f)
+	if c := f.c.Counts(); c.Revocations != 1 || c.CapOps != 1 || c.Shootdowns != 1 {
+		t.Fatalf("counts: %+v", c)
+	}
+}
+
+func TestMissingShootdownAckFlagged(t *testing.T) {
+	f := newFeeder(2)
+	f.emit(trace.KOpBegin, 1, trace.OpRevoke, 0, 0, 0)
+	f.emit(trace.KShootdown, 0, 0, 0, 0x1000, 4096)
+	f.emit(trace.KShootdownAck, 0, 0, 0, 0x1000, 4096)
+	// Core 1 never acks.
+	f.emit(trace.KOpEnd, 1, trace.OpRevoke, 0, 0, 0)
+	wantViolation(t, f, "acked by 1/2 cores")
+}
+
+func TestAckWithoutShootdownFlagged(t *testing.T) {
+	f := newFeeder(2)
+	f.emit(trace.KShootdownAck, 0, 0, 0, 0, 0)
+	wantViolation(t, f, "no shootdown in flight")
+}
+
+func TestUnscrubbedKillFlagged(t *testing.T) {
+	f := newFeeder(2)
+	f.emit(trace.KForceKill, 5, 0, 0, 0, 0)
+	f.emit(trace.KOpBegin, 5, trace.OpKill, 0, 0, 0)
+	f.emit(trace.KScrubPlan, 5, 0, 0, 0x4000, 2*phys.PageSize)
+	f.emit(trace.KRevoke, 5, 1, 0, 0, 0)
+	// The planned region is never scrubbed.
+	f.emit(trace.KKill, 5, 0, 0, 0, 0)
+	f.emit(trace.KOpEnd, 5, trace.OpKill, 0, 0, 0)
+	wantViolation(t, f, "unscrubbed exclusive region")
+}
+
+func TestScrubbedKillClean(t *testing.T) {
+	f := newFeeder(1)
+	f.emit(trace.KForceKill, 5, 0, 0, 0, 0)
+	f.emit(trace.KOpBegin, 5, trace.OpKill, 0, 0, 0)
+	f.emit(trace.KScrubPlan, 5, 0, 0, 0x4000, 2*phys.PageSize)
+	f.emit(trace.KRevoke, 5, 1, 0, 0, 0)
+	f.emit(trace.KShootdown, 0, 0, 0, 0x4000, 2*phys.PageSize)
+	f.emit(trace.KShootdownAck, 0, 0, 0, 0x4000, 2*phys.PageSize)
+	f.emit(trace.KScrub, 5, 0, 0, 0x4000, 2*phys.PageSize)
+	f.emit(trace.KKill, 5, 0, 0, 0, 0)
+	f.emit(trace.KOpEnd, 5, trace.OpKill, 0, 0, 0)
+	wantClean(t, f)
+	if c := f.c.Counts(); c.ForcedKills != 1 || c.PagesScrubbed != 2 {
+		t.Fatalf("counts: %+v", c)
+	}
+}
+
+func TestDeadDomainSilence(t *testing.T) {
+	f := newFeeder(1)
+	f.emit(trace.KKill, 5, 0, 0, 0, 0)
+	f.emit(trace.KShare, 5, 1, 9, 0x1000, 4096)
+	wantViolation(t, f, "dead domain 5")
+}
+
+func TestDeadDomainFilterProgramming(t *testing.T) {
+	f := newFeeder(1)
+	f.emit(trace.KKill, 5, 0, 0, 0, 0)
+	f.emit(trace.KEPTMap, 5, 0, 7, 0x1000, 4096)
+	wantViolation(t, f, "dead domain 5")
+}
+
+func TestUnbalancedOpFlagged(t *testing.T) {
+	f := newFeeder(1)
+	f.emit(trace.KOpBegin, 1, trace.OpShare, 0, 0, 0)
+	wantViolation(t, f, "still open")
+}
+
+func TestOrphanShootdownNeedsFullAcks(t *testing.T) {
+	f := newFeeder(2)
+	f.emit(trace.KShootdown, 0, 0, 0, 0x1000, 4096)
+	f.emit(trace.KShootdownAck, 0, 0, 0, 0x1000, 4096)
+	wantViolation(t, f, "outside any operation")
+}
+
+func TestReplayMatchesOnline(t *testing.T) {
+	tr := trace.New(2, 0, nil)
+	online := New()
+	tr.Attach(online)
+	tr.Emit(trace.GlobalCore, trace.KBoot, 0, 0, 0, 0, 2)
+	tr.Emit(trace.GlobalCore, trace.KOpBegin, 1, trace.OpRevoke, 0, 0, 0)
+	tr.Emit(trace.GlobalCore, trace.KShootdown, 0, 0, 0, 0x1000, 4096)
+	tr.Emit(trace.GlobalCore, trace.KShootdownAck, 0, 0, 0, 0x1000, 4096)
+	tr.Emit(trace.GlobalCore, trace.KOpEnd, 1, trace.OpRevoke, 0, 0, 0)
+	replayed := Replay(tr.Events())
+	onErr, repErr := online.Err(), replayed.Err()
+	if (onErr == nil) != (repErr == nil) {
+		t.Fatalf("online=%v replay=%v", onErr, repErr)
+	}
+	if onErr == nil {
+		t.Fatal("stream with a half-acked shootdown accepted")
+	}
+	if online.Counts() != replayed.Counts() {
+		t.Fatalf("counts diverge: online %+v, replay %+v", online.Counts(), replayed.Counts())
+	}
+}

@@ -1,0 +1,99 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// chromeEvent is one entry in the Chrome trace-event JSON array
+// (the format chrome://tracing and Perfetto load directly).
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	TS    uint64         `json:"ts"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// chromeTID maps an event's core to a Chrome thread id: tid 0 is the
+// monitor/global track, tid c+1 is core c.
+func chromeTID(core int32) int {
+	if core < 0 {
+		return 0
+	}
+	return int(core) + 1
+}
+
+// WriteChromeTrace serialises events (as returned by Tracer.Events) in
+// Chrome trace-event format. Timestamps are simulated cycles presented
+// as microseconds; KOpBegin/KOpEnd become duration ("B"/"E") slices and
+// everything else an instant event on its core's track.
+func WriteChromeTrace(w io.Writer, events []Event) error {
+	out := make([]chromeEvent, 0, len(events)+8)
+	named := map[int]bool{}
+	for _, ev := range events {
+		tid := chromeTID(ev.Core)
+		if !named[tid] {
+			named[tid] = true
+			name := "monitor"
+			if tid > 0 {
+				name = "core " + itoa(tid-1)
+			}
+			out = append(out, chromeEvent{
+				Name: "thread_name", Phase: "M", PID: 1, TID: tid,
+				Args: map[string]any{"name": name},
+			})
+		}
+		ce := chromeEvent{
+			Name: ev.Kind.String(), TS: ev.Cycle, PID: 1, TID: tid,
+			Args: map[string]any{
+				"seq": ev.Seq, "domain": ev.Domain, "aux": ev.Aux,
+				"node": ev.Node, "addr": ev.Addr, "size": ev.Size,
+			},
+		}
+		switch ev.Kind {
+		case KOpBegin:
+			ce.Phase = "B"
+			ce.Name = opName(ev.Aux)
+		case KOpEnd:
+			ce.Phase = "E"
+			ce.Name = opName(ev.Aux)
+		default:
+			ce.Phase = "i"
+			ce.Scope = "t"
+		}
+		out = append(out, ce)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+func opName(op uint64) string {
+	switch op {
+	case OpShare:
+		return "op:share"
+	case OpGrant:
+		return "op:grant"
+	case OpRevoke:
+		return "op:revoke"
+	case OpKill:
+		return "op:kill"
+	}
+	return "op:?"
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

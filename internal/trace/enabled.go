@@ -1,0 +1,9 @@
+//go:build !notrace
+
+package trace
+
+// Compiled reports whether trace support is built into this binary.
+// Every emit site is guarded by `if trace.Compiled { ... }`; building
+// with `-tags notrace` turns the guard into a false constant and the
+// compiler eliminates the emit code entirely.
+const Compiled = true

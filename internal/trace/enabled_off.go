@@ -1,0 +1,8 @@
+//go:build notrace
+
+package trace
+
+// Compiled is false under the notrace build tag: emit sites guarded by
+// `if trace.Compiled` are dead-code eliminated and tracing cannot be
+// enabled at runtime.
+const Compiled = false

@@ -1,0 +1,83 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Normalize renders events as a canonical text form suitable for
+// golden-trace comparison across runs, schedulers, and machine shapes:
+// events are ordered by sequence number, cycle stamps and sequence
+// numbers are dropped (they vary with core count and interleaving),
+// the boot core count is elided, each shootdown's per-core acks
+// fold into a single "acks=all" (or "acks=<n>/<cores>") suffix, and
+// capability-node IDs (whose absolute values depend on how many core
+// nodes boot allocated) are renumbered by first appearance — so the
+// same logical run normalises identically on 2 or 8 cores. cores is
+// the machine core count the trace was taken on.
+func Normalize(events []Event, cores int) string {
+	evs := append([]Event(nil), events...)
+	sort.Slice(evs, func(i, j int) bool { return evs[i].Seq < evs[j].Seq })
+
+	// Dense renumbering of capability-node IDs. Only kinds whose Node
+	// field holds a node ID participate; for the others Node carries a
+	// PC or permission bits that must stay literal.
+	nodeAlias := make(map[uint64]int)
+	canonNode := func(n uint64) string {
+		if n == 0 {
+			return "0"
+		}
+		a, ok := nodeAlias[n]
+		if !ok {
+			a = len(nodeAlias)
+			nodeAlias[n] = a
+		}
+		return fmt.Sprintf("#%d", a)
+	}
+
+	var b strings.Builder
+	pendingAcks := -1 // acks seen for the last shootdown, -1 = none open
+	var pending Event
+	flush := func() {
+		if pendingAcks < 0 {
+			return
+		}
+		suffix := fmt.Sprintf("acks=%d/%d", pendingAcks, cores)
+		if pendingAcks == cores {
+			suffix = "acks=all"
+		}
+		fmt.Fprintf(&b, "%s addr=%#x size=%d %s\n",
+			pending.Kind, pending.Addr, pending.Size, suffix)
+		pendingAcks = -1
+	}
+	for _, ev := range evs {
+		switch ev.Kind {
+		case KShootdown:
+			flush()
+			pending, pendingAcks = ev, 0
+			continue
+		case KShootdownAck:
+			if pendingAcks >= 0 {
+				pendingAcks++
+				continue
+			}
+			// Ack with no open shootdown: keep it visible — the checker
+			// would flag it, and golden traces should too.
+		case KBoot:
+			flush()
+			b.WriteString("boot\n")
+			continue
+		}
+		flush()
+		node := fmt.Sprint(ev.Node)
+		switch ev.Kind {
+		case KShare, KGrant, KRevoke:
+			node = canonNode(ev.Node)
+		}
+		fmt.Fprintf(&b, "%s core=%d dom=%d aux=%d node=%s addr=%#x size=%d\n",
+			ev.Kind, ev.Core, ev.Domain, ev.Aux, node, ev.Addr, ev.Size)
+	}
+	flush()
+	return b.String()
+}

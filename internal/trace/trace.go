@@ -1,0 +1,306 @@
+// Package trace is the monitor's cycle-stamped event trace. Every
+// security-relevant state change in the simulated platform is mediated
+// by the isolation monitor, so the full history of a run — VMCalls,
+// transitions, capability mutations, traps, shootdowns, revocations,
+// filter edits — is observable at one choke point. This package records
+// that history: each emit point appends one fixed-shape Event to a
+// per-core lock-free ring buffer, stamped with the sharded cycle clock
+// and a global sequence number.
+//
+// "Runtime Verification for Trustworthy Computing" (PAPERS.md) argues
+// that a minimal monitor's real value is that its state machine can be
+// *checked*: temporal safety properties over the event stream, at run
+// time. The sibling package trace/check implements exactly that — an
+// online invariant checker that attaches to a Tracer as a Sink and
+// validates the stream as it is produced, or replays a dumped trace.
+//
+// Cost model. Tracing is off by default: the machine holds an atomic
+// tracer pointer and every emit site is a nil-check branch, so the
+// disabled path costs one atomic load (the C17 experiment measures it
+// at noise level on the C15 contention workload). The `notrace` build
+// tag additionally compiles every emit site out entirely (Compiled
+// becomes a false constant and the branches are dead-code eliminated).
+// Enabled, an emit is an allocation plus an atomic slot store — no
+// locks unless a Sink is attached, in which case emission serialises on
+// the sink mutex so checkers observe one linearisation of the run.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// GlobalCore is the Core value for events emitted from monitor or
+// machine context rather than a specific core's instruction stream.
+const GlobalCore int32 = -1
+
+// Kind classifies one traced event. The Domain/Aux/Node/Addr/Size
+// payload fields are kind-specific; the schema below is authoritative
+// (docs/ARCHITECTURE.md carries the prose version).
+type Kind uint8
+
+// Event kinds and their payload schema.
+const (
+	// KBoot opens every trace: Size = machine core count.
+	KBoot Kind = iota
+	// KTrap is a core leaving guest execution: Domain = running owner,
+	// Aux = hw.TrapKind, Addr = faulting address, Node = trapping PC.
+	KTrap
+	// KIRQRaise is a device interrupt reaching the controller:
+	// Aux = device, Node = vector.
+	KIRQRaise
+	// KIRQLost is a raised line eaten by the fault injector.
+	KIRQLost
+	// KIRQSpurious is a phantom interrupt delivered by the injector.
+	KIRQSpurious
+	// KIRQRoute is the monitor delivering an interrupt to the domain
+	// holding the device capability: Domain = receiver, Aux = device,
+	// Node = vector.
+	KIRQRoute
+	// KIRQDrop is an interrupt with no capable receiver.
+	KIRQDrop
+	// KVMCall is one guest hypercall trap being serviced:
+	// Domain = caller, Aux = call number.
+	KVMCall
+	// KTransition is a mediated domain switch: Domain = target,
+	// Aux = source (0 when none), Size = TransLaunch..TransFast.
+	KTransition
+	// KOpBegin/KOpEnd bracket one monitor operation that may shoot down
+	// TLBs (delegation, revocation, destruction): Domain = caller or
+	// victim, Aux = OpShare..OpKill. Ops never interleave — the monitor
+	// lock serialises them — but they may nest (a kill revokes).
+	KOpBegin
+	KOpEnd
+	// KShare/KGrant are successful delegations: Domain = caller,
+	// Aux = destination, Node = new capability node, Addr/Size = region.
+	KShare
+	KGrant
+	// KRevoke is a successful revocation: Domain = caller, Node = the
+	// revoked node (0 with Aux=1 for a whole-owner revocation during
+	// domain destruction).
+	KRevoke
+	// KSeal is a domain sealing: Domain = sealed domain.
+	KSeal
+	// KCreate is domain creation: Domain = new ID, Aux = creator.
+	KCreate
+	// KShootdown is a cross-core TLB shootdown starting:
+	// Addr/Size = region (0/0 = full flush).
+	KShootdown
+	// KShootdownAck is one core completing its flush: Aux = core.
+	KShootdownAck
+	// KForceKill is a destruction with monitor authority:
+	// Domain = victim.
+	KForceKill
+	// KContain is the machine-check containment path running:
+	// Core = faulting core, Domain = victim.
+	KContain
+	// KScrubPlan declares one exclusively-held region that must be
+	// scrubbed before the kill completes: Domain = victim, Addr/Size.
+	KScrubPlan
+	// KScrub is a region zeroed and shot down: Domain = victim,
+	// Addr/Size.
+	KScrub
+	// KKill closes a domain destruction — the domain is dead, its state
+	// removed: Domain = victim.
+	KKill
+	// KEPTMap is the vtx backend programming one EPT segment:
+	// Domain = owner, Addr/Size = region, Node = permission bits.
+	KEPTMap
+	// KEPTClear is the vtx backend emptying a domain's EPT.
+	KEPTClear
+	// KPMPWrite is the pmp backend programming one PMP entry:
+	// Core = target core, Domain = owner, Addr/Size, Node = perm bits.
+	KPMPWrite
+	// KAttest is an attestation report being produced: Domain = subject.
+	KAttest
+
+	numKinds
+)
+
+var kindNames = [...]string{
+	KBoot: "boot", KTrap: "trap", KIRQRaise: "irq-raise",
+	KIRQLost: "irq-lost", KIRQSpurious: "irq-spurious",
+	KIRQRoute: "irq-route", KIRQDrop: "irq-drop", KVMCall: "vmcall",
+	KTransition: "transition", KOpBegin: "op-begin", KOpEnd: "op-end",
+	KShare: "share", KGrant: "grant", KRevoke: "revoke", KSeal: "seal",
+	KCreate: "create", KShootdown: "shootdown",
+	KShootdownAck: "shootdown-ack", KForceKill: "force-kill",
+	KContain: "contain", KScrubPlan: "scrub-plan", KScrub: "scrub",
+	KKill: "kill", KEPTMap: "ept-map", KEPTClear: "ept-clear",
+	KPMPWrite: "pmp-write", KAttest: "attest",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) && kindNames[k] != "" {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Transition kinds (KTransition.Size).
+const (
+	TransLaunch uint64 = iota
+	TransCall
+	TransReturn
+	TransFast
+)
+
+// Operation codes (KOpBegin/KOpEnd.Aux).
+const (
+	OpShare uint64 = iota
+	OpGrant
+	OpRevoke
+	OpKill
+)
+
+// Event is one traced platform event. All payload fields are scalars so
+// emission never chases pointers; their meaning is per-Kind (see the
+// Kind constants).
+type Event struct {
+	// Seq is the global emission sequence number (1-based).
+	Seq uint64
+	// Cycle is the sharded cycle clock's aggregate at emission.
+	Cycle uint64
+	// Core is the emitting core, or GlobalCore for monitor context.
+	Core int32
+	// Kind classifies the event.
+	Kind Kind
+
+	Domain uint64
+	Aux    uint64
+	Node   uint64
+	Addr   uint64
+	Size   uint64
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("#%d @%d c%d %s dom=%d aux=%d node=%d addr=%#x size=%d",
+		e.Seq, e.Cycle, e.Core, e.Kind, e.Domain, e.Aux, e.Node, e.Addr, e.Size)
+}
+
+// Sink receives every event at emission time, serialised under the
+// tracer's sink mutex — one linearisation of the run, suitable for
+// online checking. Sinks must not call back into the Tracer.
+type Sink interface {
+	Event(Event)
+}
+
+// ring is one bounded event buffer. Appends reserve a slot with an
+// atomic fetch-add and publish the event with an atomic pointer store,
+// so concurrent emitters never lock; the oldest events are overwritten
+// once the ring wraps.
+type ring struct {
+	slots []atomic.Pointer[Event]
+	pos   atomic.Uint64
+}
+
+func (r *ring) append(ev *Event) {
+	i := r.pos.Add(1) - 1
+	r.slots[i%uint64(len(r.slots))].Store(ev)
+}
+
+// DefaultRingEntries is the per-ring capacity when New is given 0.
+const DefaultRingEntries = 4096
+
+// Tracer records events into one ring per core plus one for global
+// (monitor/device) context. It is safe for concurrent use by every
+// core, the monitor, and devices.
+type Tracer struct {
+	cycles func() uint64
+	rings  []*ring // rings[0] = global, rings[c+1] = core c
+
+	seq atomic.Uint64
+
+	hasSinks atomic.Bool
+	mu       sync.Mutex
+	sinks    []Sink
+}
+
+// New returns a tracer for a machine with the given core count.
+// perRing is each ring's capacity (DefaultRingEntries when 0); cycles
+// supplies timestamps (the machine clock's aggregate read) and may be
+// nil for untimed traces.
+func New(cores, perRing int, cycles func() uint64) *Tracer {
+	if perRing <= 0 {
+		perRing = DefaultRingEntries
+	}
+	t := &Tracer{cycles: cycles}
+	for i := 0; i < cores+1; i++ {
+		r := &ring{slots: make([]atomic.Pointer[Event], perRing)}
+		t.rings = append(t.rings, r)
+	}
+	return t
+}
+
+// Attach registers a sink. From now on emission serialises on the sink
+// mutex so the sink observes a single total order.
+func (t *Tracer) Attach(s Sink) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.sinks = append(t.sinks, s)
+	t.hasSinks.Store(true)
+}
+
+// Emit records one event. core is the emitting core or GlobalCore.
+func (t *Tracer) Emit(core int32, k Kind, domain, aux, node, addr, size uint64) {
+	ev := &Event{
+		Core: core, Kind: k,
+		Domain: domain, Aux: aux, Node: node, Addr: addr, Size: size,
+	}
+	if t.cycles != nil {
+		ev.Cycle = t.cycles()
+	}
+	ri := 0
+	if n := int(core) + 1; n >= 1 && n < len(t.rings) {
+		ri = n
+	}
+	if t.hasSinks.Load() {
+		// Sink mode: sequence assignment, ring store, and delivery all
+		// happen under one mutex so every sink sees emission order and
+		// Seq agree exactly.
+		t.mu.Lock()
+		ev.Seq = t.seq.Add(1)
+		t.rings[ri].append(ev)
+		for _, s := range t.sinks {
+			s.Event(*ev)
+		}
+		t.mu.Unlock()
+		return
+	}
+	ev.Seq = t.seq.Add(1)
+	t.rings[ri].append(ev)
+}
+
+// Len returns the number of events emitted so far (including any the
+// rings have since overwritten).
+func (t *Tracer) Len() uint64 { return t.seq.Load() }
+
+// Dropped returns how many events have been overwritten by ring wrap.
+func (t *Tracer) Dropped() uint64 {
+	var dropped uint64
+	for _, r := range t.rings {
+		if pos, n := r.pos.Load(), uint64(len(r.slots)); pos > n {
+			dropped += pos - n
+		}
+	}
+	return dropped
+}
+
+// Events snapshots every buffered event across all rings, sorted by
+// sequence number. Concurrent emission may overwrite slots mid-read;
+// the snapshot is whatever the rings held, each event internally
+// consistent (events are published whole via pointer stores).
+func (t *Tracer) Events() []Event {
+	var out []Event
+	for _, r := range t.rings {
+		for i := range r.slots {
+			if ev := r.slots[i].Load(); ev != nil {
+				out = append(out, *ev)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}

@@ -1,0 +1,207 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestEmitRecordsAndOrders(t *testing.T) {
+	var cyc uint64
+	tr := New(2, 16, func() uint64 { cyc += 10; return cyc })
+	tr.Emit(GlobalCore, KBoot, 0, 0, 0, 0, 2)
+	tr.Emit(0, KTrap, 1, 2, 3, 4, 0)
+	tr.Emit(1, KVMCall, 2, 7, 0, 0, 0)
+	evs := tr.Events()
+	if len(evs) != 3 {
+		t.Fatalf("got %d events, want 3", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.Seq != uint64(i+1) {
+			t.Fatalf("event %d has seq %d", i, ev.Seq)
+		}
+	}
+	if evs[0].Kind != KBoot || evs[1].Kind != KTrap || evs[2].Kind != KVMCall {
+		t.Fatalf("wrong order: %v", evs)
+	}
+	if evs[0].Cycle == 0 || evs[1].Cycle <= evs[0].Cycle {
+		t.Fatalf("cycle stamps not monotone: %v", evs)
+	}
+	if tr.Len() != 3 || tr.Dropped() != 0 {
+		t.Fatalf("len=%d dropped=%d", tr.Len(), tr.Dropped())
+	}
+}
+
+func TestRingWrapDropsOldest(t *testing.T) {
+	tr := New(1, 4, nil)
+	for i := 0; i < 10; i++ {
+		tr.Emit(0, KVMCall, uint64(i), 0, 0, 0, 0)
+	}
+	evs := tr.Events()
+	if len(evs) != 4 {
+		t.Fatalf("ring kept %d events, want 4", len(evs))
+	}
+	// The survivors are the newest four, still in seq order.
+	for i, ev := range evs {
+		if want := uint64(6 + i); ev.Domain != want {
+			t.Fatalf("slot %d holds domain %d, want %d", i, ev.Domain, want)
+		}
+	}
+	if tr.Dropped() != 6 {
+		t.Fatalf("dropped=%d, want 6", tr.Dropped())
+	}
+}
+
+// TestConcurrentEmitIsRaceFree hammers the lock-free append path from
+// many goroutines; the -race runs of CI are the real assertion.
+func TestConcurrentEmitIsRaceFree(t *testing.T) {
+	const goroutines, per = 8, 2000
+	tr := New(goroutines, 64, nil)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				tr.Emit(int32(g), KTrap, uint64(g), uint64(i), 0, 0, 0)
+			}
+		}(g)
+	}
+	// A concurrent reader snapshotting mid-emission.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			for _, ev := range tr.Events() {
+				if ev.Kind != KTrap {
+					t.Errorf("torn event: %v", ev)
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	if got := tr.Len(); got != goroutines*per {
+		t.Fatalf("emitted %d, want %d", got, goroutines*per)
+	}
+}
+
+type collectSink struct {
+	mu  sync.Mutex
+	evs []Event
+}
+
+func (s *collectSink) Event(ev Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.evs = append(s.evs, ev)
+}
+
+func TestSinkSeesTotalOrder(t *testing.T) {
+	tr := New(4, 0, nil)
+	sink := &collectSink{}
+	tr.Attach(sink)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				tr.Emit(int32(g), KVMCall, uint64(g), 0, 0, 0, 0)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if len(sink.evs) != 2000 {
+		t.Fatalf("sink saw %d events, want 2000", len(sink.evs))
+	}
+	// Delivery order and sequence numbers must agree exactly.
+	for i, ev := range sink.evs {
+		if ev.Seq != uint64(i+1) {
+			t.Fatalf("delivery %d carries seq %d", i, ev.Seq)
+		}
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	tr := New(2, 0, nil)
+	tr.Emit(GlobalCore, KBoot, 0, 0, 0, 0, 2)
+	tr.Emit(GlobalCore, KOpBegin, 3, OpRevoke, 0, 0, 0)
+	tr.Emit(GlobalCore, KShootdown, 0, 0, 0, 0x1000, 4096)
+	tr.Emit(GlobalCore, KOpEnd, 3, OpRevoke, 0, 0, 0)
+	tr.Emit(1, KTrap, 3, 2, 0, 0, 0)
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, tr.Events()); err != nil {
+		t.Fatal(err)
+	}
+	var out []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	var phases []string
+	for _, e := range out {
+		phases = append(phases, fmt.Sprint(e["ph"]))
+	}
+	joined := strings.Join(phases, "")
+	if !strings.Contains(joined, "B") || !strings.Contains(joined, "E") {
+		t.Fatalf("missing op duration slices in %v", phases)
+	}
+}
+
+func TestNormalizeFoldsAcks(t *testing.T) {
+	mk := func(cores int) []Event {
+		tr := New(cores, 0, nil)
+		tr.Emit(GlobalCore, KBoot, 0, 0, 0, 0, uint64(cores))
+		tr.Emit(GlobalCore, KOpBegin, 1, OpRevoke, 0, 0, 0)
+		tr.Emit(GlobalCore, KShootdown, 0, 0, 0, 0x2000, 4096)
+		for c := 0; c < cores; c++ {
+			tr.Emit(GlobalCore, KShootdownAck, 0, uint64(c), 0, 0x2000, 4096)
+		}
+		tr.Emit(GlobalCore, KOpEnd, 1, OpRevoke, 0, 0, 0)
+		return tr.Events()
+	}
+	a := Normalize(mk(2), 2)
+	b := Normalize(mk(8), 8)
+	if a != b {
+		t.Fatalf("normalized traces differ across core counts:\n--- 2 cores\n%s--- 8 cores\n%s", a, b)
+	}
+	if !strings.Contains(a, "acks=all") {
+		t.Fatalf("expected folded acks, got:\n%s", a)
+	}
+	// A partial acknowledgement must stay visible.
+	tr := New(2, 0, nil)
+	tr.Emit(GlobalCore, KShootdown, 0, 0, 0, 0x2000, 4096)
+	tr.Emit(GlobalCore, KShootdownAck, 0, 0, 0, 0x2000, 4096)
+	if n := Normalize(tr.Events(), 2); !strings.Contains(n, "acks=1/2") {
+		t.Fatalf("partial acks not visible:\n%s", n)
+	}
+}
+
+func TestNormalizeCanonicalisesNodeIDs(t *testing.T) {
+	// Absolute node IDs depend on how many core nodes boot allocated;
+	// the same logical run on a bigger machine shifts them all.
+	mk := func(base uint64) []Event {
+		tr := New(1, 0, nil)
+		tr.Emit(GlobalCore, KShare, 1, 2, base, 0x1000, 4096)
+		tr.Emit(GlobalCore, KGrant, 1, 3, base+5, 0x2000, 4096)
+		tr.Emit(GlobalCore, KRevoke, 1, 0, base, 0, 0)
+		return tr.Events()
+	}
+	a, b := Normalize(mk(10), 1), Normalize(mk(42), 1)
+	if a != b {
+		t.Fatalf("node IDs not canonicalised:\n--- base 10\n%s--- base 42\n%s", a, b)
+	}
+	if !strings.Contains(a, "node=#0") || !strings.Contains(a, "node=#1") {
+		t.Fatalf("expected dense #k aliases, got:\n%s", a)
+	}
+	// A trap's Node field is a PC, not a node ID — it must stay literal.
+	tr := New(1, 0, nil)
+	tr.Emit(0, KTrap, 1, 2, 0x4000, 0, 0)
+	if n := Normalize(tr.Events(), 1); !strings.Contains(n, "node=16384") {
+		t.Fatalf("trap PC was rewritten:\n%s", n)
+	}
+}
