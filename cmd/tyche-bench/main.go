@@ -10,6 +10,15 @@
 //	tyche-bench -parallel 4 -out BENCH_smp.json
 //	tyche-bench -traced -experiment C15
 //
+// A/B lock-scalability merge: run C18 from a default build and from a
+// `-tags biglock` build, then join the two JSON files into
+// BENCH_scale.json, computing per-point speedups and enforcing the
+// acceptance gate (and single-worker cycle bit-identity):
+//
+//	tyche-bench -experiment C18 -out fine.json
+//	tyche-bench-biglock -experiment C18 -out biglock.json
+//	tyche-bench -merge fine.json,biglock.json -require-speedup 1.5 -out BENCH_scale.json
+//
 // The process exits non-zero if any experiment's shape checks fail.
 package main
 
@@ -39,7 +48,7 @@ type benchOutput struct {
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "", "experiment ID (F1-F4, C1-C17); empty runs all")
+		experiment = flag.String("experiment", "", "experiment ID (F1-F4, C1-C18); empty runs all")
 		backend    = flag.String("backend", "vtx", "enforcement backend: vtx or pmp")
 		quick      = flag.Bool("quick", false, "smaller sweeps")
 		seed       = flag.Int64("seed", 1, "workload seed")
@@ -48,8 +57,18 @@ func main() {
 		parallel   = flag.Int("parallel", 1, "experiments to run concurrently")
 		out        = flag.String("out", "", "write machine-readable results (BENCH_smp.json) to this file")
 		traced     = flag.Bool("traced", false, "run every experiment with the cycle-stamped tracer and online invariant checker attached")
+		merge      = flag.String("merge", "", "merge two C18 result files (fine.json,biglock.json) into an A/B scalability report instead of running experiments")
+		reqSpeedup = flag.Float64("require-speedup", 0, "with -merge: fail unless the fine-grained build beats the big lock by this factor at 4 workers (0 disables the gate)")
 	)
 	flag.Parse()
+
+	if *merge != "" {
+		if err := mergeScale(*merge, *out, *reqSpeedup); err != nil {
+			fmt.Fprintf(os.Stderr, "tyche-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		fmt.Printf("%-4s %-70s %s\n", "ID", "TITLE", "PAPER ARTEFACT")

@@ -12,6 +12,7 @@ package pmp
 
 import (
 	"fmt"
+	"sync"
 
 	"github.com/tyche-sim/tyche/internal/backend"
 	"github.com/tyche-sim/tyche/internal/cap"
@@ -22,12 +23,21 @@ import (
 
 type domainState struct {
 	owner cap.OwnerID
-	segs  []backend.Segment
 	asid  uint64
-	ctxs  map[phys.CoreID]*hw.Context
+
+	// mu guards segs (rewritten by SyncDomain while transitions on other
+	// cores program them into PMP files) and the lazily-populated
+	// per-core context cache.
+	mu   sync.Mutex
+	segs []backend.Segment
+	ctxs map[phys.CoreID]*hw.Context
 }
 
 // Backend is the machine-mode PMP enforcement backend.
+//
+// Concurrency contract: InstallDomain/RemoveDomain run only under the
+// monitor's exclusive lock, so the domains map and nextASID are safe
+// bare; per-domain mutable state carries the domainState mutex.
 type Backend struct {
 	mach  *hw.Machine
 	space *cap.Space
@@ -111,6 +121,8 @@ func (b *Backend) SyncDomain(owner cap.OwnerID) error {
 	if need, avail := len(segs), b.Budget(); need > avail {
 		return &backend.PMPExhaustedError{Owner: owner, Needed: need, Available: avail}
 	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	st.segs = segs
 	// Cores currently running this domain must be reprogrammed now:
 	// access may have been revoked.
@@ -124,7 +136,8 @@ func (b *Backend) SyncDomain(owner cap.OwnerID) error {
 	return nil
 }
 
-// program writes the domain's segments into the core's PMP file.
+// program writes the domain's segments into the core's PMP file
+// (st.mu held).
 func (b *Backend) program(core *hw.Core, st *domainState) {
 	unit := core.PMPUnit
 	cleared := unit.ClearAll()
@@ -168,6 +181,8 @@ func (b *Backend) Context(owner cap.OwnerID, core phys.CoreID) (*hw.Context, err
 	if err != nil {
 		return nil, err
 	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	ctx, ok := st.ctxs[core]
 	if !ok {
 		c := b.mach.Core(core)
@@ -201,7 +216,9 @@ func (b *Backend) Transition(core *hw.Core, to cap.OwnerID, fast bool) error {
 	}
 	cost := b.mach.Cost
 	b.mach.Clock.Advance(cost.MTrap)
+	st.mu.Lock()
 	b.program(core, st)
+	st.mu.Unlock()
 	b.mach.Clock.Advance(cost.MRet)
 	core.InstallContext(ctx) // PMP is untagged: full TLB flush
 	return nil

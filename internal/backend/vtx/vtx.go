@@ -9,6 +9,7 @@ package vtx
 
 import (
 	"fmt"
+	"sync"
 
 	"github.com/tyche-sim/tyche/internal/backend"
 	"github.com/tyche-sim/tyche/internal/cap"
@@ -20,17 +21,32 @@ import (
 type domainState struct {
 	ept  *hw.EPT
 	asid uint64
+
+	// mu guards the lazily-populated per-core context cache: cores take
+	// concurrent transitions into the same domain under the monitor's
+	// shared lock. ept and asid are immutable after InstallDomain (the
+	// EPT object synchronises its own contents).
+	mu   sync.Mutex
 	ctxs map[phys.CoreID]*hw.Context
 }
 
 // Backend is the VT-x enforcement backend.
+//
+// Concurrency contract: the monitor calls InstallDomain and
+// RemoveDomain only under its exclusive lock, so the domains map and
+// nextASID need no locking of their own — readers all hold the shared
+// monitor lock. fastPairs is registered and consulted on the shared
+// path, so it carries its own RWMutex; per-domain context caches are
+// guarded by the domainState mutex.
 type Backend struct {
 	mach  *hw.Machine
 	space *cap.Space
 
-	domains   map[cap.OwnerID]*domainState
+	domains  map[cap.OwnerID]*domainState
+	nextASID uint64
+
+	pairMu    sync.RWMutex
 	fastPairs map[fastKey]bool
-	nextASID  uint64
 }
 
 type fastKey struct {
@@ -114,11 +130,13 @@ func (b *Backend) RemoveDomain(owner cap.OwnerID) error {
 	st.ept.Clear()
 	b.mach.Trace(trace.GlobalCore, trace.KEPTClear, uint64(owner), 0, 0, 0, 0)
 	delete(b.domains, owner)
+	b.pairMu.Lock()
 	for k := range b.fastPairs {
 		if k.a == owner || k.b == owner {
 			delete(b.fastPairs, k)
 		}
 	}
+	b.pairMu.Unlock()
 	for _, cpu := range b.mach.Cores {
 		cpu.ClearVMFuncEntry(uint64(owner))
 	}
@@ -131,6 +149,8 @@ func (b *Backend) Context(owner cap.OwnerID, core phys.CoreID) (*hw.Context, err
 	if err != nil {
 		return nil, err
 	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	ctx, ok := st.ctxs[core]
 	if !ok {
 		ctx = &hw.Context{
@@ -158,7 +178,10 @@ func (b *Backend) Transition(core *hw.Core, to cap.OwnerID, fast bool) error {
 		if cur := core.Context(); cur != nil {
 			from = cap.OwnerID(cur.Owner)
 		}
-		if !b.fastPairs[canonPair(core.ID(), from, to)] {
+		b.pairMu.RLock()
+		ok := b.fastPairs[canonPair(core.ID(), from, to)]
+		b.pairMu.RUnlock()
+		if !ok {
 			return fmt.Errorf("%w: %d->%d on %v", backend.ErrNoFastPath, from, to, core.ID())
 		}
 		b.mach.Clock.Advance(cost.VMFunc)
@@ -183,7 +206,9 @@ func (b *Backend) RegisterFastPair(core phys.CoreID, a, bID cap.OwnerID) error {
 	if _, err := b.state(bID); err != nil {
 		return err
 	}
+	b.pairMu.Lock()
 	b.fastPairs[canonPair(core, a, bID)] = true
+	b.pairMu.Unlock()
 	cpu := b.mach.Core(core)
 	if cpu == nil {
 		return fmt.Errorf("vtx: no core %v", core)

@@ -36,9 +36,10 @@ func TestExperimentsPassAllChecks(t *testing.T) {
 }
 
 // TestExperimentsOnPMPBackend re-runs the backend-sensitive scenario
-// experiments on the PMP backend.
+// experiments on the PMP backend (C18 because its lock-scalability
+// workloads must hold regardless of the enforcement mechanism).
 func TestExperimentsOnPMPBackend(t *testing.T) {
-	for _, id := range []string{"F1", "F4"} {
+	for _, id := range []string{"F1", "F4", "C18"} {
 		e, ok := Lookup(id)
 		if !ok {
 			t.Fatalf("experiment %s not registered", id)
@@ -56,8 +57,8 @@ func TestExperimentsOnPMPBackend(t *testing.T) {
 }
 
 func TestRegistryAndRunAll(t *testing.T) {
-	if len(Experiments()) < 21 {
-		t.Fatalf("registered experiments = %d, want 21 (F1-F4, C1-C17)", len(Experiments()))
+	if len(Experiments()) < 22 {
+		t.Fatalf("registered experiments = %d, want 22 (F1-F4, C1-C18)", len(Experiments()))
 	}
 	if _, ok := Lookup("F1"); !ok {
 		t.Fatal("F1 missing")

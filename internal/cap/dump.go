@@ -11,12 +11,16 @@ import (
 // tyche-sim dump. Roots are boot-time capabilities; indentation shows
 // derivation.
 func (s *Space) TreeString() string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	defer s.rlockAll()()
 	var roots []*node
-	for _, n := range s.nodes {
-		if n.parent == nil {
+	s.nodes.Range(func(_, v any) bool {
+		if n := v.(*node); n.parent == nil {
 			roots = append(roots, n)
 		}
-	}
+		return true
+	})
 	sort.Slice(roots, func(i, j int) bool { return roots[i].id < roots[j].id })
 	var b strings.Builder
 	for _, r := range roots {
@@ -28,7 +32,7 @@ func (s *Space) TreeString() string {
 func (s *Space) writeNode(b *strings.Builder, n *node, depth int) {
 	b.WriteString(strings.Repeat("  ", depth))
 	sealed := ""
-	if s.sealed[n.owner] {
+	if s.isSealed(n.owner) {
 		sealed = " (sealed)"
 	}
 	fmt.Fprintf(b, "n%d d%d%s %s %v [%v]", n.id, n.owner, sealed, n.kind, n.res, n.rights)

@@ -33,15 +33,26 @@ func (rc RegionCount) String() string {
 // a constant owner set, in address order. Regions with no owner are
 // omitted.
 func (s *Space) RefCounts() []RegionCount {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	defer s.rlockAll()()
+	return s.refCounts()
+}
+
+// refCounts requires the sweep lock (all shards) or the structural
+// writer lock.
+func (s *Space) refCounts() []RegionCount {
 	// Per-owner union of effective coverage (a single owner holding two
 	// overlapping capabilities still counts once).
 	perOwner := make(map[OwnerID][]phys.Region)
-	for _, n := range s.nodes {
+	s.nodes.Range(func(_, v any) bool {
+		n := v.(*node)
 		if n.res.Kind != ResMemory {
-			continue
+			return true
 		}
 		perOwner[n.owner] = append(perOwner[n.owner], s.effectiveRegions(n)...)
-	}
+		return true
+	})
 	type event struct {
 		at    phys.Addr
 		owner OwnerID
@@ -109,10 +120,14 @@ func sameOwners(a, b []OwnerID) bool {
 // RefCountAt returns the number of distinct owners with effective access
 // at address a.
 func (s *Space) RefCountAt(a phys.Addr) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	defer s.rlockAll()()
 	owners := make(map[OwnerID]bool)
-	for _, n := range s.nodes {
+	s.nodes.Range(func(_, v any) bool {
+		n := v.(*node)
 		if n.res.Kind != ResMemory || owners[n.owner] || !n.res.Mem.Contains(a) {
-			continue
+			return true
 		}
 		for _, r := range s.effectiveRegions(n) {
 			if r.Contains(a) {
@@ -120,7 +135,8 @@ func (s *Space) RefCountAt(a phys.Addr) int {
 				break
 			}
 		}
-	}
+		return true
+	})
 	return len(owners)
 }
 
@@ -140,12 +156,17 @@ func (s *Space) RegionRefCount(r phys.Region) int {
 // CoreRefCount returns the number of distinct owners holding RightRun on
 // core.
 func (s *Space) CoreRefCount(core phys.CoreID) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	defer s.rlockAll()()
 	owners := make(map[OwnerID]bool)
-	for _, n := range s.nodes {
+	s.nodes.Range(func(_, v any) bool {
+		n := v.(*node)
 		if n.res.Kind == ResCore && n.res.Core == core && n.rights.Has(RightRun) && !s.coreGrantedAway(n) {
 			owners[n.owner] = true
 		}
-	}
+		return true
+	})
 	return len(owners)
 }
 
@@ -171,10 +192,14 @@ func (s *Space) DeviceUsers(dev phys.DeviceID) []OwnerID {
 // deviceHolders returns owners holding `want` on dev through a node
 // whose device has not been granted away.
 func (s *Space) deviceHolders(dev phys.DeviceID, want Rights) []OwnerID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	defer s.rlockAll()()
 	set := make(map[OwnerID]bool)
-	for _, n := range s.nodes {
+	s.nodes.Range(func(_, v any) bool {
+		n := v.(*node)
 		if n.res.Kind != ResDevice || n.res.Device != dev || !n.rights.Has(want) {
-			continue
+			return true
 		}
 		granted := false
 		for _, c := range n.children {
@@ -186,7 +211,8 @@ func (s *Space) deviceHolders(dev phys.DeviceID, want Rights) []OwnerID {
 		if !granted {
 			set[n.owner] = true
 		}
-	}
+		return true
+	})
 	out := make([]OwnerID, 0, len(set))
 	for o := range set {
 		out = append(out, o)

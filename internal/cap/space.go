@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"github.com/tyche-sim/tyche/internal/phys"
 )
@@ -51,6 +53,8 @@ var (
 )
 
 type node struct {
+	// id, owner, res, rights, cleanup, kind, and parent are immutable
+	// after creation; children is guarded by the owner's shard lock.
 	id       NodeID
 	owner    OwnerID
 	res      Resource
@@ -87,41 +91,126 @@ func (a CleanupAction) String() string {
 	return fmt.Sprintf("cleanup{%v %v owner=%d %v}", a.Cleanup, a.Resource, a.Owner, a.Node)
 }
 
+// numShards is the owner-shard count; shardFor masks with it, so it
+// must stay a power of two.
+const numShards = 16
+
 // Space is the system-wide capability state: every capability of every
 // trust domain lives in one lineage forest rooted at the boot-time
 // capabilities.
 //
-// Space is not safe for concurrent use; the monitor serialises API calls
-// (the real monitor takes a global lock around its capability engine).
+// Space is safe for concurrent use. The locking is layered:
+//
+//   - A structural RWMutex (mu) is held exclusively only by the revoke
+//     family (Revoke, RevokeOwner) — the operations that unlink nodes
+//     and therefore cannot tolerate any concurrent reader of the
+//     lineage forest. Every other operation holds it shared.
+//   - Owner shards: owners hash onto numShards RWMutexes. A node's
+//     mutable state (its children list) and an owner's seal flag are
+//     guarded by the owner's shard. Delegations lock the source and
+//     destination owners' shards; cross-owner operations always
+//     acquire multiple shards in ascending shard-index order, so
+//     concurrent Share/Grant between disjoint owner pairs proceed in
+//     parallel without deadlock.
+//   - Global sweeps (reference counts, owner enumeration, tree dumps)
+//     hold every shard shared, which excludes in-flight delegations
+//     and yields a consistent snapshot without the writer lock.
+//
+// Identity lookups go through a lock-free node index (sync.Map);
+// generation, op, and node counters are atomics. The lock order is
+// mu before shards, shards in ascending index; no Space lock is ever
+// held across a call out of the package.
 type Space struct {
-	nodes  map[NodeID]*node
-	nextID NodeID
-	sealed map[OwnerID]bool
-	gen    uint64
+	mu     sync.RWMutex // structural: exclusive for revoke paths only
+	shards [numShards]sync.RWMutex
 
-	ops uint64 // total mutating operations, for bench reporting
+	nodes  sync.Map // NodeID -> *node
+	sealed sync.Map // OwnerID -> bool
+
+	nextID   atomic.Uint64
+	gen      atomic.Uint64
+	ops      atomic.Uint64
+	numNodes atomic.Int64
 }
 
 // NewSpace returns an empty capability space.
 func NewSpace() *Space {
-	return &Space{
-		nodes:  make(map[NodeID]*node),
-		sealed: make(map[OwnerID]bool),
-		nextID: 1,
+	s := &Space{}
+	s.nextID.Store(1)
+	return s
+}
+
+func shardFor(o OwnerID) int { return int(o) & (numShards - 1) }
+
+// lockOwners write-locks the shards of the given owners in ascending
+// shard order (deduplicated) and returns the unlock function. Callers
+// must hold mu (shared or exclusive is irrelevant — shard locks nest
+// inside mu).
+func (s *Space) lockOwners(owners ...OwnerID) func() {
+	var mask uint
+	for _, o := range owners {
+		mask |= 1 << uint(shardFor(o))
+	}
+	for i := 0; i < numShards; i++ {
+		if mask&(1<<uint(i)) != 0 {
+			s.shards[i].Lock()
+		}
+	}
+	return func() {
+		for i := numShards - 1; i >= 0; i-- {
+			if mask&(1<<uint(i)) != 0 {
+				s.shards[i].Unlock()
+			}
+		}
+	}
+}
+
+// rlockOwner read-locks one owner's shard.
+func (s *Space) rlockOwner(o OwnerID) func() {
+	sh := &s.shards[shardFor(o)]
+	sh.RLock()
+	return sh.RUnlock
+}
+
+// rlockAll read-locks every shard in ascending order — the sweep lock
+// for queries touching nodes of arbitrary owners.
+func (s *Space) rlockAll() func() {
+	for i := range s.shards {
+		s.shards[i].RLock()
+	}
+	return func() {
+		for i := numShards - 1; i >= 0; i-- {
+			s.shards[i].RUnlock()
+		}
 	}
 }
 
 // Generation increments on every mutation; backends use it to detect
 // staleness of derived hardware state.
-func (s *Space) Generation() uint64 { return s.gen }
+func (s *Space) Generation() uint64 { return s.gen.Load() }
 
 // Ops returns the number of mutating operations performed.
-func (s *Space) Ops() uint64 { return s.ops }
+func (s *Space) Ops() uint64 { return s.ops.Load() }
 
 // NumNodes returns the number of live capability nodes.
-func (s *Space) NumNodes() int { return len(s.nodes) }
+func (s *Space) NumNodes() int { return int(s.numNodes.Load()) }
 
-func (s *Space) mutate() { s.gen++; s.ops++ }
+func (s *Space) mutate() { s.gen.Add(1); s.ops.Add(1) }
+
+func (s *Space) isSealed(o OwnerID) bool {
+	v, ok := s.sealed.Load(o)
+	return ok && v.(bool)
+}
+
+func (s *Space) insert(n *node) {
+	s.nodes.Store(n.id, n)
+	s.numNodes.Add(1)
+}
+
+func (s *Space) remove(id NodeID) {
+	s.nodes.Delete(id)
+	s.numNodes.Add(-1)
+}
 
 // CreateRoot mints a root capability for owner. Only the monitor calls
 // this, at boot, to hand the initial domain the machine's resources.
@@ -132,30 +221,43 @@ func (s *Space) CreateRoot(owner OwnerID, res Resource, rights Rights, cleanup C
 	if !rights.Subset(res.ValidRights()) {
 		return 0, fmt.Errorf("%w: rights %v not valid for %v", ErrInvalid, rights, res.Kind)
 	}
-	if s.sealed[owner] {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	unlock := s.lockOwners(owner)
+	defer unlock()
+	if s.isSealed(owner) {
 		return 0, fmt.Errorf("%w: owner %d cannot receive new capabilities", ErrSealed, owner)
 	}
-	n := &node{id: s.nextID, owner: owner, res: res, rights: rights, cleanup: cleanup, kind: KindRoot}
-	s.nextID++
-	s.nodes[n.id] = n
+	n := &node{id: NodeID(s.nextID.Add(1) - 1), owner: owner, res: res, rights: rights, cleanup: cleanup, kind: KindRoot}
+	s.insert(n)
 	s.mutate()
 	return n.id, nil
 }
 
+// get looks a node up in the index. Safe without shard locks: node
+// identity fields are immutable, and unlinking only happens under the
+// exclusive structural lock.
 func (s *Space) get(id NodeID) (*node, error) {
-	n, ok := s.nodes[id]
+	v, ok := s.nodes.Load(id)
 	if !ok {
 		return nil, fmt.Errorf("%w: node %d", ErrNotFound, id)
 	}
-	return n, nil
+	return v.(*node), nil
 }
 
 // derive validates and creates a child capability of kind k.
 func (s *Space) derive(id NodeID, newOwner OwnerID, sub Resource, rights Rights, cleanup Cleanup, k NodeKind) (NodeID, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	parent, err := s.get(id)
 	if err != nil {
 		return 0, err
 	}
+	// Lock the delegation's two owners — parent's (its children list and
+	// effective regions) and the receiver's (its seal flag) — in shard
+	// order.
+	unlock := s.lockOwners(parent.owner, newOwner)
+	defer unlock()
 	need := RightShare
 	if k == KindGranted {
 		need = RightGrant
@@ -169,7 +271,7 @@ func (s *Space) derive(id NodeID, newOwner OwnerID, sub Resource, rights Rights,
 	// because it raises the region's reference count — this is what lets
 	// sealed Tyche-enclaves spawn nested enclaves and share pages with
 	// them (§4.2).
-	if s.sealed[newOwner] {
+	if s.isSealed(newOwner) {
 		return 0, fmt.Errorf("%w: owner %d cannot receive new capabilities", ErrSealed, newOwner)
 	}
 	if err := sub.Validate(); err != nil {
@@ -199,12 +301,11 @@ func (s *Space) derive(id NodeID, newOwner OwnerID, sub Resource, rights Rights,
 		}
 	}
 	n := &node{
-		id: s.nextID, owner: newOwner, res: sub, rights: rights,
+		id: NodeID(s.nextID.Add(1) - 1), owner: newOwner, res: sub, rights: rights,
 		cleanup: cleanup, kind: k, parent: parent,
 	}
-	s.nextID++
 	parent.children = append(parent.children, n)
-	s.nodes[n.id] = n
+	s.insert(n)
 	s.mutate()
 	return n.id, nil
 }
@@ -227,7 +328,13 @@ func (s *Space) Grant(id NodeID, newOwner OwnerID, sub Resource, rights Rights, 
 // Because lineage is a tree (every share/grant mints a fresh node),
 // revocation terminates even when domains have shared a region back and
 // forth in a cycle.
+//
+// Revocation takes the structural lock exclusively: subtree unlinking
+// crosses owner shards arbitrarily, so it is the one operation that
+// falls back to the global writer lock.
 func (s *Space) Revoke(id NodeID) ([]CleanupAction, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	n, err := s.get(id)
 	if err != nil {
 		return nil, err
@@ -246,7 +353,7 @@ func (s *Space) revokeSubtree(n *node, actions *[]CleanupAction) {
 		s.revokeSubtree(c, actions)
 	}
 	n.children = nil
-	delete(s.nodes, n.id)
+	s.remove(n.id)
 	*actions = append(*actions, CleanupAction{
 		Node: n.id, Owner: n.owner, Resource: n.res, Cleanup: n.cleanup,
 	})
@@ -254,12 +361,15 @@ func (s *Space) revokeSubtree(n *node, actions *[]CleanupAction) {
 
 // RevokeOwner tears down every capability owned by owner (and therefore
 // everything ever derived from those capabilities). Used when a domain
-// is killed.
+// is killed. Like Revoke, it holds the structural lock exclusively.
 func (s *Space) RevokeOwner(owner OwnerID) []CleanupAction {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	var actions []CleanupAction
-	// Collect first: revocation mutates the node map.
+	// Collect first: revocation mutates the node index.
 	var tops []*node
-	for _, n := range s.nodes {
+	s.nodes.Range(func(_, v any) bool {
+		n := v.(*node)
 		if n.owner == owner {
 			// Skip nodes whose ancestor is also being revoked; the
 			// subtree walk will reach them.
@@ -276,10 +386,11 @@ func (s *Space) RevokeOwner(owner OwnerID) []CleanupAction {
 				tops = append(tops, n)
 			}
 		}
-	}
+		return true
+	})
 	sort.Slice(tops, func(i, j int) bool { return tops[i].id < tops[j].id })
 	for _, n := range tops {
-		if _, ok := s.nodes[n.id]; !ok {
+		if _, ok := s.nodes.Load(n.id); !ok {
 			continue // already revoked via an earlier top's subtree
 		}
 		s.revokeSubtree(n, &actions)
@@ -290,7 +401,7 @@ func (s *Space) RevokeOwner(owner OwnerID) []CleanupAction {
 	if len(actions) > 0 {
 		s.mutate()
 	}
-	delete(s.sealed, owner)
+	s.sealed.Delete(owner)
 	return actions
 }
 
@@ -306,20 +417,31 @@ func removeChild(children []*node, target *node) []*node {
 // Seal freezes owner's resource set: it can no longer receive
 // capabilities (§3.1: "domains can be sealed, so that their resources
 // cannot be extended").
-func (s *Space) Seal(owner OwnerID) { s.sealed[owner] = true; s.mutate() }
+func (s *Space) Seal(owner OwnerID) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	unlock := s.lockOwners(owner)
+	defer unlock()
+	s.sealed.Store(owner, true)
+	s.mutate()
+}
 
 // Sealed reports whether owner is sealed.
-func (s *Space) Sealed(owner OwnerID) bool { return s.sealed[owner] }
+func (s *Space) Sealed(owner OwnerID) bool { return s.isSealed(owner) }
 
 // Node returns a snapshot of the capability id.
 func (s *Space) Node(id NodeID) (Info, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	n, err := s.get(id)
 	if err != nil {
 		return Info{}, err
 	}
+	defer s.rlockOwner(n.owner)()
 	return s.info(n), nil
 }
 
+// info snapshots a node; the caller holds the node's owner shard.
 func (s *Space) info(n *node) Info {
 	inf := Info{
 		ID: n.id, Owner: n.owner, Resource: n.res, Rights: n.rights,
@@ -338,18 +460,23 @@ func (s *Space) info(n *node) Info {
 // OwnerNodes returns snapshots of every capability owned by owner, in
 // ID order.
 func (s *Space) OwnerNodes(owner OwnerID) []Info {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	defer s.rlockOwner(owner)()
 	var out []Info
-	for _, n := range s.nodes {
-		if n.owner == owner {
+	s.nodes.Range(func(_, v any) bool {
+		if n := v.(*node); n.owner == owner {
 			out = append(out, s.info(n))
 		}
-	}
+		return true
+	})
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
 }
 
 // effectiveRegions returns the memory the node actually confers access
-// to: its region minus every active granted-out child region.
+// to: its region minus every active granted-out child region. The
+// caller holds the node's owner shard (or the structural writer lock).
 func (s *Space) effectiveRegions(n *node) []phys.Region {
 	if n.res.Kind != ResMemory {
 		return nil
@@ -370,10 +497,13 @@ func (s *Space) effectiveRegions(n *node) []phys.Region {
 
 // EffectiveRegions returns the node's effective memory regions.
 func (s *Space) EffectiveRegions(id NodeID) ([]phys.Region, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	n, err := s.get(id)
 	if err != nil {
 		return nil, err
 	}
+	defer s.rlockOwner(n.owner)()
 	return s.effectiveRegions(n), nil
 }
 
@@ -391,13 +521,18 @@ func regionCovered(want phys.Region, regs []phys.Region) bool {
 // OwnerMemory returns the union of owner's effective memory regions that
 // carry at least the rights in want (normalized).
 func (s *Space) OwnerMemory(owner OwnerID, want Rights) []phys.Region {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	defer s.rlockOwner(owner)()
 	var regs []phys.Region
-	for _, n := range s.nodes {
+	s.nodes.Range(func(_, v any) bool {
+		n := v.(*node)
 		if n.owner != owner || n.res.Kind != ResMemory || !n.rights.Has(want) {
-			continue
+			return true
 		}
 		regs = append(regs, s.effectiveRegions(n)...)
-	}
+		return true
+	})
 	return phys.NormalizeRegions(regs)
 }
 
@@ -413,15 +548,20 @@ type MemoryGrant struct {
 // OwnerMemoryGrants returns owner's effective per-capability memory
 // access, ordered by node ID.
 func (s *Space) OwnerMemoryGrants(owner OwnerID) []MemoryGrant {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	defer s.rlockOwner(owner)()
 	var out []MemoryGrant
-	for _, n := range s.nodes {
+	s.nodes.Range(func(_, v any) bool {
+		n := v.(*node)
 		if n.owner != owner || n.res.Kind != ResMemory {
-			continue
+			return true
 		}
 		for _, r := range s.effectiveRegions(n) {
 			out = append(out, MemoryGrant{Region: r, Rights: n.rights, Node: n.id})
 		}
-	}
+		return true
+	})
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Node != out[j].Node {
 			return out[i].Node < out[j].Node
@@ -434,16 +574,26 @@ func (s *Space) OwnerMemoryGrants(owner OwnerID) []MemoryGrant {
 // OwnerCores returns the cores owner may run on (holding RightRun),
 // minus cores granted away.
 func (s *Space) OwnerCores(owner OwnerID) []phys.CoreID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	defer s.rlockOwner(owner)()
+	return s.ownerCores(owner)
+}
+
+// ownerCores requires the owner's shard (or the structural writer lock).
+func (s *Space) ownerCores(owner OwnerID) []phys.CoreID {
 	set := make(map[phys.CoreID]bool)
-	for _, n := range s.nodes {
+	s.nodes.Range(func(_, v any) bool {
+		n := v.(*node)
 		if n.owner != owner || n.res.Kind != ResCore || !n.rights.Has(RightRun) {
-			continue
+			return true
 		}
 		if s.coreGrantedAway(n) {
-			continue
+			return true
 		}
 		set[n.res.Core] = true
-	}
+		return true
+	})
 	out := make([]phys.CoreID, 0, len(set))
 	for c := range set {
 		out = append(out, c)
@@ -463,7 +613,10 @@ func (s *Space) coreGrantedAway(n *node) bool {
 
 // OwnerHasCore reports whether owner holds RightRun on core.
 func (s *Space) OwnerHasCore(owner OwnerID, core phys.CoreID) bool {
-	for _, c := range s.OwnerCores(owner) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	defer s.rlockOwner(owner)()
+	for _, c := range s.ownerCores(owner) {
 		if c == core {
 			return true
 		}
@@ -474,10 +627,14 @@ func (s *Space) OwnerHasCore(owner OwnerID, core phys.CoreID) bool {
 // OwnerDevices returns the devices owner may use, minus devices granted
 // away.
 func (s *Space) OwnerDevices(owner OwnerID) []phys.DeviceID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	defer s.rlockOwner(owner)()
 	set := make(map[phys.DeviceID]bool)
-	for _, n := range s.nodes {
+	s.nodes.Range(func(_, v any) bool {
+		n := v.(*node)
 		if n.owner != owner || n.res.Kind != ResDevice || !n.rights.Has(RightUse) {
-			continue
+			return true
 		}
 		granted := false
 		for _, c := range n.children {
@@ -489,7 +646,8 @@ func (s *Space) OwnerDevices(owner OwnerID) []phys.DeviceID {
 		if !granted {
 			set[n.res.Device] = true
 		}
-	}
+		return true
+	})
 	out := make([]phys.DeviceID, 0, len(set))
 	for d := range set {
 		out = append(out, d)
@@ -511,28 +669,39 @@ func (s *Space) OwnerHasDevice(owner OwnerID, dev phys.DeviceID) bool {
 // CheckMemAccess reports whether owner has effective access with rights
 // want at address a.
 func (s *Space) CheckMemAccess(owner OwnerID, a phys.Addr, want Rights) bool {
-	for _, n := range s.nodes {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	defer s.rlockOwner(owner)()
+	found := false
+	s.nodes.Range(func(_, v any) bool {
+		n := v.(*node)
 		if n.owner != owner || n.res.Kind != ResMemory || !n.rights.Has(want) {
-			continue
+			return true
 		}
 		if !n.res.Mem.Contains(a) {
-			continue
+			return true
 		}
 		for _, r := range s.effectiveRegions(n) {
 			if r.Contains(a) {
-				return true
+				found = true
+				return false
 			}
 		}
-	}
-	return false
+		return true
+	})
+	return found
 }
 
 // Owners returns every owner holding at least one capability, sorted.
 func (s *Space) Owners() []OwnerID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	defer s.rlockAll()()
 	set := make(map[OwnerID]bool)
-	for _, n := range s.nodes {
-		set[n.owner] = true
-	}
+	s.nodes.Range(func(_, v any) bool {
+		set[v.(*node).owner] = true
+		return true
+	})
 	out := make([]OwnerID, 0, len(set))
 	for o := range set {
 		out = append(out, o)

@@ -59,11 +59,14 @@ const (
 	StatusDenied uint64 = 2
 )
 
-// handleVMCall services one guest hypercall on core. It runs with the
-// monitor lock held (RunCore acquires it around the trap window), so it
-// uses the internal lock-assumed variants, never the exported API. It
-// returns stop=true when the run loop should hand control back to the
-// embedder (currently: never; errors do that).
+// handleVMCall services one guest hypercall on core. It runs with no
+// monitor lock held — RunCore dispatches traps lock-free and every
+// operation takes exactly the locks it needs: read-only calls (SelfID,
+// EnumerateLen, Log) touch only lock-free state or the domain's own
+// mutex, transfers and delegations hold the monitor lock shared, and
+// revocation takes it exclusively. It returns stop=true when the run
+// loop should hand control back to the embedder (currently: never;
+// errors do that).
 func (m *Monitor) handleVMCall(c *hw.Core, core phys.CoreID) (stop bool, err error) {
 	cur := DomainID(c.Context().Owner)
 	call := c.Regs[0]
@@ -74,7 +77,7 @@ func (m *Monitor) handleVMCall(c *hw.Core, core phys.CoreID) (stop bool, err err
 		c.Regs[1] = uint64(cur)
 	case CallDomainCall:
 		target := DomainID(c.Regs[1])
-		if err := m.call(core, target); err != nil {
+		if err := m.Call(core, target); err != nil {
 			c.Regs[0] = StatusDenied
 			return false, nil
 		}
@@ -82,25 +85,28 @@ func (m *Monitor) handleVMCall(c *hw.Core, core phys.CoreID) (stop bool, err err
 		// the caller's VMCALL with r0/r1 set by Return.
 	case CallReturn:
 		ret := c.Regs[1]
-		if err := m.ret(core); err != nil {
+		if err := m.Return(core); err != nil {
 			c.Regs[0] = StatusDenied
 			return false, nil
 		}
 		c.Regs[0] = StatusOK
 		c.Regs[1] = ret
 	case CallLog:
-		d := m.domains[cur]
-		d.logbuf = append(d.logbuf, c.Regs[1])
+		if d, ok := m.tab.Load().doms[cur]; ok {
+			d.mu.Lock()
+			d.logbuf = append(d.logbuf, c.Regs[1])
+			d.mu.Unlock()
+		}
 		c.Regs[0] = StatusOK
 	case CallFastSwitch:
 		target := DomainID(c.Regs[1])
-		if err := m.fastSwitch(core, target); err != nil {
+		if err := m.FastSwitch(core, target); err != nil {
 			c.Regs[0] = StatusDenied
 			return false, nil
 		}
 	case CallEnumerateLen:
 		c.Regs[0] = StatusOK
-		c.Regs[1] = uint64(len(m.enumerate(cur)))
+		c.Regs[1] = uint64(len(m.enumerate(cap.OwnerID(cur))))
 	case CallShare, CallGrant:
 		node := cap.NodeID(c.Regs[1])
 		dst := DomainID(c.Regs[2])
@@ -115,13 +121,13 @@ func (m *Monitor) handleVMCall(c *hw.Core, core phys.CoreID) (stop bool, err err
 		c.Regs[0] = StatusOK
 		c.Regs[1] = uint64(id)
 	case CallRevoke:
-		if err := m.revoke(cur, cap.NodeID(c.Regs[1])); err != nil {
+		if err := m.Revoke(cur, cap.NodeID(c.Regs[1])); err != nil {
 			c.Regs[0] = StatusDenied
 			return false, nil
 		}
 		c.Regs[0] = StatusOK
 	case CallSealSelf:
-		if _, err := m.seal(cur, cur); err != nil {
+		if _, err := m.Seal(cur, cur); err != nil {
 			c.Regs[0] = StatusDenied
 			return false, nil
 		}

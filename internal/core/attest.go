@@ -113,26 +113,41 @@ func writeBytes(b *bytes.Buffer, p []byte) {
 // Attest produces a signed report for the domain, fresh for the given
 // nonce. Reports are not secret: any live domain (or the embedding
 // system on behalf of a remote verifier) may request one.
+//
+// The expensive work — resource enumeration and the signature — runs
+// without the monitor lock: the domain record is snapshotted under its
+// own mutex and every capability query is internally consistent. Only
+// the final commit (counter + trace event) briefly holds the lock
+// shared and re-checks liveness, so a report is never announced for a
+// domain that has since been killed.
 func (m *Monitor) Attest(id DomainID, nonce []byte) (*Report, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	d, err := m.liveDomain(id)
 	if err != nil {
 		return nil, err
 	}
+	d.mu.Lock()
+	entry := d.entry
+	measurement := d.measurement
+	reportData := d.reportData
+	d.mu.Unlock()
 	r := &Report{
 		Domain:      id,
 		Name:        d.name,
 		Nonce:       append([]byte(nil), nonce...),
-		Sealed:      d.state == StateSealed,
-		Entry:       d.entry,
-		Measurement: d.measurement,
-		ReportData:  d.reportData,
+		Sealed:      d.State() == StateSealed,
+		Entry:       entry,
+		Measurement: measurement,
+		ReportData:  reportData,
 		Resources:   m.enumerate(cap.OwnerID(id)),
 		MonitorKey:  m.AttestationKey(),
 	}
 	r.Sig = ed25519.Sign(m.attPriv, reportMessage(r))
-	m.stats.Attests++
+	m.lk.rlock()
+	defer m.lk.runlock()
+	if d.State() == StateDead {
+		return nil, fmt.Errorf("%w: %d", ErrDead, id)
+	}
+	m.stats.attests.Add(1)
 	m.emit(trace.KAttest, id, 0, 0, 0, 0)
 	return r, nil
 }

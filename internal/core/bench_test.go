@@ -1,0 +1,57 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Benchmarks for the monitor's read-side telemetry. Stats must stay
+// allocation-free: it is sampled from hot monitoring loops (and from
+// the bench harness between timed regions), so a per-call allocation
+// would perturb exactly the measurements it exists to take.
+
+// BenchmarkStats pins the allocation-free property of the snapshot
+// read path: a shared-lock acquisition plus fourteen atomic loads into
+// a value struct, no heap traffic.
+func BenchmarkStats(b *testing.B) {
+	m := bootWorld(b, BackendVTX)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var s Stats
+	for i := 0; i < b.N; i++ {
+		s = m.Stats()
+	}
+	b.StopTimer()
+	_ = s
+	if allocs := testing.AllocsPerRun(100, func() { _ = m.Stats() }); allocs != 0 {
+		b.Fatalf("Stats allocates %.1f objects per call, want 0", allocs)
+	}
+}
+
+// BenchmarkDomains measures enumeration off the atomically-published
+// domain-table snapshot: no monitor lock is taken, only the result
+// slice allocates.
+func BenchmarkDomains(b *testing.B) {
+	m := bootWorld(b, BackendVTX)
+	for i := 0; i < 6; i++ {
+		if _, err := m.CreateDomain(InitialDomain, fmt.Sprintf("bench%d", i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(m.Domains()) != 7 {
+			b.Fatal("domain count drifted")
+		}
+	}
+}
+
+// TestStatsAllocationFree keeps the satellite property under plain
+// `go test` runs too, where benchmarks do not execute.
+func TestStatsAllocationFree(t *testing.T) {
+	m := bootWorld(t, BackendVTX)
+	if allocs := testing.AllocsPerRun(100, func() { _ = m.Stats() }); allocs != 0 {
+		t.Fatalf("Stats allocates %.1f objects per call, want 0", allocs)
+	}
+}

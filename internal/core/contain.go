@@ -8,6 +8,11 @@ package core
 // every other domain keeps running. The path reuses the capability
 // engine's cascading revocation and adds a forced scrub: containment
 // cannot trust the cleanup policies a crashed domain chose for itself.
+//
+// Every destruction path holds the exclusive monitor lock: teardown
+// must not interleave with delegations or transitions, and draining the
+// readers is what keeps the scrub-before-kill and shootdown-ack trace
+// invariants sequential.
 
 import (
 	"github.com/tyche-sim/tyche/internal/cap"
@@ -24,8 +29,8 @@ import (
 // force-killable — it is the platform's root workload; faults on it
 // park the faulting core instead (see containFault).
 func (m *Monitor) ForceKill(id DomainID) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.lk.wlock()
+	defer m.lk.wunlock()
 	d, err := m.liveDomain(id)
 	if err != nil {
 		return err
@@ -33,21 +38,23 @@ func (m *Monitor) ForceKill(id DomainID) error {
 	if id == InitialDomain {
 		return m.deny("the initial domain cannot be force-killed")
 	}
-	m.stats.ForcedKills++
+	m.stats.forcedKills.Add(1)
 	m.emit(trace.KForceKill, id, 0, 0, 0, 0)
 	return m.destroyDomain(d, true)
 }
 
-// destroyDomain is the shared kill path (monitor lock held): revoke the
-// domain's entire capability subtree with cleanups, resynchronise every
-// surviving owner's hardware state, remove the backend state (which
-// leaves any still-installed context of the victim denying all
-// accesses), drop the encryption key, and clear scheduling state. With
-// scrub set, the domain's exclusively-held memory is additionally
-// zeroed and shot down from every TLB regardless of cleanup policies.
+// destroyDomain is the shared kill path (exclusive monitor lock held):
+// revoke the domain's entire capability subtree with cleanups,
+// resynchronise every surviving owner's hardware state, remove the
+// backend state (which leaves any still-installed context of the victim
+// denying all accesses), drop the encryption key, and clear scheduling
+// state. With scrub set, the domain's exclusively-held memory is
+// additionally zeroed and shot down from every TLB regardless of
+// cleanup policies.
 func (m *Monitor) destroyDomain(d *Domain, scrub bool) error {
-	m.emit(trace.KOpBegin, d.id, trace.OpKill, 0, 0, 0)
-	defer m.emit(trace.KOpEnd, d.id, trace.OpKill, 0, 0, 0)
+	tok := m.opTok.Add(1)
+	m.emit(trace.KOpBegin, d.id, trace.OpKill, tok, 0, 0)
+	defer m.emit(trace.KOpEnd, d.id, trace.OpKill, tok, 0, 0)
 	owner := cap.OwnerID(d.id)
 	var scrubRegions []phys.Region
 	if scrub {
@@ -65,8 +72,8 @@ func (m *Monitor) destroyDomain(d *Domain, scrub bool) error {
 		m.emit(trace.KScrubPlan, d.id, 0, 0, uint64(r.Start), r.Size())
 	}
 	acts := m.space.RevokeOwner(owner)
-	d.state = StateDead
-	m.stats.Revocations++
+	d.setState(StateDead)
+	m.stats.revocations.Add(1)
 	m.emit(trace.KRevoke, d.id, 1, 0, 0, 0)
 	if err := m.afterRevocation(acts); err != nil {
 		return err
@@ -77,37 +84,45 @@ func (m *Monitor) destroyDomain(d *Domain, scrub bool) error {
 		}
 		m.mach.Clock.Advance(r.Size() / hw.CacheLineSize * m.mach.Cost.ZeroLine)
 		m.mach.ShootdownRegion(r)
-		m.stats.PagesScrubbed += r.Pages()
+		m.stats.pagesScrubbed.Add(r.Pages())
 		m.emit(trace.KScrub, d.id, 0, 0, uint64(r.Start), r.Size())
 	}
 	if err := m.bk.RemoveDomain(owner); err != nil {
 		return err
 	}
 	m.cryptoErase(d.id)
-	// Clear scheduling state referring to the dead domain.
-	for c, cur := range m.current {
-		if cur == d.id {
-			delete(m.current, c)
+	// Clear scheduling state referring to the dead domain. Writers have
+	// drained every reader, but core run loops hold their sched mutex
+	// only briefly — take each in turn.
+	for _, sc := range m.sched {
+		sc.mu.Lock()
+		if sc.hasCur && sc.cur == d.id {
+			sc.cur, sc.hasCur = 0, false
 		}
+		sc.mu.Unlock()
 	}
 	m.emit(trace.KKill, d.id, 0, 0, 0, 0)
 	return nil
 }
 
 // containFault handles a machine check taken on core while victim ran
-// (monitor lock held). The victim is force-killed and the core's call
-// stack discarded; survivors on other cores are untouched. A fault
-// while the initial domain ran only parks the core — dom0 holds the
-// platform's root capabilities, and destroying it would take down
+// (exclusive monitor lock held). The victim is force-killed and the
+// core's call stack discarded; survivors on other cores are untouched.
+// A fault while the initial domain ran only parks the core — dom0 holds
+// the platform's root capabilities, and destroying it would take down
 // every descendant, the opposite of containment.
 func (m *Monitor) containFault(core phys.CoreID, victim DomainID) error {
-	m.stats.MachineChecks++
+	m.stats.machineChecks.Add(1)
 	m.emitCore(core, trace.KContain, victim, 0, 0, 0, 0)
-	m.frames[core] = nil
-	delete(m.current, core)
-	m.stats.CoresParked++
-	d, ok := m.domains[victim]
-	if !ok || d.state == StateDead {
+	if sc, ok := m.sched[core]; ok {
+		sc.mu.Lock()
+		sc.frames = nil
+		sc.cur, sc.hasCur = 0, false
+		sc.mu.Unlock()
+	}
+	m.stats.coresParked.Add(1)
+	d, ok := m.tab.Load().doms[victim]
+	if !ok || d.State() == StateDead {
 		// Nothing live was running (the fault hit a half-torn-down
 		// domain); parking the core is the whole containment.
 		return nil
@@ -115,7 +130,7 @@ func (m *Monitor) containFault(core phys.CoreID, victim DomainID) error {
 	if victim == InitialDomain {
 		return nil
 	}
-	m.stats.ForcedKills++
+	m.stats.forcedKills.Add(1)
 	m.emit(trace.KForceKill, victim, 0, 0, 0, 0)
 	return m.destroyDomain(d, true)
 }

@@ -15,6 +15,8 @@ package core
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"github.com/tyche-sim/tyche/internal/cap"
 	"github.com/tyche-sim/tyche/internal/hw"
@@ -70,11 +72,24 @@ type SyscallHandler func(c *hw.Core) error
 // Domain is the monitor's record of one trust domain (§3.1: "a trust
 // domain is an identity associated with a set of access rights to
 // physical resources").
+//
+// Concurrency: id, name, and creator are immutable after creation. The
+// lifecycle state is atomic so the lock-free read path (liveness checks,
+// Domains(), VMCall dispatch) observes it without a lock. Everything
+// else — entry point, measured regions, handlers, report data, log —
+// is guarded by mu, the per-domain mutex in the monitor's lock order
+// (below the top-level monitor lock and coreSched.mu, above hwMu and
+// the capability-space locks).
 type Domain struct {
 	id      DomainID
 	name    string
 	creator DomainID
-	state   DomainState
+	state   atomic.Int32 // DomainState; zero value is StateActive
+
+	// mu guards the mutable fields below. The monitor also holds it
+	// while rebuilding this domain's hardware state (backend SyncDomain)
+	// so rebuilds for one domain are serialised.
+	mu sync.Mutex
 
 	entry     phys.Addr
 	entrySet  bool
@@ -109,29 +124,50 @@ func (d *Domain) Name() string { return d.name }
 // Creator returns the domain that created this one.
 func (d *Domain) Creator() DomainID { return d.creator }
 
-// State returns the lifecycle state.
-func (d *Domain) State() DomainState { return d.state }
+// State returns the lifecycle state (atomic, lock-free).
+func (d *Domain) State() DomainState { return DomainState(d.state.Load()) }
+
+// setState publishes a lifecycle transition.
+func (d *Domain) setState(s DomainState) { d.state.Store(int32(s)) }
 
 // Entry returns the fixed entry point (valid once set).
-func (d *Domain) Entry() (phys.Addr, bool) { return d.entry, d.entrySet }
+func (d *Domain) Entry() (phys.Addr, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.entry, d.entrySet
+}
 
 // EntryRing returns the privilege ring execution enters the domain in.
-func (d *Domain) EntryRing() hw.Ring { return d.entryRing }
+func (d *Domain) EntryRing() hw.Ring {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.entryRing
+}
 
 // Measurement returns the measurement computed at seal time; the zero
 // digest before sealing.
-func (d *Domain) Measurement() tpm.Digest { return d.measurement }
+func (d *Domain) Measurement() tpm.Digest {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.measurement
+}
 
 // ReportData returns the domain-chosen report data.
-func (d *Domain) ReportData() tpm.Digest { return d.reportData }
+func (d *Domain) ReportData() tpm.Digest {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.reportData
+}
 
 // Log returns the values the domain logged via the LOG hypercall.
 func (d *Domain) Log() []uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	out := make([]uint64, len(d.logbuf))
 	copy(out, d.logbuf)
 	return out
 }
 
 func (d *Domain) String() string {
-	return fmt.Sprintf("domain%d(%s,%v)", d.id, d.name, d.state)
+	return fmt.Sprintf("domain%d(%s,%v)", d.id, d.name, d.State())
 }

@@ -21,8 +21,8 @@ type IRQHandler func(c *hw.Core, irq hw.IRQ) error
 // SetIRQHandler installs the domain's interrupt handler. The domain
 // itself or its creator may configure it.
 func (m *Monitor) SetIRQHandler(caller, id DomainID, h IRQHandler) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.lk.rlock()
+	defer m.lk.runlock()
 	d, err := m.liveDomain(id)
 	if err != nil {
 		return err
@@ -30,7 +30,9 @@ func (m *Monitor) SetIRQHandler(caller, id DomainID, h IRQHandler) error {
 	if caller != id && caller != d.creator {
 		return m.deny("domain %d may not install IRQ handlers for domain %d", caller, id)
 	}
+	d.mu.Lock()
 	d.irq = h
+	d.mu.Unlock()
 	return nil
 }
 
@@ -39,33 +41,42 @@ func (m *Monitor) SetIRQHandler(caller, id DomainID, h IRQHandler) error {
 // whose holder has no handler (or devices nobody holds) are dropped and
 // counted — exactly what real hardware does with masked vectors.
 //
-// Routing (capability lookup, stats) happens under the monitor lock;
-// the handler itself is invoked with the lock released, because
-// Go-level handlers are domain kernels that re-enter the monitor
-// through its public API.
+// The routing decision holds the monitor lock shared — the capability
+// lookup and the liveness it depends on must not race a revocation —
+// and reads the receiving domain's handler under its own mutex. The
+// handler itself is invoked with every lock released, because Go-level
+// handlers are domain kernels that re-enter the monitor through its
+// public API.
 func (m *Monitor) routeIRQs(c *hw.Core) error {
 	for {
 		irq, ok := m.mach.TakeIRQ()
 		if !ok {
 			return nil
 		}
-		m.mu.Lock()
+		m.lk.rlock()
 		var handler IRQHandler
+		tab := m.tab.Load()
 		for _, owner := range m.space.DeviceUsers(irq.Device) {
-			d, ok := m.domains[DomainID(owner)]
-			if !ok || d.state == StateDead || d.irq == nil {
+			d, ok := tab.doms[DomainID(owner)]
+			if !ok || d.State() == StateDead {
 				continue
 			}
-			m.stats.IRQsRouted++
+			d.mu.Lock()
+			h := d.irq
+			d.mu.Unlock()
+			if h == nil {
+				continue
+			}
+			m.stats.irqsRouted.Add(1)
 			m.emit(trace.KIRQRoute, DomainID(owner), uint64(irq.Device), uint64(irq.Vector), 0, 0)
-			handler = d.irq
+			handler = h
 			break
 		}
 		if handler == nil {
-			m.stats.IRQsDropped++
+			m.stats.irqsDropped.Add(1)
 			m.emit(trace.KIRQDrop, 0, uint64(irq.Device), uint64(irq.Vector), 0, 0)
 		}
-		m.mu.Unlock()
+		m.lk.runlock()
 		if handler == nil {
 			continue
 		}

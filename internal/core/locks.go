@@ -1,0 +1,28 @@
+package core
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Shared pieces of the build-tag-selected monLock (locks_fine.go /
+// locks_biglock.go).
+
+type (
+	atomicInt64  = atomic.Int64
+	atomicUint64 = atomic.Uint64
+)
+
+// account records one acquisition and the wall time spent blocked on
+// it. Wall time only: simulated clocks are never touched here.
+func (l *monLock) account(start time.Time) {
+	if ns := time.Since(start).Nanoseconds(); ns > 0 {
+		l.waitNs.Add(ns)
+	}
+	l.acqs.Add(1)
+}
+
+// wait returns the accumulated blocked time and acquisition count.
+func (l *monLock) wait() (time.Duration, uint64) {
+	return time.Duration(l.waitNs.Load()), l.acqs.Load()
+}

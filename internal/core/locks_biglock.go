@@ -1,0 +1,43 @@
+//go:build biglock
+
+package core
+
+import (
+	"sync"
+	"time"
+)
+
+// BigLockBuild reports whether this binary was built with the biglock
+// tag. This file restores the PR-1 behaviour for A/B comparison: every
+// monitor entry that takes the top-level lock — shared or exclusive in
+// the fine-grained build — serialises on one mutex. The inner layers
+// (per-domain mutexes, per-core scheduling locks, the sharded
+// capability space) are identical in both builds; they are simply
+// uncontended here, so the A/B difference isolates the top-level
+// locking policy. Cycle charging is shared code, so single-core cycle
+// counts are bit-identical across builds.
+const BigLockBuild = true
+
+// monLock is the monitor's top-level lock: one mutex, with rlock and
+// wlock both exclusive.
+type monLock struct {
+	mu     sync.Mutex
+	waitNs atomicInt64
+	acqs   atomicUint64
+}
+
+func (l *monLock) rlock() {
+	start := time.Now()
+	l.mu.Lock()
+	l.account(start)
+}
+
+func (l *monLock) runlock() { l.mu.Unlock() }
+
+func (l *monLock) wlock() {
+	start := time.Now()
+	l.mu.Lock()
+	l.account(start)
+}
+
+func (l *monLock) wunlock() { l.mu.Unlock() }

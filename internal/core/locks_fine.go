@@ -1,0 +1,49 @@
+//go:build !biglock
+
+package core
+
+import (
+	"sync"
+	"time"
+)
+
+// BigLockBuild reports whether this binary was built with the biglock
+// tag (the PR-1 single-mutex monitor, kept for A/B comparison). The
+// default build uses the fine-grained scheme: a reader/writer monitor
+// lock where the common operations (delegations, transitions, VMCalls)
+// hold it shared and only the revoke family (Revoke, KillDomain,
+// ForceKill, containFault) holds it exclusively.
+const BigLockBuild = false
+
+// monLock is the monitor's top-level lock. In the fine-grained build it
+// is an RWMutex: rlock admits concurrent monitor entries (per-domain
+// and per-core mutexes below it provide the actual mutual exclusion),
+// wlock drains every reader for the revocation paths, whose shootdown
+// and scrub ordering invariants require the world stopped.
+//
+// Both builds account the time callers spend blocked acquiring the
+// lock; Monitor.LockWait exposes the totals for the C18 experiment's
+// wait-share metric. The accounting uses wall time only — it never
+// advances simulated clocks, so cycle counts stay bit-identical across
+// builds.
+type monLock struct {
+	mu     sync.RWMutex
+	waitNs atomicInt64
+	acqs   atomicUint64
+}
+
+func (l *monLock) rlock() {
+	start := time.Now()
+	l.mu.RLock()
+	l.account(start)
+}
+
+func (l *monLock) runlock() { l.mu.RUnlock() }
+
+func (l *monLock) wlock() {
+	start := time.Now()
+	l.mu.Lock()
+	l.account(start)
+}
+
+func (l *monLock) wunlock() { l.mu.Unlock() }

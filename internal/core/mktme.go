@@ -17,8 +17,10 @@ import (
 // another dividend of exact system-wide refcounts.
 
 // domainKey returns (allocating on first use) the domain's memory
-// encryption key.
+// encryption key. keyMu guards the key table; it is a leaf lock.
 func (m *Monitor) domainKey(id DomainID) (hw.KeyID, error) {
+	m.keyMu.Lock()
+	defer m.keyMu.Unlock()
 	if k, ok := m.memKeys[id]; ok {
 		return k, nil
 	}
@@ -32,11 +34,14 @@ func (m *Monitor) domainKey(id DomainID) (hw.KeyID, error) {
 
 // syncEncryption retags the whole physical address space from the
 // current reference-count map. Called after every capability mutation
-// when encryption is on.
+// when encryption is on; callers on the shared-lock path serialise the
+// engine writes under hwMu.
 func (m *Monitor) syncEncryption() error {
 	if m.mach.Crypto == nil {
 		return nil
 	}
+	m.hwMu.Lock()
+	defer m.hwMu.Unlock()
 	for _, rc := range m.space.RefCounts() {
 		key := hw.KeyPlaintext
 		if rc.Count == 1 {
@@ -61,6 +66,8 @@ func (m *Monitor) cryptoErase(id DomainID) {
 	if m.mach.Crypto == nil {
 		return
 	}
+	m.keyMu.Lock()
+	defer m.keyMu.Unlock()
 	if k, ok := m.memKeys[id]; ok {
 		m.mach.Crypto.FreeKey(k)
 		delete(m.memKeys, id)
@@ -71,10 +78,11 @@ func (m *Monitor) cryptoErase(id DomainID) {
 func (m *Monitor) MemoryEncryptionActive() bool { return m.mach.Crypto != nil }
 
 // DomainKeyID exposes the key a domain's exclusive memory is encrypted
-// under (diagnostics; key material never leaves the engine).
+// under (diagnostics; key material never leaves the engine). Takes only
+// the leaf key-table lock, never the monitor lock.
 func (m *Monitor) DomainKeyID(id DomainID) (hw.KeyID, bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.keyMu.Lock()
+	defer m.keyMu.Unlock()
 	k, ok := m.memKeys[id]
 	return k, ok
 }

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"github.com/tyche-sim/tyche/internal/backend"
 	pmpbk "github.com/tyche-sim/tyche/internal/backend/pmp"
@@ -76,21 +78,106 @@ type Stats struct {
 	CoresParked   uint64 // cores taken out of scheduling after a fault
 }
 
+// statCounters is the monitor's live tally: one atomic per Stats field,
+// so counters update without any lock and Stats() snapshots them
+// allocation-free.
+type statCounters struct {
+	vmExits      atomic.Uint64
+	transitions  atomic.Uint64
+	fastSwitches atomic.Uint64
+	syscalls     atomic.Uint64
+	capOps       atomic.Uint64
+	revocations  atomic.Uint64
+	attests      atomic.Uint64
+	deniedOps    atomic.Uint64
+	irqsRouted   atomic.Uint64
+	irqsDropped  atomic.Uint64
+
+	machineChecks atomic.Uint64
+	forcedKills   atomic.Uint64
+	pagesScrubbed atomic.Uint64
+	coresParked   atomic.Uint64
+}
+
+func (s *statCounters) snapshot() Stats {
+	return Stats{
+		VMExits:       s.vmExits.Load(),
+		Transitions:   s.transitions.Load(),
+		FastSwitches:  s.fastSwitches.Load(),
+		Syscalls:      s.syscalls.Load(),
+		CapOps:        s.capOps.Load(),
+		Revocations:   s.revocations.Load(),
+		Attests:       s.attests.Load(),
+		DeniedOps:     s.deniedOps.Load(),
+		IRQsRouted:    s.irqsRouted.Load(),
+		IRQsDropped:   s.irqsDropped.Load(),
+		MachineChecks: s.machineChecks.Load(),
+		ForcedKills:   s.forcedKills.Load(),
+		PagesScrubbed: s.pagesScrubbed.Load(),
+		CoresParked:   s.coresParked.Load(),
+	}
+}
+
+// domainTable is the immutable, atomically-published domain index. The
+// read path (lookup, liveness via the domain's atomic state, Domains(),
+// VMCall dispatch) loads the current table with one atomic pointer read
+// and touches no lock. Only domain creation publishes a new table, under
+// the exclusive monitor lock; domains are never removed from the table —
+// death is a state transition, observed through Domain.State.
+type domainTable struct {
+	doms   map[DomainID]*Domain
+	nextID DomainID
+}
+
+// coreSched is one core's scheduling state: the mediated call stack and
+// the monitor's notion of the current domain. Each core has its own
+// mutex, so transitions on different cores never contend.
+type coreSched struct {
+	mu     sync.Mutex
+	frames []DomainID
+	cur    DomainID
+	hasCur bool
+}
+
 // Monitor is the isolation monitor instance controlling one machine.
 //
-// The monitor is safe for concurrent use: every API entry — Go-level
-// calls and guest VMCall traps alike — serialises on one mutex, the
-// simulated analogue of the per-core monitor entry lock real monitors
-// take on trap (Tyche serialises capability engine operations the same
-// way). Guest execution between traps runs without the lock, so cores
-// make progress in parallel and only monitor entries contend.
+// The monitor is safe for concurrent use. Instead of one big lock (the
+// PR-1 design, still available under the biglock build tag), state is
+// partitioned so the dominant operations run concurrently:
 //
-// Lock ordering: the monitor lock is taken first, hardware-object locks
-// (memory, TLB, EPT, PMP, IOMMU) second, always via downward calls.
-// Go-level syscall and IRQ handlers are invoked with the lock released
-// — they re-enter the monitor through the public API like any caller.
+//   - Lock-free read path: domain lookup goes through an
+//     atomically-published immutable table (tab); liveness is the
+//     domain's atomic state; Stats are atomics; capability queries go
+//     to the internally-synchronised cap.Space. Stats, Domain, Domains,
+//     DomainKeyID, Enumerate, Attest's enumeration+signing, RefCounts,
+//     and read-only VMCall dispatch take no monitor lock at all.
+//   - The top-level monLock (lk) is a reader/writer lock. Delegations,
+//     transitions, seals, copies, and IRQ routing hold it shared — they
+//     may run concurrently with each other; the revoke family (Revoke,
+//     KillDomain, ForceKill, containFault) holds it exclusively, which
+//     drains every in-flight operation and makes the scrub/shootdown
+//     ordering invariants trivially sequential, exactly as the trace
+//     checker demands.
+//   - Per-domain mutexes (Domain.mu) guard one domain's mutable record
+//     (entry point, measured regions, handlers, log); per-core mutexes
+//     (coreSched.mu) guard one core's call stack and serialise
+//     transitions on that core; hwMu serialises whole-machine hardware
+//     resync (device filters, encryption keying); the capability space
+//     shards its own locks per owner (see cap.Space).
+//
+// Lock order (documented, enforced by construction): lk (shared or
+// exclusive) → coreSched.mu → Domain.mu (two domains in ascending
+// DomainID) → hwMu → capability-space locks / hardware-object locks.
+// Locks are only ever taken left-to-right; cap and hw locks are leaves,
+// never held across calls back into the monitor. Go-level syscall and
+// IRQ handlers are invoked with no monitor locks held — they re-enter
+// the monitor through the public API like any caller.
 type Monitor struct {
-	mu sync.Mutex
+	lk monLock
+	// hwMu serialises global hardware resynchronisation: IOMMU device
+	// filters and memory-encryption keying, which read system-wide
+	// capability state and write shared hardware objects.
+	hwMu sync.Mutex
 
 	mach  *hw.Machine
 	space *cap.Space
@@ -100,21 +187,26 @@ type Monitor struct {
 	identity  []byte
 	monRegion phys.Region
 
-	domains map[DomainID]*Domain
-	nextID  DomainID
+	tab atomic.Pointer[domainTable]
+
+	// opTok mints trace-frame tokens: KOpBegin/KOpEnd pairs carry one in
+	// their Node field so the checker can match frames that interleave
+	// (concurrent delegations under the shared lock).
+	opTok atomic.Uint64
 
 	attPriv ed25519.PrivateKey
 	attPub  ed25519.PublicKey
 
-	// Per-core call stacks for mediated call/return.
-	frames map[phys.CoreID][]DomainID
-	// Current domain per core.
-	current map[phys.CoreID]DomainID
+	// sched holds per-core scheduling state; the map itself is built at
+	// boot and never mutated, so indexing it is lock-free.
+	sched map[phys.CoreID]*coreSched
+
 	// memKeys maps domains to their MKTME keys (empty when the machine
-	// has no engine).
+	// has no engine), guarded by keyMu.
+	keyMu   sync.Mutex
 	memKeys map[DomainID]hw.KeyID
 
-	stats Stats
+	stats statCounters
 }
 
 // Sentinel errors of the monitor API.
@@ -157,11 +249,11 @@ func Boot(cfg BootConfig) (*Monitor, error) {
 		rot:       cfg.TPM,
 		identity:  append([]byte(nil), identity...),
 		monRegion: monRegion,
-		domains:   make(map[DomainID]*Domain),
-		nextID:    InitialDomain,
-		frames:    make(map[phys.CoreID][]DomainID),
-		current:   make(map[phys.CoreID]DomainID),
+		sched:     make(map[phys.CoreID]*coreSched),
 		memKeys:   make(map[DomainID]hw.KeyID),
+	}
+	for _, c := range m.mach.CoreIDs() {
+		m.sched[c] = &coreSched{}
 	}
 
 	// Measured boot: firmware, then the monitor itself (DRTM-style).
@@ -204,9 +296,11 @@ func Boot(cfg BootConfig) (*Monitor, error) {
 	m.mach.IOMMU.DefaultAllow = false
 
 	// Initial domain: everything else.
-	init := &Domain{id: InitialDomain, name: "dom0", creator: MonitorDomain, state: StateActive}
-	m.domains[InitialDomain] = init
-	m.nextID = InitialDomain + 1
+	init := &Domain{id: InitialDomain, name: "dom0", creator: MonitorDomain}
+	m.tab.Store(&domainTable{
+		doms:   map[DomainID]*Domain{InitialDomain: init},
+		nextID: InitialDomain + 1,
+	})
 	owner := cap.OwnerID(InitialDomain)
 	if _, err := m.space.CreateRoot(owner, cap.MemResource(phys.Region{Start: 0, End: monRegion.Start}), cap.MemFull, cap.CleanNone); err != nil {
 		return nil, err
@@ -243,12 +337,23 @@ func (m *Monitor) Backend() string { return m.bk.Name() }
 // MonitorRegion returns the monitor's self-protected memory.
 func (m *Monitor) MonitorRegion() phys.Region { return m.monRegion }
 
-// Stats returns a copy of the monitor's event counters.
+// Stats returns a coherent, allocation-free snapshot of the monitor's
+// event counters: every field is one atomic load, and holding the
+// monitor lock shared excludes the revocation family — the only
+// operations that commit multiple logically-paired counters — so no
+// snapshot observes such a pair half-done. Delegations and transitions
+// (also shared holders) are never blocked by a Stats reader.
 func (m *Monitor) Stats() Stats {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.stats
+	m.lk.rlock()
+	defer m.lk.runlock()
+	return m.stats.snapshot()
 }
+
+// LockWait returns the cumulative wall time monitor entries spent
+// blocked acquiring the top-level monitor lock and the number of
+// acquisitions — the contention signal C18 reports as wait share. The
+// accounting is wall-clock only and never advances simulated cycles.
+func (m *Monitor) LockWait() (time.Duration, uint64) { return m.lk.wait() }
 
 // Identity returns the monitor binary that was measured at boot.
 func (m *Monitor) Identity() []byte { return append([]byte(nil), m.identity...) }
@@ -260,49 +365,49 @@ func (m *Monitor) AttestationKey() ed25519.PublicKey {
 	return out
 }
 
-// Domain returns the domain record for id.
+// Domain returns the domain record for id. Lock-free: the record comes
+// from the published domain table.
 func (m *Monitor) Domain(id DomainID) (*Domain, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	return m.domain(id)
 }
 
-// domain is Domain with the monitor lock held.
+// domain looks id up in the published table (lock-free).
 func (m *Monitor) domain(id DomainID) (*Domain, error) {
-	d, ok := m.domains[id]
+	d, ok := m.tab.Load().doms[id]
 	if !ok {
 		return nil, fmt.Errorf("%w: %d", ErrNoSuchDomain, id)
 	}
 	return d, nil
 }
 
-// Domains returns the IDs of all non-dead domains in ascending order.
+// Domains returns the IDs of all non-dead domains in ascending order,
+// read from the published snapshot without taking any lock.
 func (m *Monitor) Domains() []DomainID {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	tab := m.tab.Load()
 	var out []DomainID
-	for id := InitialDomain; id < m.nextID; id++ {
-		if d, ok := m.domains[id]; ok && d.state != StateDead {
+	for id := InitialDomain; id < tab.nextID; id++ {
+		if d, ok := tab.doms[id]; ok && d.State() != StateDead {
 			out = append(out, id)
 		}
 	}
 	return out
 }
 
-// liveDomain requires the monitor lock.
+// liveDomain resolves id to a live domain (lock-free; callers needing
+// liveness to be *stable* hold lk, under which no kill can run).
 func (m *Monitor) liveDomain(id DomainID) (*Domain, error) {
 	d, err := m.domain(id)
 	if err != nil {
 		return nil, err
 	}
-	if d.state == StateDead {
+	if d.State() == StateDead {
 		return nil, fmt.Errorf("%w: %d", ErrDead, id)
 	}
 	return d, nil
 }
 
 func (m *Monitor) deny(format string, args ...any) error {
-	m.stats.DeniedOps++
+	m.stats.deniedOps.Add(1)
 	return fmt.Errorf("%w: %s", ErrDenied, fmt.Sprintf(format, args...))
 }
 
@@ -310,20 +415,27 @@ func (m *Monitor) deny(format string, args ...any) error {
 // create children — isolation is not a privileged operation (§3.2:
 // "software running in any trust domain can access the isolation
 // monitor API").
+//
+// Creation publishes a new domain table, so it takes the exclusive
+// monitor lock; it is the only non-revocation writer.
 func (m *Monitor) CreateDomain(caller DomainID, name string) (DomainID, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.lk.wlock()
+	defer m.lk.wunlock()
 	if _, err := m.liveDomain(caller); err != nil {
 		return 0, err
 	}
-	id := m.nextID
-	m.nextID++
-	d := &Domain{id: id, name: name, creator: caller, state: StateActive}
-	m.domains[id] = d
+	old := m.tab.Load()
+	id := old.nextID
+	d := &Domain{id: id, name: name, creator: caller}
 	if err := m.bk.InstallDomain(cap.OwnerID(id)); err != nil {
-		delete(m.domains, id)
 		return 0, err
 	}
+	doms := make(map[DomainID]*Domain, len(old.doms)+1)
+	for k, v := range old.doms {
+		doms[k] = v
+	}
+	doms[id] = d
+	m.tab.Store(&domainTable{doms: doms, nextID: id + 1})
 	m.emit(trace.KCreate, id, uint64(caller), 0, 0, 0)
 	return id, nil
 }
@@ -343,49 +455,52 @@ func (m *Monitor) nodeOwnedBy(node cap.NodeID, owner DomainID) (cap.Info, error)
 
 // Share derives a shared child capability from caller's node for dst.
 func (m *Monitor) Share(caller DomainID, node cap.NodeID, dst DomainID, sub cap.Resource, rights cap.Rights, cleanup cap.Cleanup) (cap.NodeID, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	return m.delegate(caller, node, dst, sub, rights, cleanup, false)
 }
 
 // Grant transfers exclusive, revocable control of the sub-resource from
 // caller's node to dst.
 func (m *Monitor) Grant(caller DomainID, node cap.NodeID, dst DomainID, sub cap.Resource, rights cap.Rights, cleanup cap.Cleanup) (cap.NodeID, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	return m.delegate(caller, node, dst, sub, rights, cleanup, true)
 }
 
+// delegate validates and performs one Share or Grant. It holds the
+// monitor lock shared: the capability space provides its own per-owner
+// locking for the mutation, liveness cannot change underneath (kills
+// are writers), and hardware resync is serialised per affected domain.
+// Two delegations between disjoint domain pairs therefore run fully in
+// parallel.
 func (m *Monitor) delegate(caller DomainID, node cap.NodeID, dst DomainID, sub cap.Resource, rights cap.Rights, cleanup cap.Cleanup, grant bool) (cap.NodeID, error) {
 	op := trace.OpShare
 	if grant {
 		op = trace.OpGrant
 	}
-	m.emit(trace.KOpBegin, caller, op, 0, 0, 0)
-	defer m.emit(trace.KOpEnd, caller, op, 0, 0, 0)
+	m.lk.rlock()
+	defer m.lk.runlock()
+	tok := m.opTok.Add(1)
+	m.emit(trace.KOpBegin, caller, op, tok, 0, 0)
+	defer m.emit(trace.KOpEnd, caller, op, tok, 0, 0)
 	if _, err := m.liveDomain(caller); err != nil {
 		return 0, err
 	}
-	if _, err := m.liveDomain(dst); err != nil {
+	dd, err := m.liveDomain(dst)
+	if err != nil {
 		return 0, err
 	}
 	if _, err := m.nodeOwnedBy(node, caller); err != nil {
 		return 0, err
 	}
-	var (
-		id  cap.NodeID
-		err error
-	)
+	var id cap.NodeID
 	if grant {
 		id, err = m.space.Grant(node, cap.OwnerID(dst), sub, rights, cleanup)
 	} else {
 		id, err = m.space.Share(node, cap.OwnerID(dst), sub, rights, cleanup)
 	}
 	if err != nil {
-		m.stats.DeniedOps++
+		m.stats.deniedOps.Add(1)
 		return 0, err
 	}
-	m.stats.CapOps++
+	m.stats.capOps.Add(1)
 	kind := trace.KShare
 	if grant {
 		kind = trace.KGrant
@@ -395,7 +510,8 @@ func (m *Monitor) delegate(caller DomainID, node cap.NodeID, dst DomainID, sub c
 		addr, size = uint64(sub.Mem.Start), sub.Mem.Size()
 	}
 	m.emit(kind, caller, uint64(dst), uint64(id), addr, size)
-	if err := m.syncAfterChange(caller, dst, sub); err != nil {
+	cd, _ := m.domain(caller)
+	if err := m.syncAfterChange(cd, dd, sub); err != nil {
 		return 0, err
 	}
 	return id, nil
@@ -407,15 +523,20 @@ func (m *Monitor) delegate(caller DomainID, node cap.NodeID, dst DomainID, sub c
 // management code in control despite making policy configuration
 // available to all software" (§3.2).
 func (m *Monitor) Revoke(caller DomainID, node cap.NodeID) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.lk.wlock()
+	defer m.lk.wunlock()
 	return m.revoke(caller, node)
 }
 
-// revoke is Revoke with the monitor lock held (the guest ABI path).
+// revoke is Revoke with the exclusive monitor lock held (the guest ABI
+// path). Revocation stops the world: subtree removal, cleanups, and
+// shootdowns must not interleave with delegations or transitions, and
+// holding the writer lock is what preserves the trace checker's
+// shootdown-ack and scrub ordering invariants unchanged.
 func (m *Monitor) revoke(caller DomainID, node cap.NodeID) error {
-	m.emit(trace.KOpBegin, caller, trace.OpRevoke, 0, 0, 0)
-	defer m.emit(trace.KOpEnd, caller, trace.OpRevoke, 0, 0, 0)
+	tok := m.opTok.Add(1)
+	m.emit(trace.KOpBegin, caller, trace.OpRevoke, tok, 0, 0)
+	defer m.emit(trace.KOpEnd, caller, trace.OpRevoke, tok, 0, 0)
 	if _, err := m.liveDomain(caller); err != nil {
 		return err
 	}
@@ -436,14 +557,14 @@ func (m *Monitor) revoke(caller DomainID, node cap.NodeID) error {
 	if err != nil {
 		return err
 	}
-	m.stats.CapOps++
-	m.stats.Revocations++
+	m.stats.capOps.Add(1)
+	m.stats.revocations.Add(1)
 	m.emit(trace.KRevoke, caller, 0, uint64(node), 0, 0)
 	return m.afterRevocation(acts, info.Owner)
 }
 
 // afterRevocation executes cleanups and resynchronises hardware state
-// for every owner whose access changed.
+// for every owner whose access changed. Exclusive monitor lock held.
 func (m *Monitor) afterRevocation(acts []cap.CleanupAction, alsoSync ...cap.OwnerID) error {
 	if err := m.bk.ExecuteCleanups(acts); err != nil {
 		return err
@@ -455,8 +576,9 @@ func (m *Monitor) afterRevocation(acts []cap.CleanupAction, alsoSync ...cap.Owne
 	for _, o := range alsoSync {
 		affected[o] = true
 	}
+	tab := m.tab.Load()
 	for o := range affected {
-		if d, ok := m.domains[DomainID(o)]; ok && d.state != StateDead {
+		if d, ok := tab.doms[DomainID(o)]; ok && d.State() != StateDead {
 			if err := m.bk.SyncDomain(o); err != nil {
 				return err
 			}
@@ -468,25 +590,78 @@ func (m *Monitor) afterRevocation(acts []cap.CleanupAction, alsoSync ...cap.Owne
 	return m.syncEncryption()
 }
 
-// syncAfterChange refreshes hardware state after a delegation.
-func (m *Monitor) syncAfterChange(a, b DomainID, res cap.Resource) error {
-	for _, id := range []DomainID{a, b} {
-		if err := m.bk.SyncDomain(cap.OwnerID(id)); err != nil {
+// syncAfterChange refreshes hardware state after a delegation (shared
+// monitor lock held). Domain filter rebuilds are serialised per domain
+// by Domain.mu — taken one at a time, never as a held pair, so rings of
+// delegating domains cannot convoy. Concurrent delegations touching the
+// same domain are safe: each rebuild reads the capability space at
+// rebuild time, so the last one to run sees (at least) all mutations
+// committed before it — and revocations, the only removals, exclude
+// this path entirely via the writer lock.
+func (m *Monitor) syncAfterChange(a, b *Domain, res cap.Resource) error {
+	doms := []*Domain{a, b}
+	if a == b {
+		doms = doms[:1]
+	}
+	for _, d := range doms {
+		d.mu.Lock()
+		err := m.bk.SyncDomain(cap.OwnerID(d.id))
+		d.mu.Unlock()
+		if err != nil {
 			return err
 		}
 	}
 	if res.Kind == cap.ResDevice {
+		m.hwMu.Lock()
+		defer m.hwMu.Unlock()
 		return m.bk.SyncDevice(res.Device)
 	}
 	// Memory movements can change what DMA-holding domains may reach,
-	// and which regions are exclusive (encryption keying).
-	if err := m.syncAllDevices(); err != nil {
+	// and which regions are exclusive (encryption keying). Only devices
+	// whose DMA holders include an affected domain can have changed —
+	// scoped, so delegations between device-less domains skip the
+	// global hardware lock entirely.
+	if err := m.syncDevicesFor(a.id, b.id); err != nil {
 		return err
 	}
 	return m.syncEncryption()
 }
 
+// syncDevicesFor reprograms the IOMMU context of every device whose
+// DMA-holder set intersects the given domains.
+func (m *Monitor) syncDevicesFor(ids ...DomainID) error {
+	intersects := func(holders []cap.OwnerID) bool {
+		for _, h := range holders {
+			for _, id := range ids {
+				if h == cap.OwnerID(id) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	var affected []phys.DeviceID
+	for _, dev := range m.mach.DeviceIDs() {
+		if intersects(m.space.DeviceDMAHolders(dev)) {
+			affected = append(affected, dev)
+		}
+	}
+	if len(affected) == 0 {
+		return nil
+	}
+	m.hwMu.Lock()
+	defer m.hwMu.Unlock()
+	for _, dev := range affected {
+		if err := m.bk.SyncDevice(dev); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 func (m *Monitor) syncAllDevices() error {
+	m.hwMu.Lock()
+	defer m.hwMu.Unlock()
 	for _, d := range m.mach.DeviceIDs() {
 		if err := m.bk.SyncDevice(d); err != nil {
 			return err
@@ -499,8 +674,8 @@ func (m *Monitor) syncAllDevices() error {
 // entry point"). Only the domain itself or its creator may configure it,
 // and only before sealing.
 func (m *Monitor) SetEntry(caller, id DomainID, entry phys.Addr) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.lk.rlock()
+	defer m.lk.runlock()
 	d, err := m.liveDomain(id)
 	if err != nil {
 		return err
@@ -508,7 +683,9 @@ func (m *Monitor) SetEntry(caller, id DomainID, entry phys.Addr) error {
 	if caller != id && caller != d.creator {
 		return m.deny("domain %d may not configure domain %d", caller, id)
 	}
-	if d.state == StateSealed {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.State() == StateSealed {
 		return fmt.Errorf("%w: %d", ErrSealedState, id)
 	}
 	if !m.space.CheckMemAccess(cap.OwnerID(id), entry, cap.RightExec) {
@@ -524,8 +701,8 @@ func (m *Monitor) SetEntry(caller, id DomainID, entry phys.Addr) error {
 // ring 3 so the domain's first-level filter applies from the first
 // instruction). Same authorization and sealing rules as SetEntry.
 func (m *Monitor) SetEntryRing(caller, id DomainID, ring hw.Ring) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.lk.rlock()
+	defer m.lk.runlock()
 	d, err := m.liveDomain(id)
 	if err != nil {
 		return err
@@ -533,7 +710,9 @@ func (m *Monitor) SetEntryRing(caller, id DomainID, ring hw.Ring) error {
 	if caller != id && caller != d.creator {
 		return m.deny("domain %d may not configure domain %d", caller, id)
 	}
-	if d.state == StateSealed {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.State() == StateSealed {
 		return fmt.Errorf("%w: %d", ErrSealedState, id)
 	}
 	d.entryRing = ring
@@ -543,8 +722,8 @@ func (m *Monitor) SetEntryRing(caller, id DomainID, ring hw.Ring) error {
 // AddMeasuredRegion marks a region of the domain's memory whose content
 // is included in the seal-time measurement.
 func (m *Monitor) AddMeasuredRegion(caller, id DomainID, r phys.Region) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.lk.rlock()
+	defer m.lk.runlock()
 	d, err := m.liveDomain(id)
 	if err != nil {
 		return err
@@ -552,7 +731,9 @@ func (m *Monitor) AddMeasuredRegion(caller, id DomainID, r phys.Region) error {
 	if caller != id && caller != d.creator {
 		return m.deny("domain %d may not configure domain %d", caller, id)
 	}
-	if d.state == StateSealed {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.State() == StateSealed {
 		return fmt.Errorf("%w: %d", ErrSealedState, id)
 	}
 	if err := r.Validate(); err != nil {
@@ -570,12 +751,15 @@ func (m *Monitor) AddMeasuredRegion(caller, id DomainID, r phys.Region) error {
 // A sealed domain can no longer receive resources; its attestation
 // becomes stable (§3.1).
 func (m *Monitor) Seal(caller, id DomainID) (tpm.Digest, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.lk.rlock()
+	defer m.lk.runlock()
 	return m.seal(caller, id)
 }
 
-// seal is Seal with the monitor lock held (the guest ABI path).
+// seal is Seal with the shared monitor lock held (the guest ABI path).
+// The domain mutex serialises it against concurrent configuration of
+// the same domain; the capability space orders the seal against
+// in-flight delegations to the domain on its owner shard.
 func (m *Monitor) seal(caller, id DomainID) (tpm.Digest, error) {
 	d, err := m.liveDomain(id)
 	if err != nil {
@@ -584,7 +768,9 @@ func (m *Monitor) seal(caller, id DomainID) (tpm.Digest, error) {
 	if caller != id && caller != d.creator {
 		return tpm.Digest{}, m.deny("domain %d may not seal domain %d", caller, id)
 	}
-	if d.state == StateSealed {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.State() == StateSealed {
 		return tpm.Digest{}, fmt.Errorf("%w: %d", ErrSealedState, id)
 	}
 	if !d.entrySet {
@@ -599,9 +785,9 @@ func (m *Monitor) seal(caller, id DomainID) (tpm.Digest, error) {
 		contents = append(contents, MeasuredRegion{Region: r, Content: data})
 	}
 	d.measurement = ComputeMeasurement(d.entry, contents)
-	d.state = StateSealed
+	d.setState(StateSealed)
 	m.space.Seal(cap.OwnerID(id))
-	m.stats.CapOps++
+	m.stats.capOps.Add(1)
 	m.emit(trace.KSeal, id, uint64(caller), 0, 0, 0)
 	return d.measurement, nil
 }
@@ -610,8 +796,8 @@ func (m *Monitor) seal(caller, id DomainID) (tpm.Digest, error) {
 // capabilities ever derived from them) is revoked with its cleanup
 // policies executed, and its hardware state is removed.
 func (m *Monitor) KillDomain(caller, id DomainID) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.lk.wlock()
+	defer m.lk.wunlock()
 	d, err := m.liveDomain(id)
 	if err != nil {
 		return err
@@ -628,10 +814,12 @@ func (m *Monitor) KillDomain(caller, id DomainID) error {
 // Enumerate returns the domain's resources as the attestation would
 // list them: effective regions, rights, and system-wide reference
 // counts (§3.4: "resource enumeration and reference counts make sharing
-// and communication paths between domains explicit").
+// and communication paths between domains explicit"). Lock-free: every
+// query goes to the internally-synchronised capability space. Each
+// record is individually consistent; a concurrent delegation may land
+// between records, exactly as it may land right after Enumerate
+// returns.
 func (m *Monitor) Enumerate(id DomainID) ([]ResourceRecord, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	if _, err := m.liveDomain(id); err != nil {
 		return nil, err
 	}
@@ -677,10 +865,8 @@ func (m *Monitor) enumerate(owner cap.OwnerID) []ResourceRecord {
 }
 
 // RefCounts exposes the system-wide memory reference-count map
-// (Figure 4).
+// (Figure 4). Lock-free at the monitor level.
 func (m *Monitor) RefCounts() []cap.RegionCount {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	return m.space.RefCounts()
 }
 
@@ -688,31 +874,23 @@ func (m *Monitor) RefCounts() []cap.RegionCount {
 // every delegation or revocation bumps it, so concurrency tests can
 // assert the monitor observed the expected volume of mutations.
 func (m *Monitor) CapGeneration() uint64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	return m.space.Generation()
 }
 
 // LineageTree renders the capability derivation forest (diagnostics).
 func (m *Monitor) LineageTree() string {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	return m.space.TreeString()
 }
 
 // OwnerNodes lists a domain's capability nodes (for libraries building
 // on the API; capabilities are not secret from their owner).
 func (m *Monitor) OwnerNodes(id DomainID) []cap.Info {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	return m.space.OwnerNodes(cap.OwnerID(id))
 }
 
 // CheckAccess reports whether a domain has effective access at an
 // address (diagnostic / test hook; enforcement happens in hardware).
 func (m *Monitor) CheckAccess(id DomainID, a phys.Addr, want cap.Rights) bool {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	return m.space.CheckMemAccess(cap.OwnerID(id), a, want)
 }
 
@@ -720,9 +898,11 @@ func (m *Monitor) CheckAccess(id DomainID, a phys.Addr, want cap.Rights) bool {
 // domain holds write access over every touched page. Go-level domain
 // logic (the OS kit, libraries, examples) uses this instead of raw
 // physical writes so that the capability system is never bypassed.
+// The shared monitor lock keeps the check-then-copy atomic against
+// revocation (a writer).
 func (m *Monitor) CopyInto(id DomainID, a phys.Addr, data []byte) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.lk.rlock()
+	defer m.lk.runlock()
 	if err := m.checkRange(id, a, uint64(len(data)), cap.RightWrite); err != nil {
 		return err
 	}
@@ -731,8 +911,8 @@ func (m *Monitor) CopyInto(id DomainID, a phys.Addr, data []byte) error {
 
 // CopyFrom reads the domain's memory after validating read access.
 func (m *Monitor) CopyFrom(id DomainID, a phys.Addr, n uint64) ([]byte, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.lk.rlock()
+	defer m.lk.runlock()
 	if err := m.checkRange(id, a, n, cap.RightRead); err != nil {
 		return nil, err
 	}
@@ -768,8 +948,8 @@ func (m *Monitor) checkRange(id DomainID, a phys.Addr, n uint64, want cap.Rights
 // itself may set it — it is runtime material (e.g. the hash of a
 // key-exchange public key), settable even after sealing.
 func (m *Monitor) SetReportData(caller, id DomainID, data tpm.Digest) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.lk.rlock()
+	defer m.lk.runlock()
 	d, err := m.liveDomain(id)
 	if err != nil {
 		return err
@@ -777,15 +957,17 @@ func (m *Monitor) SetReportData(caller, id DomainID, data tpm.Digest) error {
 	if caller != id {
 		return m.deny("only domain %d itself may set its report data", id)
 	}
+	d.mu.Lock()
 	d.reportData = data
+	d.mu.Unlock()
 	return nil
 }
 
 // SetSyscallHandler installs the Go-level ring-0 trap handler for the
 // domain (its "kernel").
 func (m *Monitor) SetSyscallHandler(caller, id DomainID, h SyscallHandler) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.lk.rlock()
+	defer m.lk.runlock()
 	d, err := m.liveDomain(id)
 	if err != nil {
 		return err
@@ -793,7 +975,9 @@ func (m *Monitor) SetSyscallHandler(caller, id DomainID, h SyscallHandler) error
 	if caller != id && caller != d.creator {
 		return m.deny("domain %d may not install handlers for domain %d", caller, id)
 	}
+	d.mu.Lock()
 	d.syscall = h
+	d.mu.Unlock()
 	return nil
 }
 
@@ -802,8 +986,8 @@ func (m *Monitor) SetSyscallHandler(caller, id DomainID, h SyscallHandler) error
 // first-level filter). The monitor-controlled Filter inside it keeps
 // enforcing regardless of what the domain does to OSFilter.
 func (m *Monitor) DomainContext(caller, id DomainID, core phys.CoreID) (*hw.Context, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.lk.rlock()
+	defer m.lk.runlock()
 	d, err := m.liveDomain(id)
 	if err != nil {
 		return nil, err

@@ -16,6 +16,12 @@ import (
 // the target may run on the core, and enters the target at its fixed
 // entry point; Return unwinds. FastSwitch is the VMFUNC path: a
 // pre-authorised filter swap without a monitor exit.
+//
+// Concurrency: transitions hold the monitor lock shared — they exclude
+// revocations (writers) but run concurrently with transitions on other
+// cores and with delegations. The per-core coreSched mutex serialises
+// transitions on one core; cores never touch each other's scheduling
+// state, so the transition path has no cross-core contention at all.
 
 // ErrCallDepth reports an attempt to return with no caller frame.
 var ErrCallDepth = errors.New("core: call stack empty")
@@ -25,32 +31,37 @@ var ErrCallDepth = errors.New("core: call stack empty")
 // switches change it without a monitor exit, exactly as on real
 // hardware — the monitor only learns at the next trap.
 func (m *Monitor) Current(core phys.CoreID) (DomainID, bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.currentDomain(core)
+	sc, ok := m.sched[core]
+	if !ok {
+		return 0, false
+	}
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	return m.currentDomain(core, sc)
 }
 
-// currentDomain is Current with the monitor lock held.
-func (m *Monitor) currentDomain(core phys.CoreID) (DomainID, bool) {
+// currentDomain is Current with the core's scheduling lock held.
+func (m *Monitor) currentDomain(core phys.CoreID, sc *coreSched) (DomainID, bool) {
 	if c := m.mach.Core(core); c != nil && c.Context() != nil {
 		return DomainID(c.Context().Owner), true
 	}
-	id, ok := m.current[core]
-	return id, ok
+	return sc.cur, sc.hasCur
 }
 
 // Launch starts the initial domain (or any domain with an entry point)
 // on a core with an empty call stack — boot-time scheduling.
 func (m *Monitor) Launch(id DomainID, core phys.CoreID) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.lk.rlock()
+	defer m.lk.runlock()
 	d, err := m.liveDomain(id)
 	if err != nil {
 		return err
 	}
-	if !d.entrySet {
+	entry, entrySet := d.Entry()
+	if !entrySet {
 		return fmt.Errorf("%w: domain %d", ErrNoEntry, id)
 	}
+	ring := d.EntryRing()
 	if !m.space.OwnerHasCore(cap.OwnerID(id), core) {
 		return m.deny("domain %d may not run on %v", id, core)
 	}
@@ -58,15 +69,18 @@ func (m *Monitor) Launch(id DomainID, core phys.CoreID) error {
 	if c == nil {
 		return fmt.Errorf("core: no core %v", core)
 	}
+	sc := m.sched[core]
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
 	if err := m.bk.Transition(c, cap.OwnerID(id), false); err != nil {
 		return err
 	}
-	c.PC = d.entry
+	c.PC = entry
 	c.Regs = [hw.NumRegs]uint64{}
-	c.Ring = d.entryRing
-	m.current[core] = id
-	m.frames[core] = m.frames[core][:0]
-	m.stats.Transitions++
+	c.Ring = ring
+	sc.cur, sc.hasCur = id, true
+	sc.frames = sc.frames[:0]
+	m.stats.transitions.Add(1)
 	m.emitCore(core, trace.KTransition, id, 0, 0, 0, trace.TransLaunch)
 	return nil
 }
@@ -76,26 +90,34 @@ func (m *Monitor) Launch(id DomainID, core phys.CoreID) error {
 // r0..r5 copied from the caller. The transfer is validated: the target
 // must be live, runnable on the core, and have an entry point.
 func (m *Monitor) Call(core phys.CoreID, target DomainID) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.lk.rlock()
+	defer m.lk.runlock()
 	return m.call(core, target)
 }
 
-// call is Call with the monitor lock held (the guest ABI path).
+// call is Call with the shared monitor lock held (the guest ABI path).
+// The target's entry point is snapshotted under the domain mutex before
+// the core lock is taken (Domain.mu is below coreSched.mu in the lock
+// order only conceptually — they are never nested here).
 func (m *Monitor) call(core phys.CoreID, target DomainID) error {
-	cur, ok := m.currentDomain(core)
-	if !ok {
-		return fmt.Errorf("%w: %v", ErrNotRunning, core)
-	}
 	td, err := m.liveDomain(target)
 	if err != nil {
 		return err
 	}
-	if !td.entrySet {
+	entry, entrySet := td.Entry()
+	if !entrySet {
 		return fmt.Errorf("%w: domain %d", ErrNoEntry, target)
 	}
+	ring := td.EntryRing()
 	if !m.space.OwnerHasCore(cap.OwnerID(target), core) {
 		return m.deny("domain %d may not run on %v", target, core)
+	}
+	sc := m.sched[core]
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	cur, ok := m.currentDomain(core, sc)
+	if !ok {
+		return fmt.Errorf("%w: %v", ErrNotRunning, core)
 	}
 	c := m.mach.Core(core)
 	// Save the caller's register state into its context.
@@ -112,11 +134,11 @@ func (m *Monitor) call(core phys.CoreID, target DomainID) error {
 	}
 	c.Regs = [hw.NumRegs]uint64{}
 	copy(c.Regs[:6], args[:])
-	c.PC = td.entry
-	c.Ring = td.entryRing
-	m.frames[core] = append(m.frames[core], cur)
-	m.current[core] = target
-	m.stats.Transitions++
+	c.PC = entry
+	c.Ring = ring
+	sc.frames = append(sc.frames, cur)
+	sc.cur, sc.hasCur = target, true
+	m.stats.transitions.Add(1)
 	m.emitCore(core, trace.KTransition, target, uint64(cur), 0, 0, trace.TransCall)
 	return nil
 }
@@ -125,19 +147,21 @@ func (m *Monitor) call(core phys.CoreID, target DomainID) error {
 // domain, which resumes after its call site. Registers r0 and r1 of the
 // returning domain are delivered to the caller as return values.
 func (m *Monitor) Return(core phys.CoreID) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.lk.rlock()
+	defer m.lk.runlock()
 	return m.ret(core)
 }
 
-// ret is Return with the monitor lock held (the guest ABI path).
+// ret is Return with the shared monitor lock held (the guest ABI path).
 func (m *Monitor) ret(core phys.CoreID) error {
-	frames := m.frames[core]
-	if len(frames) == 0 {
+	sc := m.sched[core]
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	if len(sc.frames) == 0 {
 		return ErrCallDepth
 	}
-	caller := frames[len(frames)-1]
-	m.frames[core] = frames[:len(frames)-1]
+	caller := sc.frames[len(sc.frames)-1]
+	sc.frames = sc.frames[:len(sc.frames)-1]
 	c := m.mach.Core(core)
 	ret0, ret1 := c.Regs[0], c.Regs[1]
 	if _, err := m.liveDomain(caller); err != nil {
@@ -154,9 +178,9 @@ func (m *Monitor) ret(core phys.CoreID) error {
 	}
 	c.RestoreFrom(callerCtx)
 	c.Regs[0], c.Regs[1] = ret0, ret1
-	returning := m.current[core]
-	m.current[core] = caller
-	m.stats.Transitions++
+	returning := sc.cur
+	sc.cur, sc.hasCur = caller, true
+	m.stats.transitions.Add(1)
 	m.emitCore(core, trace.KTransition, caller, uint64(returning), 0, 0, trace.TransReturn)
 	return nil
 }
@@ -167,8 +191,8 @@ func (m *Monitor) ret(core phys.CoreID) error {
 // "accelerate existing operations with hardware, such as fast (100
 // cycles) domain transitions using VMFUNC" (§4.1).
 func (m *Monitor) RegisterFastPath(caller DomainID, a, b DomainID, core phys.CoreID) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.lk.rlock()
+	defer m.lk.runlock()
 	if _, err := m.liveDomain(caller); err != nil {
 		return err
 	}
@@ -191,31 +215,35 @@ func (m *Monitor) RegisterFastPath(caller DomainID, a, b DomainID, core phys.Cor
 // entirely (the fast path trades register hygiene for speed; domains
 // using it share a protocol, like Hodor-style data-plane libraries).
 func (m *Monitor) FastSwitch(core phys.CoreID, target DomainID) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.lk.rlock()
+	defer m.lk.runlock()
 	return m.fastSwitch(core, target)
 }
 
-// fastSwitch is FastSwitch with the monitor lock held.
+// fastSwitch is FastSwitch with the shared monitor lock held.
 func (m *Monitor) fastSwitch(core phys.CoreID, target DomainID) error {
-	if _, ok := m.current[core]; !ok {
-		return fmt.Errorf("%w: %v", ErrNotRunning, core)
-	}
 	td, err := m.liveDomain(target)
 	if err != nil {
 		return err
 	}
-	if !td.entrySet {
+	entry, entrySet := td.Entry()
+	if !entrySet {
 		return fmt.Errorf("%w: domain %d", ErrNoEntry, target)
+	}
+	sc := m.sched[core]
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	if _, ok := m.currentDomain(core, sc); !ok {
+		return fmt.Errorf("%w: %v", ErrNotRunning, core)
 	}
 	c := m.mach.Core(core)
 	if err := m.bk.Transition(c, cap.OwnerID(target), true); err != nil {
 		return err
 	}
-	from := m.current[core]
-	c.PC = td.entry
-	m.current[core] = target
-	m.stats.FastSwitches++
+	from := sc.cur
+	c.PC = entry
+	sc.cur, sc.hasCur = target, true
+	m.stats.fastSwitches.Add(1)
 	m.emitCore(core, trace.KTransition, target, uint64(from), 0, 0, trace.TransFast)
 	return nil
 }
@@ -242,31 +270,29 @@ type RunResult struct {
 //   - Fault/Illegal: execution stops and the trap is reported; policy
 //     belongs to the embedding system, not the monitor.
 //
-// RunCore holds the monitor lock only while handling traps: guest
-// execution between traps runs without it, which is what lets RunCores
-// drive many cores in parallel with monitor entries serialised.
+// RunCore itself holds no monitor lock: guest execution between traps
+// is always lock-free, and each trap handler takes exactly the locks
+// its operation needs (most hold the monitor lock shared; only fault
+// containment stops the world). Cores running independent workloads
+// therefore do not serialise on monitor entries at all.
 func (m *Monitor) RunCore(core phys.CoreID, budget int) (RunResult, error) {
 	c := m.mach.Core(core)
 	if c == nil {
 		return RunResult{}, fmt.Errorf("core: no core %v", core)
 	}
+	sc := m.sched[core]
 	if _, ok := m.Current(core); !ok {
 		return RunResult{}, fmt.Errorf("%w: %v", ErrNotRunning, core)
 	}
 	// The installed context decides attribution: guest VMFUNC switches
 	// change the running domain without informing the monitor.
-	// curLocked requires the monitor lock (for the no-context fallback);
-	// cur acquires it.
-	curLocked := func() DomainID {
+	cur := func() DomainID {
 		if ctx := c.Context(); ctx != nil {
 			return DomainID(ctx.Owner)
 		}
-		return m.current[core]
-	}
-	cur := func() DomainID {
-		m.mu.Lock()
-		defer m.mu.Unlock()
-		return curLocked()
+		sc.mu.Lock()
+		defer sc.mu.Unlock()
+		return sc.cur
 	}
 	total := 0
 	for total < budget {
@@ -284,23 +310,20 @@ func (m *Monitor) RunCore(core phys.CoreID, budget int) (RunResult, error) {
 			// control back to the embedding scheduler.
 			return RunResult{Steps: total, Trap: trap, Domain: cur()}, nil
 		case hw.TrapHalt:
-			m.mu.Lock()
-			if len(m.frames[core]) > 0 {
-				err := m.ret(core)
-				m.mu.Unlock()
-				if err != nil {
+			sc.mu.Lock()
+			depth := len(sc.frames)
+			sc.mu.Unlock()
+			if depth > 0 {
+				if err := m.Return(core); err != nil {
 					return RunResult{Steps: total, Trap: trap, Domain: cur()}, err
 				}
 				continue
 			}
-			m.mu.Unlock()
 			return RunResult{Steps: total, Trap: trap, Domain: cur()}, nil
 		case hw.TrapVMCall:
 			m.mach.Clock.Advance(m.mach.Cost.VMExit)
-			m.mu.Lock()
-			m.stats.VMExits++
+			m.stats.vmExits.Add(1)
 			stop, err := m.handleVMCall(c, core)
-			m.mu.Unlock()
 			m.mach.Clock.Advance(m.mach.Cost.VMEntry)
 			if err != nil {
 				return RunResult{Steps: total, Trap: trap, Domain: cur()}, err
@@ -310,15 +333,14 @@ func (m *Monitor) RunCore(core phys.CoreID, budget int) (RunResult, error) {
 			}
 		case hw.TrapSyscall:
 			m.mach.Clock.Advance(m.mach.Cost.Syscall)
-			m.mu.Lock()
-			m.stats.Syscalls++
-			id := curLocked()
-			d := m.domains[id]
+			m.stats.syscalls.Add(1)
+			id := cur()
 			var handler SyscallHandler
-			if d != nil {
+			if d, ok := m.tab.Load().doms[id]; ok {
+				d.mu.Lock()
 				handler = d.syscall
+				d.mu.Unlock()
 			}
-			m.mu.Unlock()
 			if handler == nil {
 				return RunResult{Steps: total, Trap: trap, Domain: id},
 					fmt.Errorf("core: domain %d has no syscall handler", id)
@@ -332,13 +354,15 @@ func (m *Monitor) RunCore(core phys.CoreID, budget int) (RunResult, error) {
 		case hw.TrapMachineCheck:
 			// A hardware fault killed whatever ran here. Contain it:
 			// destroy the victim domain (scrubbed), park the core, and
-			// report the trap. Other cores keep running throughout.
+			// report the trap. Containment stops the world — it holds
+			// the exclusive monitor lock. Other cores resume once the
+			// victim is torn down.
 			m.mach.Clock.Advance(m.mach.Cost.VMExit)
-			m.mu.Lock()
-			m.stats.VMExits++
-			victim := curLocked()
+			m.stats.vmExits.Add(1)
+			victim := cur()
+			m.lk.wlock()
 			cErr := m.containFault(core, victim)
-			m.mu.Unlock()
+			m.lk.wunlock()
 			return RunResult{Steps: total, Trap: trap, Domain: victim}, cErr
 		default: // fault, illegal
 			return RunResult{Steps: total, Trap: trap, Domain: cur()}, nil

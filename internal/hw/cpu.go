@@ -145,19 +145,13 @@ type Core struct {
 	// lock-free, and the machine clock aggregates shards on read.
 	clk Clock
 
-	// mru is a 1-entry translation cache in front of the TLB: straight-
-	// line code touching one page repeatedly skips the TLB map lookup.
-	// It validates the filter generation and the TLB flush count, so a
-	// permission change or shootdown invalidates it implicitly. Only the
-	// driving goroutine touches it.
-	mru struct {
-		ok    bool
-		asid  uint64
-		page  uint64
-		gen   uint64
-		flush uint64
-		perm  Perm
-	}
+	// mru is a small fully-associative translation cache in front of the
+	// TLB: code alternating between a handful of pages (instruction
+	// fetch + a data page or two) skips the TLB map lookup entirely.
+	// Each way validates the filter generation and the TLB flush count,
+	// so a permission change or shootdown invalidates it implicitly.
+	// Only the driving goroutine touches it (hits/misses included).
+	mru mruSet
 
 	// vmfunc is the core's pre-registered fast-switch list (the VMFUNC
 	// EPTP list): guest code may switch only to contexts the monitor
@@ -170,6 +164,66 @@ type Core struct {
 
 	instrs atomic.Uint64
 	faults atomic.Uint64
+}
+
+// MRUWays is the associativity of the per-core front-side translation
+// cache (mruSet).
+const MRUWays = 4
+
+// mruEntry is one way of the front-side translation cache.
+type mruEntry struct {
+	ok    bool
+	asid  uint64
+	page  uint64
+	gen   uint64
+	flush uint64
+	perm  Perm
+}
+
+// mruSet is the core's MRUWays-way translation cache. Replacement is
+// round-robin: the cost model charges identically for every way, so a
+// cheaper policy with the same hit set beats LRU bookkeeping here.
+type mruSet struct {
+	ways [MRUWays]mruEntry
+	next int
+	// hits and misses tally front-side lookups (a miss that then hits
+	// the TLB still counts as an mru miss). Plain fields: only the
+	// goroutine driving the core writes them; read them quiescent.
+	hits, misses uint64
+}
+
+// lookup scans the ways for a valid translation of (asid, page) under
+// the current generation and flush epoch.
+func (s *mruSet) lookup(asid, page, gen, flush uint64) (Perm, bool) {
+	for i := range s.ways {
+		e := &s.ways[i]
+		if e.ok && e.asid == asid && e.page == page && e.gen == gen && e.flush == flush {
+			s.hits++
+			return e.perm, true
+		}
+	}
+	s.misses++
+	return PermNone, false
+}
+
+// insert fills the next way round-robin.
+func (s *mruSet) insert(asid, page, gen, flush uint64, perm Perm) {
+	s.ways[s.next] = mruEntry{ok: true, asid: asid, page: page, gen: gen, flush: flush, perm: perm}
+	s.next = (s.next + 1) % MRUWays
+}
+
+// invalidate drops every way.
+func (s *mruSet) invalidate() {
+	for i := range s.ways {
+		s.ways[i].ok = false
+	}
+}
+
+// MRUStats returns the front-side translation cache's hit and miss
+// counts. Read it only while the core is quiescent (the counters belong
+// to the driving goroutine).
+func (c *Core) MRUStats() (hits, misses uint64) {
+	return c.mru.hits, c.mru.misses
 }
 
 // ID returns the core's identifier.
@@ -212,7 +266,7 @@ func (c *Core) Cycles() uint64 { return c.clk.Cycles() }
 func (c *Core) InstallContext(ctx *Context) {
 	c.ctx.Store(ctx)
 	c.tlb.Flush()
-	c.mru.ok = false
+	c.mru.invalidate()
 	c.halted.Store(false)
 }
 
@@ -299,9 +353,8 @@ func (c *Core) access(a phys.Addr, want Perm, size uint64) *Trap {
 	pg := a.Page()
 	gen := ctx.Filter.Generation()
 	var perm Perm
-	if m := &c.mru; m.ok && m.asid == ctx.ASID && m.page == pg &&
-		m.gen == gen && m.flush == c.tlb.FlushCount() {
-		perm = m.perm
+	if p, ok := c.mru.lookup(ctx.ASID, pg, gen, c.tlb.FlushCount()); ok {
+		perm = p
 		c.tlb.RecordHit()
 		clk.Advance(cost.TLBHit)
 	} else {
@@ -318,12 +371,7 @@ func (c *Core) access(a phys.Addr, want Perm, size uint64) *Trap {
 			perm = ctx.Filter.Lookup(a)
 			c.tlb.Insert(ctx.ASID, pg, perm, gen)
 		}
-		c.mru.ok = true
-		c.mru.asid = ctx.ASID
-		c.mru.page = pg
-		c.mru.gen = gen
-		c.mru.flush = c.tlb.FlushCount()
-		c.mru.perm = perm
+		c.mru.insert(ctx.ASID, pg, gen, c.tlb.FlushCount(), perm)
 	}
 	if !perm.Allows(want) {
 		c.faults.Add(1)

@@ -1,0 +1,81 @@
+package hw
+
+import (
+	"testing"
+
+	"github.com/tyche-sim/tyche/internal/phys"
+)
+
+// TestMRUSetHitMissAccounting pins the exact hit/miss behaviour of the
+// 4-way front-side translation cache: round-robin replacement, capacity
+// MRUWays pages, and implicit invalidation on TLB flush and filter
+// generation change. The counts are exact — a change to associativity,
+// replacement policy, or validation must update this test deliberately.
+func TestMRUSetHitMissAccounting(t *testing.T) {
+	m := testMachine(t)
+	c := m.Cores[0]
+	ept := NewEPT()
+	if err := ept.Map(phys.MakeRegion(0, 16*phys.PageSize), PermRW); err != nil {
+		t.Fatal(err)
+	}
+	ctx := &Context{Owner: 1, Filter: ept, UsesEPT: true, ASID: 1}
+	c.InstallContext(ctx)
+
+	touch := func(page uint64) {
+		t.Helper()
+		if tr := c.access(phys.Addr(page*phys.PageSize), PermR, 8); tr != nil {
+			t.Fatalf("access to page %d trapped: %v", page, tr)
+		}
+	}
+	assertCounts := func(wantHits, wantMisses uint64) {
+		t.Helper()
+		hits, misses := c.MRUStats()
+		if hits != wantHits || misses != wantMisses {
+			t.Fatalf("mru stats = %d hits / %d misses, want %d / %d",
+				hits, misses, wantHits, wantMisses)
+		}
+	}
+
+	// Cold: four distinct pages fill the four ways.
+	for p := uint64(0); p < 4; p++ {
+		touch(p)
+	}
+	assertCounts(0, 4)
+
+	// All four resident: pure hits.
+	for p := uint64(0); p < 4; p++ {
+		touch(p)
+	}
+	assertCounts(4, 4)
+
+	// Fifth page evicts the round-robin victim (page 0).
+	touch(4)
+	assertCounts(4, 5)
+	// Page 0 misses (evicted) and re-inserts over page 1.
+	touch(0)
+	assertCounts(4, 6)
+	// Pages 2 and 3 survived both replacements.
+	touch(2)
+	touch(3)
+	assertCounts(6, 6)
+
+	// A TLB flush (shootdown) invalidates every way via the flush epoch.
+	c.TLBUnit().Flush()
+	touch(2)
+	assertCounts(6, 7)
+	touch(2)
+	assertCounts(7, 7)
+
+	// A filter generation bump (permission change) invalidates too.
+	if err := ept.Map(phys.MakeRegion(0, 16*phys.PageSize), PermRW); err != nil {
+		t.Fatal(err)
+	}
+	touch(2)
+	assertCounts(7, 8)
+
+	// InstallContext drops all ways.
+	c.InstallContext(ctx)
+	touch(2)
+	touch(3)
+	assertCounts(7, 10)
+}

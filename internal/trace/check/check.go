@@ -158,8 +158,25 @@ func (c *Checker) Event(ev trace.Event) {
 			c.violate(ev, "operation end with no open operation")
 			break
 		}
-		f := c.frames[len(c.frames)-1]
-		c.frames = c.frames[:len(c.frames)-1]
+		// Frames carry a token in Node so concurrent operations (the
+		// fine-grained monitor runs delegations in parallel) match their
+		// own begin exactly. Token 0 is the legacy form: strict LIFO.
+		idx := len(c.frames) - 1
+		if ev.Node != 0 {
+			idx = -1
+			for i := len(c.frames) - 1; i >= 0; i-- {
+				if c.frames[i].ev.Node == ev.Node {
+					idx = i
+					break
+				}
+			}
+			if idx < 0 {
+				c.violate(ev, "operation end token %d matches no open operation", ev.Node)
+				break
+			}
+		}
+		f := c.frames[idx]
+		c.frames = append(c.frames[:idx], c.frames[idx+1:]...)
 		if f.ev.Aux != ev.Aux {
 			c.violate(ev, "operation end %d does not match open operation %d", ev.Aux, f.ev.Aux)
 		}

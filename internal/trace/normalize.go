@@ -35,6 +35,20 @@ func Normalize(events []Event, cores int) string {
 		}
 		return fmt.Sprintf("#%d", a)
 	}
+	// Operation-frame tokens (KOpBegin/KOpEnd Node field) are a separate
+	// namespace from capability-node IDs; alias them independently.
+	tokAlias := make(map[uint64]int)
+	canonTok := func(n uint64) string {
+		if n == 0 {
+			return "0"
+		}
+		a, ok := tokAlias[n]
+		if !ok {
+			a = len(tokAlias)
+			tokAlias[n] = a
+		}
+		return fmt.Sprintf("t%d", a)
+	}
 
 	var b strings.Builder
 	pendingAcks := -1 // acks seen for the last shootdown, -1 = none open
@@ -74,6 +88,12 @@ func Normalize(events []Event, cores int) string {
 		switch ev.Kind {
 		case KShare, KGrant, KRevoke:
 			node = canonNode(ev.Node)
+		case KOpBegin, KOpEnd:
+			// Node carries the operation-frame token, minted from a
+			// global counter — renumber by first appearance so traces
+			// compare across runs (token 0, the legacy untokened form,
+			// stays literal).
+			node = canonTok(ev.Node)
 		}
 		fmt.Fprintf(&b, "%s core=%d dom=%d aux=%d node=%s addr=%#x size=%d\n",
 			ev.Kind, ev.Core, ev.Domain, ev.Aux, node, ev.Addr, ev.Size)
