@@ -9,6 +9,7 @@
 //	tyche-bench -backend pmp -experiment F4
 //	tyche-bench -parallel 4 -out BENCH_smp.json
 //	tyche-bench -traced -experiment C15
+//	tyche-bench -experiment C19 -out BENCH_sched.json
 //
 // A/B lock-scalability merge: run C18 from a default build and from a
 // `-tags biglock` build, then join the two JSON files into
@@ -48,7 +49,7 @@ type benchOutput struct {
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "", "experiment ID (F1-F4, C1-C18); empty runs all")
+		experiment = flag.String("experiment", "", "experiment ID (F1-F4, C1-C19); empty runs all")
 		backend    = flag.String("backend", "vtx", "enforcement backend: vtx or pmp")
 		quick      = flag.Bool("quick", false, "smaller sweeps")
 		seed       = flag.Int64("seed", 1, "workload seed")

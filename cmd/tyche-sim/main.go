@@ -10,6 +10,12 @@
 // and the monitor's containment path (kill, scrub, reclaim) is shown.
 // The exact run replays from the printed schedule alone.
 //
+// With -domains N it runs the multi-tenant scheduling demo: N tenant
+// domains are time-multiplexed over the worker cores by the preemptive
+// scheduler (internal/sched), half of them yielding cooperatively, and
+// the dispatch statistics plus the deterministic schedule hash are
+// printed.
+//
 // Usage:
 //
 //	tyche-sim
@@ -17,6 +23,7 @@
 //	tyche-sim -emit evidence.json
 //	tyche-sim -faultseed 7
 //	tyche-sim -faultschedule mc1@128
+//	tyche-sim -domains 12
 //	tyche-sim -trace trace.json
 //
 // With -trace the whole run is recorded by the cycle-stamped monitor
@@ -37,6 +44,7 @@ import (
 	"github.com/tyche-sim/tyche/internal/fault"
 	"github.com/tyche-sim/tyche/internal/hw"
 	"github.com/tyche-sim/tyche/internal/phys"
+	"github.com/tyche-sim/tyche/internal/sched"
 	"github.com/tyche-sim/tyche/internal/trace"
 	"github.com/tyche-sim/tyche/internal/trace/check"
 )
@@ -49,16 +57,17 @@ func main() {
 		emit      = flag.String("emit", "", "write an attestation bundle to this file")
 		faultSeed = flag.Int64("faultseed", 0, "derive a deterministic fault schedule from this seed and run the containment demo")
 		faultSpec = flag.String("faultschedule", "", "explicit fault schedule (e.g. mc1@128,stall1@64); overrides -faultseed")
+		domains   = flag.Int("domains", 0, "run the multi-tenant scheduling demo with this many tenant domains time-multiplexed over the worker cores")
 		tracePath = flag.String("trace", "", "record the run and write a Chrome trace-event file here")
 	)
 	flag.Parse()
-	if err := run(*backend, *memMiB, *cores, *emit, *faultSeed, *faultSpec, *tracePath); err != nil {
+	if err := run(*backend, *memMiB, *cores, *emit, *faultSeed, *faultSpec, *domains, *tracePath); err != nil {
 		fmt.Fprintln(os.Stderr, "tyche-sim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(backend string, memMiB uint64, cores int, emit string, faultSeed int64, faultSpec, tracePath string) error {
+func run(backend string, memMiB uint64, cores int, emit string, faultSeed int64, faultSpec string, domains int, tracePath string) error {
 	p, err := tyche.NewPlatform(tyche.Options{
 		MemBytes: memMiB << 20,
 		Cores:    cores,
@@ -191,6 +200,11 @@ func run(backend string, memMiB uint64, cores int, emit string, faultSeed int64,
 			return err
 		}
 	}
+	if domains > 0 {
+		if err := schedDemo(p, domains); err != nil {
+			return err
+		}
+	}
 	if tracer != nil {
 		f, err := os.Create(tracePath)
 		if err != nil {
@@ -209,6 +223,78 @@ func run(backend string, memMiB uint64, cores int, emit string, faultSeed int64,
 			return fmt.Errorf("online invariant checker: %w", err)
 		}
 		fmt.Println("online invariant checker: every recorded monitor operation satisfied its invariants")
+	}
+	return nil
+}
+
+// schedDemo time-multiplexes `domains` tenant domains over every core
+// but dom0's core 0: odd tenants run a pure compute loop, even ones
+// yield cooperatively each iteration. The schedule is a pure function
+// of the seed, so the printed hash replays bit-identically.
+func schedDemo(p *tyche.Platform, domains int) error {
+	mach := p.Monitor.Machine()
+	if len(mach.Cores) < 2 {
+		return fmt.Errorf("scheduling demo needs at least 2 cores (dom0 keeps core 0)")
+	}
+	var workers []tyche.CoreID
+	for i := 1; i < len(mach.Cores); i++ {
+		workers = append(workers, tyche.CoreID(i))
+	}
+	const seed = 1
+	p.Monitor.SetSchedPolicy(&sched.Policy{Quantum: 4096, Steal: true, Seed: seed})
+	fmt.Printf("\nSCHEDULING DEMO  %d tenant domains over %d worker core(s), quantum 4096, seed %d\n",
+		domains, len(workers), seed)
+	prog := func(yield bool) func(base phys.Addr) *tyche.Asm {
+		return func(base phys.Addr) *tyche.Asm {
+			a := tyche.NewAsm()
+			a.Movi(10, 3000)
+			a.Movi(12, 1)
+			a.Label("loop")
+			if yield {
+				a.Movi(0, uint32(core.CallYield))
+				a.Vmcall()
+			}
+			a.Sub(10, 10, 12)
+			a.Jnz(10, "loop")
+			a.Hlt()
+			return a
+		}
+	}
+	for i := 0; i < domains; i++ {
+		gen := prog(i%2 == 0)
+		probe := tyche.NewProgram("tenant", gen(0).MustAssemble(0))
+		base, err := p.Dom0.Heap().Peek(probe.TotalPages())
+		if err != nil {
+			return err
+		}
+		code, err := gen(base.Start).Assemble(base.Start)
+		if err != nil {
+			return err
+		}
+		lo := tyche.DefaultLoadOptions()
+		lo.Cores = workers
+		lo.Seal = false
+		dom, err := p.Dom0.Load(tyche.NewProgram(fmt.Sprintf("tenant%d", i), code), lo)
+		if err != nil {
+			return err
+		}
+		if err := p.Monitor.Schedule(dom.ID()); err != nil {
+			return err
+		}
+	}
+	if _, err := p.Monitor.RunCores(8_000_000, workers...); err != nil {
+		return err
+	}
+	st := p.Monitor.Stats()
+	q := p.Monitor.Scheduler()
+	fmt.Printf("  completed=%d dispatches=%d preemptions=%d yields=%d steals=%d purged=%d max_queue=%d\n",
+		st.SchedCompleted, st.SchedDispatches, st.SchedPreemptions, st.SchedYields,
+		st.SchedSteals, st.SchedPurged, st.SchedMaxQueue)
+	fmt.Printf("  p99 transition-to-dispatch latency %d cycles over %d dispatch records\n",
+		q.LatencyP99(), len(q.Records()))
+	fmt.Printf("  schedule hash %#x (deterministic: same seed and arrival order replay this exact schedule)\n", q.Hash())
+	if st.SchedCompleted != uint64(domains) {
+		return fmt.Errorf("only %d of %d tenants completed", st.SchedCompleted, domains)
 	}
 	return nil
 }

@@ -1,0 +1,407 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/tyche-sim/tyche/internal/core"
+	"github.com/tyche-sim/tyche/internal/hw"
+	"github.com/tyche-sim/tyche/internal/libtyche"
+	"github.com/tyche-sim/tyche/internal/phys"
+	"github.com/tyche-sim/tyche/internal/sched"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "C19",
+		Title: "Multi-tenant oversubscription: N domains time-multiplexed over M cores",
+		Paper: "§3 domains as the only abstraction: tenants share cores under monitor scheduling, no OS above the monitor",
+		Run:   runC19,
+	})
+}
+
+// runC19 measures the preemptive multi-tenant scheduler (internal/sched
+// plus core's round-barrier engine) under oversubscription: N compute
+// tenants scheduled over M cores, N ≫ M, swept across both axes.
+//
+// Throughput is measured in iterations per simulated kilocycle — the
+// cycle domain, not wall clock — so the numbers are bit-stable and the
+// tracer can stay attached to the measured run itself (tracing costs
+// host time only, never simulated cycles; C18 keeps timed runs untraced
+// because its metric is wall clock). Each sweep point also reports the
+// p99 transition-to-dispatch latency from the scheduler's per-dispatch
+// queue-latency samples.
+//
+// Four scenario checks ride on top of the sweep:
+//
+//	dedicated A/B — 4 tenants on 4 dedicated cores (plain RunCores, no
+//	    policy) is the baseline; the acceptance gate requires 16
+//	    domains over 4 cores to keep >= 0.7x its per-iteration
+//	    throughput despite dispatch overhead;
+//	determinism — the gate configuration is rebuilt and re-run from the
+//	    same seed; the schedule must replay bit-identically (equal
+//	    dispatch-record hashes and final cycle counts);
+//	yield mix — cooperative tenants ending every slice with CallYield;
+//	    the yield count must be exact;
+//	kill purge — a never-terminating tenant queued twice is ForceKilled
+//	    mid-run; its queued vCPUs must be purged and never dispatched
+//	    again (cross-checked against the dispatch records here and by
+//	    the trace oracle's dead-domain silence over KTransition).
+func runC19(cfg Config) (*Result, error) {
+	res := &Result{
+		ID: "C19", Title: "Multi-tenant oversubscription throughput (scheduled domains over shared cores)",
+		Columns: []string{"domains", "cores", "mode", "cycles", "wall us", "iters", "it/kcyc", "p99 disp", "disp", "preempt", "steal", "maxq"},
+	}
+	domSweep := []int{4, 8, 16, 32, 64}
+	coreSweep := []int{1, 2, 4, 8}
+	iters, quantum := 20_000, 8192
+	if cfg.Quick {
+		domSweep = []int{4, 16}
+		coreSweep = []int{2, 4}
+		iters, quantum = 4_000, 4096
+	}
+	res.note("quantum %d instructions, %d iterations per tenant, seed %d", quantum, iters, cfg.Seed)
+
+	addRow := func(domains, workers int, mode string, p *c19Point) {
+		tput := float64(p.iters) / float64(p.cycles) * 1000
+		res.row(fmt.Sprintf("%d", domains), fmt.Sprintf("%d", workers), mode,
+			fmtU(p.cycles), fmt.Sprintf("%d", p.wall.Microseconds()), fmtU(p.iters),
+			fmt.Sprintf("%.2f", tput), fmtU(p.p99),
+			fmtU(p.ctr.Dispatches), fmtU(p.ctr.Preemptions), fmtU(p.ctr.Steals), fmtU(p.ctr.MaxQueueDepth))
+	}
+	pointMetrics := func(tag string, p *c19Point) {
+		res.metric(tag+"_cycles", float64(p.cycles))
+		res.metric(tag+"_iters", float64(p.iters))
+		res.metric(tag+"_iters_per_kcycle", float64(p.iters)/float64(p.cycles)*1000)
+		res.metric(tag+"_p99_dispatch_cycles", float64(p.p99))
+		res.metric(tag+"_dispatches", float64(p.ctr.Dispatches))
+		res.metric(tag+"_preemptions", float64(p.ctr.Preemptions))
+		res.metric(tag+"_steals", float64(p.ctr.Steals))
+		res.metric(tag+"_max_queue_depth", float64(p.ctr.MaxQueueDepth))
+		res.metric(tag+"_wall_ns", float64(p.wall.Nanoseconds()))
+	}
+
+	// Dedicated-core baseline: one tenant per core, no scheduler.
+	base, err := runC19Dedicated(cfg, 4, iters)
+	if err != nil {
+		return nil, fmt.Errorf("c19 dedicated baseline: %w", err)
+	}
+	addRow(4, 4, "dedicated", base)
+	pointMetrics("dedicated4", base)
+	res.check("dedicated-complete", base.complete, "4 dedicated tenants halted cleanly%s", base.detail)
+	base.w.traceClean(res, "dedicated4")
+	baseTput := float64(base.iters) / float64(base.cycles)
+
+	var gate *c19Point
+	for _, d := range domSweep {
+		for _, w := range coreSweep {
+			tag := fmt.Sprintf("d%d_c%d", d, w)
+			p, err := runC19Oversub(cfg, d, w, iters, quantum)
+			if err != nil {
+				return nil, fmt.Errorf("c19 %s: %w", tag, err)
+			}
+			addRow(d, w, "sched", p)
+			pointMetrics(tag, p)
+			res.check(tag+"-complete", p.complete,
+				"all %d tenants over %d core(s) ran to completion%s", d, w, p.detail)
+			if d > w {
+				res.check(tag+"-preempted", p.ctr.Preemptions > 0,
+					"oversubscribed point saw %d timer preemptions", p.ctr.Preemptions)
+			}
+			p.w.traceClean(res, tag)
+			if d == 16 && w == 4 {
+				gate = p
+			}
+		}
+	}
+
+	// Acceptance gate: oversubscription overhead bounded at the 16/4
+	// point.
+	gateTput := float64(gate.iters) / float64(gate.cycles)
+	ratio := gateTput / baseTput
+	res.metric("oversub_ratio_16_4", ratio)
+	res.check("oversub-throughput", ratio >= 0.7,
+		"16 domains / 4 cores at %.2fx the dedicated per-iteration throughput (gate 0.7x)", ratio)
+	res.check("oversub-latency-sampled", gate.p99 > 0,
+		"p99 transition-to-dispatch latency %d cycles over %d dispatches", gate.p99, gate.ctr.Dispatches)
+
+	// Determinism: rebuild the gate configuration from the same seed;
+	// the schedule must replay bit for bit.
+	replay, err := runC19Oversub(cfg, 16, 4, iters, quantum)
+	if err != nil {
+		return nil, fmt.Errorf("c19 replay: %w", err)
+	}
+	res.check("determinism-replay", replay.hash == gate.hash && replay.cycles == gate.cycles,
+		"schedule hash %#x/%#x, cycles %d/%d across two identically-seeded runs",
+		gate.hash, replay.hash, gate.cycles, replay.cycles)
+	res.note("16/4 schedule hash %#x over %d dispatch records", gate.hash, gate.ctr.Dispatches)
+
+	// Cooperative tenants: every slice ends in CallYield, counted
+	// exactly.
+	yields := 64
+	if cfg.Quick {
+		yields = 16
+	}
+	ym, err := runC19YieldMix(cfg, 8, 2, yields, quantum)
+	if err != nil {
+		return nil, fmt.Errorf("c19 yield mix: %w", err)
+	}
+	res.check("yield-mix", ym.complete && ym.ctr.Yields == uint64(8*yields),
+		"8 cooperative tenants yielded %d times (want exactly %d)%s", ym.ctr.Yields, 8*yields, ym.detail)
+	ym.w.traceClean(res, "yieldmix")
+
+	// Containment: kill a scheduled tenant mid-run.
+	kill, err := runC19Kill(cfg, iters, quantum)
+	if err != nil {
+		return nil, fmt.Errorf("c19 kill: %w", err)
+	}
+	res.metric("kill_purged_vcpus", float64(kill.purged))
+	res.check("kill-purged", kill.purged >= 2,
+		"ForceKill purged %d queued vCPUs of the victim (want >= 2)", kill.purged)
+	res.check("kill-no-dispatch", kill.victimAfter == 0,
+		"%d dispatches of the killed domain after its destruction (want 0, %d records checked)",
+		kill.victimAfter, kill.records)
+	res.check("kill-survivors", kill.survivorsDone, "the 3 surviving tenants all completed")
+	kill.w.traceClean(res, "kill")
+	return res, nil
+}
+
+// c19Point is one measured scheduling run.
+type c19Point struct {
+	w        *world
+	wall     time.Duration
+	cycles   uint64
+	iters    uint64 // total tenant loop iterations completed
+	p99      uint64 // p99 transition-to-dispatch latency, cycles
+	hash     uint64 // dispatch-schedule hash
+	ctr      sched.Counters
+	complete bool
+	detail   string
+}
+
+// computeTenant builds the tenant workload: a pure compute loop of
+// `iters` iterations ending in HLT. The count is baked into the text
+// with MOVI — a scheduled dispatch launches with zeroed registers, so
+// inputs cannot be poked in afterwards as C18 does.
+func computeTenant(iters uint32) func(base phys.Addr) *hw.Asm {
+	return func(base phys.Addr) *hw.Asm {
+		a := hw.NewAsm()
+		a.Movi(10, iters)
+		a.Movi(12, 1)
+		a.Label("loop")
+		a.Sub(10, 10, 12)
+		a.Jnz(10, "loop")
+		a.Hlt()
+		return a
+	}
+}
+
+// yieldTenant is computeTenant with a cooperative CallYield ending
+// every iteration's slice.
+func yieldTenant(iters uint32) func(base phys.Addr) *hw.Asm {
+	return func(base phys.Addr) *hw.Asm {
+		a := hw.NewAsm()
+		a.Movi(10, iters)
+		a.Movi(12, 1)
+		a.Label("loop")
+		a.Movi(0, uint32(core.CallYield))
+		a.Vmcall()
+		a.Sub(10, 10, 12)
+		a.Jnz(10, "loop")
+		a.Hlt()
+		return a
+	}
+}
+
+// loadTenants loads n copies of gen into a fresh world, shared over the
+// given worker cores, and schedules each one.
+func loadTenants(w *world, n int, cores []phys.CoreID, gen func(base phys.Addr) *hw.Asm) ([]*libtyche.Domain, error) {
+	var doms []*libtyche.Domain
+	for i := 0; i < n; i++ {
+		lo := libtyche.DefaultLoadOptions()
+		lo.Cores = cores
+		lo.Seal = false
+		img, err := buildAt(w.cl, fmt.Sprintf("tenant%d", i), gen)
+		if err != nil {
+			return nil, err
+		}
+		d, err := w.cl.Load(img, lo)
+		if err != nil {
+			return nil, err
+		}
+		if err := w.mon.Schedule(d.ID()); err != nil {
+			return nil, err
+		}
+		doms = append(doms, d)
+	}
+	return doms, nil
+}
+
+func workerCores(n int) []phys.CoreID {
+	out := make([]phys.CoreID, n)
+	for i := range out {
+		out[i] = phys.CoreID(i + 1) // dom0 idles on core 0
+	}
+	return out
+}
+
+func runC19Oversub(cfg Config, domains, workers, iters, quantum int) (*c19Point, error) {
+	opts := defaultWorldOpts()
+	opts.cores = workers + 1
+	w, err := newWorld(cfg, opts)
+	if err != nil {
+		return nil, err
+	}
+	cores := workerCores(workers)
+	w.mon.SetSchedPolicy(&sched.Policy{Quantum: quantum, Steal: true, Seed: cfg.Seed})
+	if _, err := loadTenants(w, domains, cores, computeTenant(uint32(iters))); err != nil {
+		return nil, err
+	}
+	p := &c19Point{w: w, iters: uint64(domains) * uint64(iters)}
+	before := w.mach.Clock.Cycles()
+	start := time.Now()
+	if _, err := w.mon.RunCores(8_000_000, cores...); err != nil {
+		return nil, err
+	}
+	p.wall = time.Since(start)
+	p.cycles = w.mach.Clock.Cycles() - before
+	q := w.mon.Scheduler()
+	p.ctr = q.Counters()
+	p.p99 = q.LatencyP99()
+	p.hash = q.Hash()
+	st := w.mon.Stats()
+	p.complete = st.SchedCompleted == uint64(domains)
+	if !p.complete {
+		p.detail = fmt.Sprintf(" (completed %d of %d, pending %d)", st.SchedCompleted, domains, q.Pending())
+	}
+	return p, nil
+}
+
+func runC19Dedicated(cfg Config, domains, iters int) (*c19Point, error) {
+	opts := defaultWorldOpts()
+	opts.cores = domains + 1
+	w, err := newWorld(cfg, opts)
+	if err != nil {
+		return nil, err
+	}
+	var cores []phys.CoreID
+	var doms []*libtyche.Domain
+	for i := 0; i < domains; i++ {
+		coreID := phys.CoreID(i + 1)
+		lo := libtyche.DefaultLoadOptions()
+		lo.Cores = []phys.CoreID{coreID}
+		lo.Seal = false
+		img, err := buildAt(w.cl, fmt.Sprintf("tenant%d", i), computeTenant(uint32(iters)))
+		if err != nil {
+			return nil, err
+		}
+		d, err := w.cl.Load(img, lo)
+		if err != nil {
+			return nil, err
+		}
+		if err := d.Launch(coreID); err != nil {
+			return nil, err
+		}
+		cores = append(cores, coreID)
+		doms = append(doms, d)
+	}
+	p := &c19Point{w: w, iters: uint64(domains) * uint64(iters)}
+	before := w.mach.Clock.Cycles()
+	start := time.Now()
+	runs, err := w.mon.RunCores(8_000_000, cores...)
+	if err != nil {
+		return nil, err
+	}
+	p.wall = time.Since(start)
+	p.cycles = w.mach.Clock.Cycles() - before
+	p.complete = true
+	for _, c := range cores {
+		if run, ok := runs[c]; !ok || run.Trap.Kind != hw.TrapHalt {
+			p.complete = false
+			p.detail = fmt.Sprintf(" (core %v: %+v)", c, runs[c])
+		}
+	}
+	return p, nil
+}
+
+func runC19YieldMix(cfg Config, domains, workers, yields, quantum int) (*c19Point, error) {
+	opts := defaultWorldOpts()
+	opts.cores = workers + 1
+	w, err := newWorld(cfg, opts)
+	if err != nil {
+		return nil, err
+	}
+	cores := workerCores(workers)
+	w.mon.SetSchedPolicy(&sched.Policy{Quantum: quantum, Steal: true, Seed: cfg.Seed})
+	if _, err := loadTenants(w, domains, cores, yieldTenant(uint32(yields))); err != nil {
+		return nil, err
+	}
+	p := &c19Point{w: w, iters: uint64(domains) * uint64(yields)}
+	start := time.Now()
+	if _, err := w.mon.RunCores(8_000_000, cores...); err != nil {
+		return nil, err
+	}
+	p.wall = time.Since(start)
+	p.ctr = w.mon.Scheduler().Counters()
+	st := w.mon.Stats()
+	p.complete = st.SchedCompleted == uint64(domains)
+	if !p.complete {
+		p.detail = fmt.Sprintf(" (completed %d of %d)", st.SchedCompleted, domains)
+	}
+	return p, nil
+}
+
+// c19Kill is the containment scenario's outcome.
+type c19Kill struct {
+	w             *world
+	purged        uint64 // queued victim vCPUs removed by ForceKill
+	victimAfter   int    // victim dispatches recorded after the kill
+	records       int    // total dispatch records checked
+	survivorsDone bool
+}
+
+func runC19Kill(cfg Config, iters, quantum int) (*c19Kill, error) {
+	opts := defaultWorldOpts()
+	opts.cores = 3
+	w, err := newWorld(cfg, opts)
+	if err != nil {
+		return nil, err
+	}
+	cores := workerCores(2)
+	w.mon.SetSchedPolicy(&sched.Policy{Quantum: quantum, Steal: true, Seed: cfg.Seed})
+	// The victim spins effectively forever and is queued twice (two
+	// vCPUs); three finite tenants ride alongside.
+	victims, err := loadTenants(w, 1, cores, computeTenant(2_000_000_000))
+	if err != nil {
+		return nil, err
+	}
+	victim := victims[0]
+	if err := w.mon.Schedule(victim.ID()); err != nil { // second vCPU
+		return nil, err
+	}
+	if _, err := loadTenants(w, 3, cores, computeTenant(uint32(iters))); err != nil {
+		return nil, err
+	}
+	// First slice: everyone gets dispatched, nobody finishes; the
+	// budget expires with both victim vCPUs requeued.
+	if _, err := w.mon.RunCores(2*quantum, cores...); err != nil {
+		return nil, err
+	}
+	preKill := len(w.mon.Scheduler().Records())
+	if err := w.mon.ForceKill(victim.ID()); err != nil {
+		return nil, err
+	}
+	k := &c19Kill{w: w, purged: w.mon.Stats().SchedPurged}
+	if _, err := w.mon.RunCores(8_000_000, cores...); err != nil {
+		return nil, err
+	}
+	recs := w.mon.Scheduler().Records()
+	k.records = len(recs)
+	for _, r := range recs[preKill:] {
+		if r.Domain == uint64(victim.ID()) {
+			k.victimAfter++
+		}
+	}
+	k.survivorsDone = w.mon.Stats().SchedCompleted == 3
+	return k, nil
+}

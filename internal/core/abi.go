@@ -48,6 +48,12 @@ const (
 	CallRevoke uint64 = 9
 	// CallSealSelf seals the calling domain.
 	CallSealSelf uint64 = 10
+	// CallYield cooperatively ends the calling domain's time slice:
+	// the run loop hands control back to the embedding scheduler
+	// (RunResult.Yielded). Under the multi-tenant engine the vCPU is
+	// requeued behind its siblings; execution resumes after the VMCALL
+	// at the next dispatch.
+	CallYield uint64 = 11
 )
 
 // VMCall status codes returned in r0.
@@ -65,8 +71,8 @@ const (
 // EnumerateLen, Log) touch only lock-free state or the domain's own
 // mutex, transfers and delegations hold the monitor lock shared, and
 // revocation takes it exclusively. It returns stop=true when the run
-// loop should hand control back to the embedder (currently: never;
-// errors do that).
+// loop should hand control back to the embedder (CallYield; errors
+// also stop it).
 func (m *Monitor) handleVMCall(c *hw.Core, core phys.CoreID) (stop bool, err error) {
 	cur := DomainID(c.Context().Owner)
 	call := c.Regs[0]
@@ -132,6 +138,9 @@ func (m *Monitor) handleVMCall(c *hw.Core, core phys.CoreID) (stop bool, err err
 			return false, nil
 		}
 		c.Regs[0] = StatusOK
+	case CallYield:
+		c.Regs[0] = StatusOK
+		return true, nil
 	default:
 		c.Regs[0] = StatusBadCall
 	}

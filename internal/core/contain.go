@@ -101,6 +101,11 @@ func (m *Monitor) destroyDomain(d *Domain, scrub bool) error {
 		}
 		sc.mu.Unlock()
 	}
+	// Purge the dead domain's queued vCPUs from the multi-tenant run
+	// queue: under the exclusive lock no dispatch can race this, so a
+	// killed domain is never dispatched again (the trace oracle's
+	// dead-domain-silence property over KTransition checks it).
+	m.schedPurge(d.id)
 	m.emit(trace.KKill, d.id, 0, 0, 0, 0)
 	return nil
 }

@@ -7,6 +7,7 @@ import (
 	"github.com/tyche-sim/tyche/internal/cap"
 	"github.com/tyche-sim/tyche/internal/hw"
 	"github.com/tyche-sim/tyche/internal/phys"
+	"github.com/tyche-sim/tyche/internal/sched"
 )
 
 // The monitor API fuzzer drives a sequence of monitor calls decoded
@@ -24,7 +25,11 @@ import (
 // driveMonitorOps interprets data as a monitor-call program: each op is
 // one opcode byte plus operand bytes, all drawn modulo the live object
 // sets so every input decodes to something executable. Invariants are
-// re-checked periodically and at the end.
+// re-checked periodically and at the end. Ops 12-15 exercise the
+// multi-tenant scheduler (exec shares, core delegation, CallYield
+// tenants, scheduled run bursts); widening the opcode space shifts how
+// pre-existing corpus entries decode, which is fine — every decode is
+// a valid program.
 func driveMonitorOps(tb testing.TB, m *Monitor, data []byte) {
 	domains := []DomainID{InitialDomain}
 	var nodes []cap.NodeID
@@ -59,9 +64,21 @@ func driveMonitorOps(tb testing.TB, m *Monitor, data []byte) {
 		pages := uint64(pick(16) + 1)
 		return cap.MemResource(phys.MakeRegion(phys.Addr(start*pg), pages*pg))
 	}
+	// dom0CoreNode finds dom0's capability node for a physical core, if
+	// it still owns one (fuzz streams can revoke anything, including
+	// dom0's own roots).
+	dom0CoreNode := func(c phys.CoreID) (cap.NodeID, bool) {
+		for _, n := range m.OwnerNodes(InitialDomain) {
+			if n.Resource.Kind == cap.ResCore && n.Resource.Core == c {
+				return n.ID, true
+			}
+		}
+		return 0, false
+	}
+	schedOn := false
 	steps := 0
 	for pos < len(data) {
-		switch next() % 12 {
+		switch next() % 16 {
 		case 0:
 			if len(domains) < 32 {
 				if id, err := m.CreateDomain(randDomain(), "fuzz"); err == nil {
@@ -98,6 +115,54 @@ func driveMonitorOps(tb testing.TB, m *Monitor, data []byte) {
 			_ = m.ForceKill(randDomain())
 		case 11:
 			_ = m.Launch(randDomain(), phys.CoreID(pick(2)))
+		case 12:
+			// Exec-capable share, so fuzz domains can end up holding
+			// runnable (and re-shareable) code pages.
+			if id, err := m.Share(randDomain(), randNode(), randDomain(), randRegion(), cap.MemRWX|cap.RightShare, cap.CleanZero); err == nil {
+				nodes = append(nodes, id)
+			}
+		case 13:
+			// Delegate one of dom0's core capabilities, the prerequisite
+			// for the target ever being dispatched.
+			c := phys.CoreID(pick(2))
+			if n, ok := dom0CoreNode(c); ok {
+				if id, err := m.Share(InitialDomain, n, randDomain(), cap.CoreResource(c), cap.RightRun, cap.CleanNone); err == nil {
+					nodes = append(nodes, id)
+				}
+			}
+		case 14:
+			// Plant a yielding tenant and schedule it: copy a CallYield
+			// loop into a page, grant it RWX, set the entry, enqueue.
+			// Each step is allowed to fail (the page may be gone, the
+			// domain sealed or dead) — the stream just moves on.
+			if !schedOn {
+				m.SetSchedPolicy(&sched.Policy{Quantum: 16, Steal: true, Seed: 1})
+				schedOn = true
+			}
+			d := randDomain()
+			page := uint64(600 + pick(128))
+			base := phys.Addr(page * pg)
+			a := hw.NewAsm()
+			a.Movi(10, uint32(1+pick(4)))
+			a.Movi(12, 1)
+			a.Label("loop")
+			a.Movi(0, uint32(CallYield))
+			a.Vmcall()
+			a.Sub(10, 10, 12)
+			a.Jnz(10, "loop")
+			a.Hlt()
+			_ = m.CopyInto(InitialDomain, base, a.MustAssemble(base))
+			if id, err := m.Grant(InitialDomain, randNode(), d, cap.MemResource(phys.MakeRegion(base, pg)), cap.MemRWX, cap.CleanNone); err == nil {
+				nodes = append(nodes, id)
+			}
+			_ = m.SetEntry(InitialDomain, d, base)
+			_ = m.Schedule(d)
+		case 15:
+			// A scheduled run burst: time-multiplex whatever tenants the
+			// stream managed to enqueue over both cores.
+			if schedOn {
+				_, _ = m.RunCores(256)
+			}
 		}
 		steps++
 		if steps%32 == 0 {

@@ -15,6 +15,7 @@ import (
 	"github.com/tyche-sim/tyche/internal/cap"
 	"github.com/tyche-sim/tyche/internal/hw"
 	"github.com/tyche-sim/tyche/internal/phys"
+	"github.com/tyche-sim/tyche/internal/sched"
 	"github.com/tyche-sim/tyche/internal/tpm"
 	"github.com/tyche-sim/tyche/internal/trace"
 )
@@ -76,6 +77,16 @@ type Stats struct {
 	ForcedKills   uint64 // domains destroyed by the containment path
 	PagesScrubbed uint64 // pages zeroed while reclaiming dead domains
 	CoresParked   uint64 // cores taken out of scheduling after a fault
+
+	// Multi-tenant scheduling (schedule.go; all zero in dedicated-core
+	// mode).
+	SchedDispatches  uint64 // vCPU dispatches by the scheduling engine
+	SchedPreemptions uint64 // time slices ended by the preemption timer
+	SchedYields      uint64 // time slices ended by CallYield
+	SchedSteals      uint64 // dispatches that crossed cores (work stealing)
+	SchedPurged      uint64 // vCPUs dropped because their domain died
+	SchedCompleted   uint64 // vCPUs that ran to completion (halt)
+	SchedMaxQueue    uint64 // deepest any single run queue ever got
 }
 
 // statCounters is the monitor's live tally: one atomic per Stats field,
@@ -97,6 +108,14 @@ type statCounters struct {
 	forcedKills   atomic.Uint64
 	pagesScrubbed atomic.Uint64
 	coresParked   atomic.Uint64
+
+	schedDispatches  atomic.Uint64
+	schedPreemptions atomic.Uint64
+	schedYields      atomic.Uint64
+	schedSteals      atomic.Uint64
+	schedPurged      atomic.Uint64
+	schedCompleted   atomic.Uint64
+	schedMaxQueue    atomic.Uint64
 }
 
 func (s *statCounters) snapshot() Stats {
@@ -115,6 +134,14 @@ func (s *statCounters) snapshot() Stats {
 		ForcedKills:   s.forcedKills.Load(),
 		PagesScrubbed: s.pagesScrubbed.Load(),
 		CoresParked:   s.coresParked.Load(),
+
+		SchedDispatches:  s.schedDispatches.Load(),
+		SchedPreemptions: s.schedPreemptions.Load(),
+		SchedYields:      s.schedYields.Load(),
+		SchedSteals:      s.schedSteals.Load(),
+		SchedPurged:      s.schedPurged.Load(),
+		SchedCompleted:   s.schedCompleted.Load(),
+		SchedMaxQueue:    s.schedMaxQueue.Load(),
 	}
 }
 
@@ -205,6 +232,17 @@ type Monitor struct {
 	// has no engine), guarded by keyMu.
 	keyMu   sync.Mutex
 	memKeys map[DomainID]hw.KeyID
+
+	// schedMu guards the opt-in multi-tenant scheduling state below
+	// (schedule.go): the installed policy, domains scheduled before the
+	// run queue exists, and the persistent run queue itself. It nests
+	// under any monitor lock state (destruction purges the queue while
+	// holding lk exclusively) and never holds another monitor lock; the
+	// Scheduler's own mutex is a leaf below it.
+	schedMu  sync.Mutex
+	schedPol *sched.Policy
+	schedSet []DomainID
+	runq     *sched.Scheduler
 
 	stats statCounters
 }

@@ -257,6 +257,9 @@ type RunResult struct {
 	Trap hw.Trap
 	// Domain is the domain that was running when RunCore stopped.
 	Domain DomainID
+	// Yielded reports that the run stopped because the guest invoked
+	// CallYield — a cooperative hand-back to the embedding scheduler.
+	Yielded bool
 }
 
 // RunCore drives guest execution on a core, dispatching traps:
@@ -329,7 +332,11 @@ func (m *Monitor) RunCore(core phys.CoreID, budget int) (RunResult, error) {
 				return RunResult{Steps: total, Trap: trap, Domain: cur()}, err
 			}
 			if stop {
-				return RunResult{Steps: total, Trap: trap, Domain: cur()}, nil
+				// The only stopping VMCall is CallYield: a cooperative
+				// hand-back to the embedding scheduler (the multi-tenant
+				// engine requeues the vCPU; dedicated-mode embedders see
+				// Yielded and decide themselves).
+				return RunResult{Steps: total, Trap: trap, Domain: cur(), Yielded: true}, nil
 			}
 		case hw.TrapSyscall:
 			m.mach.Clock.Advance(m.mach.Cost.Syscall)
@@ -377,7 +384,16 @@ func (m *Monitor) RunCore(core phys.CoreID, budget int) (RunResult, error) {
 // returns per-core results and the first error any core hit; the other
 // cores still run to completion (a failing core does not stop the
 // machine, matching hardware).
+//
+// With a scheduling policy installed and domains scheduled
+// (SetSchedPolicy + Schedule), RunCores instead drives the preemptive
+// multi-tenant engine (schedule.go), time-multiplexing the scheduled
+// vCPUs over the cores; with no cores listed the scheduled engine uses
+// every core in the machine.
 func (m *Monitor) RunCores(budget int, cores ...phys.CoreID) (map[phys.CoreID]RunResult, error) {
+	if m.schedEnabled() {
+		return m.runScheduled(budget, cores)
+	}
 	if len(cores) == 0 {
 		for _, id := range m.mach.CoreIDs() {
 			if _, ok := m.Current(id); ok {

@@ -42,6 +42,115 @@ func TestTimerPreemption(t *testing.T) {
 	}
 }
 
+// Timer edge cases the scheduler's dispatch path leans on: disarming
+// must never fire, and a re-arm issued inside a trap handler (between
+// Run calls) governs the *next* retired instruction — the trapping
+// VMCALL itself retires before the timer ticks, so the old remaining
+// count is simply discarded.
+func TestTimerEdgeCases(t *testing.T) {
+	spin := func(m *Machine) *Core {
+		a := NewAsm()
+		a.Label("spin")
+		a.Jmp("spin")
+		if err := m.Mem.WriteAt(0x1000, a.MustAssemble(0x1000)); err != nil {
+			t.Fatal(err)
+		}
+		core := m.Cores[0]
+		core.InstallContext(&Context{Owner: 1, Filter: AllowAll{}})
+		core.PC = 0x1000
+		return core
+	}
+
+	disarms := []struct {
+		name  string
+		first int // armed value before the disarm (0 = never armed)
+		arg   int // the ArmTimer argument under test
+	}{
+		{"zero on idle timer", 0, 0},
+		{"zero disarms a pending timer", 10, 0},
+		{"negative disarms a pending timer", 10, -3},
+	}
+	for _, tc := range disarms {
+		t.Run(tc.name, func(t *testing.T) {
+			core := spin(testMachine(t))
+			if tc.first > 0 {
+				core.ArmTimer(tc.first)
+			}
+			core.ArmTimer(tc.arg)
+			if core.TimerArmed() {
+				t.Fatalf("ArmTimer(%d) left the timer armed", tc.arg)
+			}
+			// Nothing may fire — not immediately, not after the old
+			// remaining count would have elapsed.
+			if n, trap := core.Run(100); trap.Kind != TrapNone || n != 100 {
+				t.Fatalf("disarmed run: n=%d trap=%v", n, trap)
+			}
+		})
+	}
+
+	t.Run("one-instruction quantum", func(t *testing.T) {
+		core := spin(testMachine(t))
+		core.ArmTimer(1)
+		if n, trap := core.Run(100); trap.Kind != TrapTimer || n != 1 {
+			t.Fatalf("n=%d trap=%v, want timer after exactly 1", n, trap)
+		}
+	})
+
+	t.Run("rearm inside a trap handler", func(t *testing.T) {
+		m := testMachine(t)
+		a := NewAsm()
+		a.Movi(1, 1)
+		a.Vmcall()
+		a.Label("spin")
+		a.Jmp("spin")
+		if err := m.Mem.WriteAt(0x2000, a.MustAssemble(0x2000)); err != nil {
+			t.Fatal(err)
+		}
+		core := m.Cores[0]
+		core.InstallContext(&Context{Owner: 1, Filter: AllowAll{}})
+		core.PC = 0x2000
+		core.ArmTimer(50)
+		n, trap := core.Run(100)
+		if trap.Kind != TrapVMCall || n != 2 {
+			t.Fatalf("n=%d trap=%v, want vmcall after 2", n, trap)
+		}
+		// The VMCALL retired without ticking the timer down to a fire;
+		// the handler now re-arms with a shorter slice. The old 48
+		// remaining instructions must be forgotten.
+		core.ArmTimer(3)
+		n, trap = core.Run(100)
+		if trap.Kind != TrapTimer || n != 3 {
+			t.Fatalf("after rearm: n=%d trap=%v, want timer after exactly 3", n, trap)
+		}
+	})
+
+	t.Run("armed timer survives a vmcall exit", func(t *testing.T) {
+		m := testMachine(t)
+		a := NewAsm()
+		a.Vmcall()
+		a.Label("spin")
+		a.Jmp("spin")
+		if err := m.Mem.WriteAt(0x2000, a.MustAssemble(0x2000)); err != nil {
+			t.Fatal(err)
+		}
+		core := m.Cores[0]
+		core.InstallContext(&Context{Owner: 1, Filter: AllowAll{}})
+		core.PC = 0x2000
+		core.ArmTimer(1)
+		if _, trap := core.Run(100); trap.Kind != TrapVMCall {
+			t.Fatalf("trap = %v, want vmcall", trap)
+		}
+		if !core.TimerArmed() {
+			t.Fatal("vmcall must not consume the pending timer tick")
+		}
+		// Left armed, the single remaining tick fires on the next
+		// retired instruction.
+		if n, trap := core.Run(100); trap.Kind != TrapTimer || n != 1 {
+			t.Fatalf("n=%d trap=%v, want timer after 1", n, trap)
+		}
+	})
+}
+
 func TestIRQQueueFIFO(t *testing.T) {
 	m := testMachine(t)
 	if m.PendingIRQs() != 0 {

@@ -139,12 +139,18 @@ func (k Kind) String() string {
 	return fmt.Sprintf("kind(%d)", int(k))
 }
 
-// Transition kinds (KTransition.Size).
+// Transition kinds (KTransition.Size). TransDispatch is the
+// scheduler's resume path: a monitor-mediated transition that
+// restores a preempted vCPU's saved state instead of entering at the
+// fixed entry point. The checker counts it as an ordinary mediated
+// transition, and the dead-domain-silence property over KTransition
+// is what proves a killed domain is never dispatched again.
 const (
 	TransLaunch uint64 = iota
 	TransCall
 	TransReturn
 	TransFast
+	TransDispatch
 )
 
 // Operation codes (KOpBegin/KOpEnd.Aux).
