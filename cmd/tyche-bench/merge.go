@@ -52,7 +52,10 @@ const gateWorkers = 4
 func loadC18(path string) (*benchOutput, map[string]float64, error) {
 	blob, err := os.ReadFile(path)
 	if err != nil {
-		return nil, nil, err
+		if os.IsNotExist(err) {
+			return nil, nil, fmt.Errorf("baseline %s does not exist — generate it first with `tyche-bench -experiment C18 -out %s` (build the big-lock side with -tags biglock)", path, path)
+		}
+		return nil, nil, fmt.Errorf("reading baseline %s: %w", path, err)
 	}
 	var doc benchOutput
 	if err := json.Unmarshal(blob, &doc); err != nil {
@@ -60,12 +63,17 @@ func loadC18(path string) (*benchOutput, map[string]float64, error) {
 	}
 	var c18 *bench.Result
 	for _, r := range doc.Results {
-		if r.ID == "C18" {
+		// Results may carry nulls (hand-edited or truncated files);
+		// skip them instead of dereferencing.
+		if r != nil && r.ID == "C18" {
 			c18 = r
 		}
 	}
 	if c18 == nil {
 		return nil, nil, fmt.Errorf("%s: no C18 result (run with -experiment C18)", path)
+	}
+	if len(c18.Metrics) == 0 {
+		return nil, nil, fmt.Errorf("%s: C18 result carries no metrics (file from an older build?)", path)
 	}
 	return &doc, c18.Metrics, nil
 }

@@ -319,7 +319,8 @@ func (w *world) traceClean(res *Result, tag string) {
 	ok := c.Transitions == st.Transitions && c.FastSwitches == st.FastSwitches &&
 		c.CapOps == st.CapOps && c.Revocations == st.Revocations &&
 		c.ForcedKills == st.ForcedKills && c.PagesScrubbed == st.PagesScrubbed &&
-		c.VMCalls+c.MachineChecks == st.VMExits
+		c.VMCalls+c.MachineChecks == st.VMExits &&
+		c.Batches == st.RingFlushes && c.BatchedOps == st.RingOps
 	res.check(tag+"-trace-counts", ok,
 		"event-derived counts match Stats(): trace %+v vs stats %+v", c, st)
 }

@@ -54,6 +54,20 @@ const (
 	// requeued behind its siblings; execution resumes after the VMCALL
 	// at the next dispatch.
 	CallYield uint64 = 11
+	// CallRingSetup registers the caller's submission/completion ring:
+	// r1 = base address, r2 = capacity in entries (see ring.go for the
+	// layout). The footprint must be readable+writable by the caller.
+	CallRingSetup uint64 = 12
+	// CallRingFlush drains the caller's ring now — the batched ABI's
+	// doorbell: one trap executes every enqueued descriptor, with
+	// revocation shootdowns coalesced into one cross-core round.
+	// Returns the number of descriptors executed in r1.
+	CallRingFlush uint64 = 13
+	// CallAttest produces an attestation report for the caller itself
+	// (r1 = a guest-chosen nonce seed) and returns the first 8 bytes of
+	// its measurement in r1 — the guest-visible taste of the judiciary
+	// power; full reports travel through the Go-level API.
+	CallAttest uint64 = 14
 )
 
 // VMCall status codes returned in r0.
@@ -141,6 +155,24 @@ func (m *Monitor) handleVMCall(c *hw.Core, core phys.CoreID) (stop bool, err err
 	case CallYield:
 		c.Regs[0] = StatusOK
 		return true, nil
+	case CallRingSetup:
+		if err := m.RingSetup(cur, phys.Addr(c.Regs[1]), c.Regs[2]); err != nil {
+			c.Regs[0] = StatusDenied
+			return false, nil
+		}
+		c.Regs[0] = StatusOK
+	case CallRingFlush:
+		n, err := m.ringFlush(cur, int32(core))
+		c.Regs[1] = n
+		if err != nil {
+			c.Regs[0] = StatusDenied
+			return false, nil
+		}
+		c.Regs[0] = StatusOK
+	case CallAttest:
+		st, res := m.ringExec(cur, CallAttest, c.Regs[1], 0, 0, 0, 0)
+		c.Regs[0] = st
+		c.Regs[1] = res
 	default:
 		c.Regs[0] = StatusBadCall
 	}

@@ -121,9 +121,31 @@ func writeBytes(b *bytes.Buffer, p []byte) {
 // shared and re-checks liveness, so a report is never announced for a
 // domain that has since been killed.
 func (m *Monitor) Attest(id DomainID, nonce []byte) (*Report, error) {
-	d, err := m.liveDomain(id)
+	r, d, err := m.buildReport(id, nonce)
 	if err != nil {
 		return nil, err
+	}
+	m.lk.rlock()
+	defer m.lk.runlock()
+	return m.commitReport(r, d)
+}
+
+// attestLocked is Attest with the monitor lock already held (the ring
+// drain executes attest descriptors under the exclusive lock, which is
+// not reentrant).
+func (m *Monitor) attestLocked(id DomainID, nonce []byte) (*Report, error) {
+	r, d, err := m.buildReport(id, nonce)
+	if err != nil {
+		return nil, err
+	}
+	return m.commitReport(r, d)
+}
+
+// buildReport assembles and signs the report lock-free.
+func (m *Monitor) buildReport(id DomainID, nonce []byte) (*Report, *Domain, error) {
+	d, err := m.liveDomain(id)
+	if err != nil {
+		return nil, nil, err
 	}
 	d.mu.Lock()
 	entry := d.entry
@@ -142,13 +164,17 @@ func (m *Monitor) Attest(id DomainID, nonce []byte) (*Report, error) {
 		MonitorKey:  m.AttestationKey(),
 	}
 	r.Sig = ed25519.Sign(m.attPriv, reportMessage(r))
-	m.lk.rlock()
-	defer m.lk.runlock()
+	return r, d, nil
+}
+
+// commitReport re-checks liveness and announces the report (monitor
+// lock held, shared or exclusive).
+func (m *Monitor) commitReport(r *Report, d *Domain) (*Report, error) {
 	if d.State() == StateDead {
-		return nil, fmt.Errorf("%w: %d", ErrDead, id)
+		return nil, fmt.Errorf("%w: %d", ErrDead, d.id)
 	}
 	m.stats.attests.Add(1)
-	m.emit(trace.KAttest, id, 0, 0, 0, 0)
+	m.emit(trace.KAttest, d.id, 0, 0, 0, 0)
 	return r, nil
 }
 

@@ -106,6 +106,10 @@ func (m *Monitor) destroyDomain(d *Domain, scrub bool) error {
 	// killed domain is never dispatched again (the trace oracle's
 	// dead-domain-silence property over KTransition checks it).
 	m.schedPurge(d.id)
+	// Drop and scrub the dead domain's submission ring: descriptors a
+	// dying domain managed to enqueue are never executed (dead-domain
+	// silence covers queued work, not just running work).
+	m.ringTeardownLocked(d.id)
 	m.emit(trace.KKill, d.id, 0, 0, 0, 0)
 	return nil
 }

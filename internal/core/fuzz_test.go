@@ -27,9 +27,10 @@ import (
 // sets so every input decodes to something executable. Invariants are
 // re-checked periodically and at the end. Ops 12-15 exercise the
 // multi-tenant scheduler (exec shares, core delegation, CallYield
-// tenants, scheduled run bursts); widening the opcode space shifts how
-// pre-existing corpus entries decode, which is fine — every decode is
-// a valid program.
+// tenants, scheduled run bursts); ops 16-18 the batched ABI (ring
+// setup, raw descriptor enqueue, doorbell flush). Widening the opcode
+// space shifts how pre-existing corpus entries decode, which is fine —
+// every decode is a valid program.
 func driveMonitorOps(tb testing.TB, m *Monitor, data []byte) {
 	domains := []DomainID{InitialDomain}
 	var nodes []cap.NodeID
@@ -75,10 +76,17 @@ func driveMonitorOps(tb testing.TB, m *Monitor, data []byte) {
 		}
 		return 0, false
 	}
+	// Registered rings, by owner: op 17 needs a base to store descriptors
+	// at, exactly as guest code would (raw physical stores — the monitor
+	// must stay safe no matter what the ring memory holds by drain time).
+	rings := map[DomainID]struct {
+		base    phys.Addr
+		entries uint64
+	}{}
 	schedOn := false
 	steps := 0
 	for pos < len(data) {
-		switch next() % 16 {
+		switch next() % 19 {
 		case 0:
 			if len(domains) < 32 {
 				if id, err := m.CreateDomain(randDomain(), "fuzz"); err == nil {
@@ -162,6 +170,55 @@ func driveMonitorOps(tb testing.TB, m *Monitor, data []byte) {
 			// stream managed to enqueue over both cores.
 			if schedOn {
 				_, _ = m.RunCores(256)
+			}
+		case 16:
+			// Batched ABI: register a ring wherever the stream points —
+			// unowned memory, overlapping an earlier ring, zero or
+			// oversized capacities all get their shot at the validator.
+			d := randDomain()
+			base := phys.Addr(uint64(pick(512)) * pg)
+			entries := uint64(pick(9)) // 0..8: 0 must be rejected
+			if m.RingSetup(d, base, entries) == nil {
+				rings[d] = struct {
+					base    phys.Addr
+					entries uint64
+				}{base, entries}
+			}
+		case 17:
+			// Enqueue one descriptor with guest-level stores: random verb
+			// (transfer verbs and garbage included — they must fail only
+			// their own completion) and operands drawn from the live sets.
+			d := randDomain()
+			r, ok := rings[d]
+			if !ok {
+				break
+			}
+			mem := m.Machine().Mem
+			tail, err := mem.Read64(r.base + RingOffSQTail)
+			if err != nil {
+				break
+			}
+			off := r.base + phys.Addr(RingSQOff(r.entries, tail))
+			for w, v := range [6]uint64{
+				uint64(pick(16)),
+				uint64(randNode()),
+				uint64(randDomain()),
+				uint64(pick(512)) * pg,
+				uint64(pick(4)+1) * pg,
+				uint64(cap.MemRW | cap.RightShare),
+			} {
+				if mem.Write64(off+phys.Addr(8*w), v) != nil {
+					break
+				}
+			}
+			_ = mem.Write64(r.base+RingOffSQTail, tail+1)
+		case 18:
+			// Ring the doorbell: drains under the exclusive lock with the
+			// coalesced shootdown armed, against whatever state ops 16/17
+			// (and every revoke/kill in between) left behind.
+			d := randDomain()
+			if _, err := m.RingFlush(d); err != nil {
+				delete(rings, d)
 			}
 		}
 		steps++

@@ -87,6 +87,16 @@ type Stats struct {
 	SchedPurged      uint64 // vCPUs dropped because their domain died
 	SchedCompleted   uint64 // vCPUs that ran to completion (halt)
 	SchedMaxQueue    uint64 // deepest any single run queue ever got
+
+	// Batched ABI rings (ring.go; all zero until a ring is set up).
+	RingOps          uint64 // descriptors executed via submission rings
+	RingFlushes      uint64 // non-empty ring drains (batches)
+	RingShootdowns   uint64 // coalesced cross-core rounds those drains ran
+	RingOpsCoalesced uint64 // logical shootdowns absorbed into those rounds
+
+	// Pre-validated transition cache (transcache.go; opt-in).
+	TransCacheHits   uint64 // switches that skipped full validation
+	TransCacheMisses uint64 // cached-mode switches that took the slow path
 }
 
 // statCounters is the monitor's live tally: one atomic per Stats field,
@@ -116,6 +126,14 @@ type statCounters struct {
 	schedPurged      atomic.Uint64
 	schedCompleted   atomic.Uint64
 	schedMaxQueue    atomic.Uint64
+
+	ringOps          atomic.Uint64
+	ringFlushes      atomic.Uint64
+	ringShootdowns   atomic.Uint64
+	ringOpsCoalesced atomic.Uint64
+
+	tcHits   atomic.Uint64
+	tcMisses atomic.Uint64
 }
 
 func (s *statCounters) snapshot() Stats {
@@ -142,6 +160,14 @@ func (s *statCounters) snapshot() Stats {
 		SchedPurged:      s.schedPurged.Load(),
 		SchedCompleted:   s.schedCompleted.Load(),
 		SchedMaxQueue:    s.schedMaxQueue.Load(),
+
+		RingOps:          s.ringOps.Load(),
+		RingFlushes:      s.ringFlushes.Load(),
+		RingShootdowns:   s.ringShootdowns.Load(),
+		RingOpsCoalesced: s.ringOpsCoalesced.Load(),
+
+		TransCacheHits:   s.tcHits.Load(),
+		TransCacheMisses: s.tcMisses.Load(),
 	}
 }
 
@@ -164,6 +190,11 @@ type coreSched struct {
 	frames []DomainID
 	cur    DomainID
 	hasCur bool
+
+	// tcache holds this core's pre-validated transitions (transcache.go),
+	// consulted only when the monitor's tcOn switch is set. Guarded by mu
+	// like the rest of the per-core state; nil until the first fill.
+	tcache map[tcKey]tcEntry
 }
 
 // Monitor is the isolation monitor instance controlling one machine.
@@ -244,6 +275,21 @@ type Monitor struct {
 	schedSet []DomainID
 	runq     *sched.Scheduler
 
+	// ringMu guards the submission-ring registry (ring.go). It is a
+	// leaf below lk: setup registers under the shared lock, drains and
+	// teardown walk it under the exclusive lock. ringCount mirrors
+	// len(rings) so the scheduler's round barrier can skip the drain
+	// entirely — one atomic load — when no domain ever set a ring up,
+	// keeping unbatched runs cycle-identical to pre-ring builds.
+	ringMu    sync.Mutex
+	rings     map[DomainID]*domainRing
+	ringCount atomic.Int64
+
+	// tcOn enables the pre-validated transition cache (transcache.go).
+	// Strictly opt-in: default-off keeps every transition byte-for-byte
+	// on the pre-cache path.
+	tcOn atomic.Bool
+
 	stats statCounters
 }
 
@@ -289,6 +335,7 @@ func Boot(cfg BootConfig) (*Monitor, error) {
 		monRegion: monRegion,
 		sched:     make(map[phys.CoreID]*coreSched),
 		memKeys:   make(map[DomainID]hw.KeyID),
+		rings:     make(map[DomainID]*domainRing),
 	}
 	for _, c := range m.mach.CoreIDs() {
 		m.sched[c] = &coreSched{}
@@ -509,12 +556,19 @@ func (m *Monitor) Grant(caller DomainID, node cap.NodeID, dst DomainID, sub cap.
 // Two delegations between disjoint domain pairs therefore run fully in
 // parallel.
 func (m *Monitor) delegate(caller DomainID, node cap.NodeID, dst DomainID, sub cap.Resource, rights cap.Rights, cleanup cap.Cleanup, grant bool) (cap.NodeID, error) {
+	m.lk.rlock()
+	defer m.lk.runlock()
+	return m.delegateLocked(caller, node, dst, sub, rights, cleanup, grant)
+}
+
+// delegateLocked is delegate with the monitor lock already held (shared
+// by the public wrappers, exclusive on the ring drain path — the lock
+// is not reentrant, so batch execution needs this entry point).
+func (m *Monitor) delegateLocked(caller DomainID, node cap.NodeID, dst DomainID, sub cap.Resource, rights cap.Rights, cleanup cap.Cleanup, grant bool) (cap.NodeID, error) {
 	op := trace.OpShare
 	if grant {
 		op = trace.OpGrant
 	}
-	m.lk.rlock()
-	defer m.lk.runlock()
 	tok := m.opTok.Add(1)
 	m.emit(trace.KOpBegin, caller, op, tok, 0, 0)
 	defer m.emit(trace.KOpEnd, caller, op, tok, 0, 0)
@@ -731,6 +785,7 @@ func (m *Monitor) SetEntry(caller, id DomainID, entry phys.Addr) error {
 	}
 	d.entry = entry
 	d.entrySet = true
+	d.bumpCfgGen()
 	return nil
 }
 
@@ -754,6 +809,7 @@ func (m *Monitor) SetEntryRing(caller, id DomainID, ring hw.Ring) error {
 		return fmt.Errorf("%w: %d", ErrSealedState, id)
 	}
 	d.entryRing = ring
+	d.bumpCfgGen()
 	return nil
 }
 
@@ -824,6 +880,7 @@ func (m *Monitor) seal(caller, id DomainID) (tpm.Digest, error) {
 	}
 	d.measurement = ComputeMeasurement(d.entry, contents)
 	d.setState(StateSealed)
+	d.bumpCfgGen()
 	m.space.Seal(cap.OwnerID(id))
 	m.stats.capOps.Add(1)
 	m.emit(trace.KSeal, id, uint64(caller), 0, 0, 0)

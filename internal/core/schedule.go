@@ -263,6 +263,16 @@ func (m *Monitor) runScheduled(budget int, cores []phys.CoreID) (map[phys.CoreID
 				// mode.
 			}
 		}
+		// Round-barrier ring drain: every core is quiescent and the
+		// cycle clock is at a sequential point, so batched work lands at
+		// a deterministic place in the schedule. Guarded by one atomic
+		// load — runs with no rings registered take this branch never
+		// and stay cycle-identical to pre-ring builds.
+		if firstErr == nil && m.ringCount.Load() > 0 {
+			if n := m.DrainRings(); n > 0 {
+				q.RecordBarrierDrain(n)
+			}
+		}
 	}
 	// Leave no stale one-shot timers armed across engine invocations.
 	for _, c := range cores {

@@ -70,6 +70,8 @@ func assertTraceClean(tb testing.TB, m *Monitor, ck *check.Checker) {
 		{"IRQsRouted", c.IRQsRouted, st.IRQsRouted},
 		{"IRQsDropped", c.IRQsDropped, st.IRQsDropped},
 		{"Attests", c.Attests, st.Attests},
+		{"Batches", c.Batches, st.RingFlushes},
+		{"BatchedOps", c.BatchedOps, st.RingOps},
 	} {
 		if p.got != p.want {
 			tb.Errorf("trace-derived %s = %d, Stats() says %d", p.name, p.got, p.want)

@@ -1,0 +1,220 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/tyche-sim/tyche/internal/cap"
+	"github.com/tyche-sim/tyche/internal/hw"
+)
+
+// tcWorld boots a world with dom0 current on core 0 and a callable
+// enclave (entry set, core capability shared), the minimal shape for
+// mediated Call/Return.
+func tcWorld(t *testing.T, kind BackendKind) (*Monitor, DomainID, cap.NodeID) {
+	t.Helper()
+	m := bootWorld(t, kind)
+	node := dom0MemNode(t, m)
+	enclave, err := m.CreateDomain(InitialDomain, "enclave")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := hw.NewAsm()
+	a.Hlt()
+	if err := m.CopyInto(InitialDomain, 64*pg, a.MustAssemble(64*pg)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Grant(InitialDomain, node, enclave, memRes(64, 1), cap.MemRWX, cap.CleanNone); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetEntry(InitialDomain, enclave, 64*pg); err != nil {
+		t.Fatal(err)
+	}
+	var coreNode cap.NodeID
+	for _, n := range m.OwnerNodes(InitialDomain) {
+		if n.Resource.Kind == cap.ResCore && n.Resource.Core == 0 {
+			coreNode = n.ID
+		}
+	}
+	if _, err := m.Share(InitialDomain, coreNode, enclave, cap.CoreResource(0), cap.RightRun, cap.CleanNone); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetEntry(InitialDomain, InitialDomain, 4*pg); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Launch(InitialDomain, 0); err != nil {
+		t.Fatal(err)
+	}
+	return m, enclave, node
+}
+
+// TestTransitionCachePinnedHitMiss pins the exact hit/miss counts of a
+// call/return workload around the two invalidation channels: a Revoke
+// that bumps the capability-space generation, and a SetEntry that bumps
+// the target's config generation. Misses must land exactly where the
+// generations moved — no phantom hits across an invalidation, no
+// phantom misses while the world is quiet.
+func TestTransitionCachePinnedHitMiss(t *testing.T) {
+	m, enclave, node := tcWorld(t, BackendVTX)
+	m.SetTransitionCache(true)
+
+	const N = 8
+	callRet := func() {
+		t.Helper()
+		if err := m.Call(0, enclave); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Return(0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < N; i++ {
+		callRet()
+	}
+	// First call misses and fills; the fill covers the paired return, so
+	// everything after is a hit: 2N-1 hits, 1 miss.
+	st := m.Stats()
+	if st.TransCacheHits != 2*N-1 || st.TransCacheMisses != 1 {
+		t.Fatalf("after %d pairs: hits=%d misses=%d, want %d/1",
+			N, st.TransCacheHits, st.TransCacheMisses, 2*N-1)
+	}
+
+	// Channel 1: a Revoke bumps the capability-space generation; the
+	// very next switch must miss the cache and revalidate.
+	sh, err := m.Share(InitialDomain, node, enclave, memRes(100, 1), cap.MemRW, cap.CleanNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Revoke(InitialDomain, sh); err != nil {
+		t.Fatal(err)
+	}
+	callRet()
+	st = m.Stats()
+	if st.TransCacheHits != 2*N || st.TransCacheMisses != 2 {
+		t.Fatalf("after revoke: hits=%d misses=%d, want %d/2",
+			st.TransCacheHits, st.TransCacheMisses, 2*N)
+	}
+
+	// Channel 2: SetEntry bumps only the enclave's config generation
+	// (the capability space is untouched) — still a guaranteed miss.
+	if err := m.SetEntry(InitialDomain, enclave, 64*pg); err != nil {
+		t.Fatal(err)
+	}
+	callRet()
+	st = m.Stats()
+	if st.TransCacheHits != 2*N+1 || st.TransCacheMisses != 3 {
+		t.Fatalf("after setentry: hits=%d misses=%d, want %d/3",
+			st.TransCacheHits, st.TransCacheMisses, 2*N+1)
+	}
+
+	// Quiet world again: pure hits.
+	callRet()
+	st = m.Stats()
+	if st.TransCacheHits != 2*N+3 || st.TransCacheMisses != 3 {
+		t.Fatalf("quiet pair: hits=%d misses=%d, want %d/3",
+			st.TransCacheHits, st.TransCacheMisses, 2*N+3)
+	}
+}
+
+// TestTransitionCacheCycleCost: a cached switch costs the VMFunc tariff
+// (~100 cycles, §4.1), not the exit/entry round trip the slow path
+// pays — the C2 number the cache exists for.
+func TestTransitionCacheCycleCost(t *testing.T) {
+	m, enclave, _ := tcWorld(t, BackendVTX)
+	cost := m.Machine().Cost
+	m.SetTransitionCache(true)
+
+	// Fill.
+	if err := m.Call(0, enclave); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Return(0); err != nil {
+		t.Fatal(err)
+	}
+	before := m.Machine().Clock.Cycles()
+	if err := m.Call(0, enclave); err != nil {
+		t.Fatal(err)
+	}
+	hitCost := m.Machine().Clock.Cycles() - before
+	if err := m.Return(0); err != nil {
+		t.Fatal(err)
+	}
+	if hitCost > 2*cost.VMFunc {
+		t.Fatalf("cached switch cost %d cycles, want ~VMFunc (%d)", hitCost, cost.VMFunc)
+	}
+
+	// The uncached switch pays the full round trip.
+	m.SetTransitionCache(false)
+	before = m.Machine().Clock.Cycles()
+	if err := m.Call(0, enclave); err != nil {
+		t.Fatal(err)
+	}
+	slowCost := m.Machine().Clock.Cycles() - before
+	if err := m.Return(0); err != nil {
+		t.Fatal(err)
+	}
+	if slowCost < cost.VMExit+cost.VMEntry {
+		t.Fatalf("slow switch cost %d cycles, want >= %d", slowCost, cost.VMExit+cost.VMEntry)
+	}
+	if hitCost*5 > slowCost {
+		t.Fatalf("cached/slow = %d/%d cycles: less than the 5x the cache promises", hitCost, slowCost)
+	}
+}
+
+// TestTransitionCachePMPNeverCaches: a backend with no VMFUNC analogue
+// refuses fast-pair registration, so the cache degrades to counted
+// misses with fully correct slow-path behavior.
+func TestTransitionCachePMPNeverCaches(t *testing.T) {
+	m, enclave, _ := tcWorld(t, BackendPMP)
+	m.SetTransitionCache(true)
+	const N = 4
+	for i := 0; i < N; i++ {
+		if err := m.Call(0, enclave); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Return(0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := m.Stats()
+	if st.TransCacheHits != 0 || st.TransCacheMisses != 2*N {
+		t.Fatalf("pmp: hits=%d misses=%d, want 0/%d", st.TransCacheHits, st.TransCacheMisses, 2*N)
+	}
+}
+
+// TestTransitionCacheOffIsFree: with the cache disabled (the default)
+// no counter moves — the opt-in leaves the pre-cache path untouched.
+func TestTransitionCacheOffIsFree(t *testing.T) {
+	m, enclave, _ := tcWorld(t, BackendVTX)
+	for i := 0; i < 3; i++ {
+		if err := m.Call(0, enclave); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Return(0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := m.Stats()
+	if st.TransCacheHits != 0 || st.TransCacheMisses != 0 {
+		t.Fatalf("default-off moved counters: hits=%d misses=%d", st.TransCacheHits, st.TransCacheMisses)
+	}
+}
+
+// TestTransitionCacheDeadTarget: killing the callee makes every cached
+// entry for it unusable even before any generation comparison — a dead
+// domain is never switched into.
+func TestTransitionCacheDeadTarget(t *testing.T) {
+	m, enclave, _ := tcWorld(t, BackendVTX)
+	m.SetTransitionCache(true)
+	if err := m.Call(0, enclave); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Return(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.ForceKill(enclave); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Call(0, enclave); err == nil {
+		t.Fatal("call into a dead domain succeeded via the cache")
+	}
+}

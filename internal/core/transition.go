@@ -100,6 +100,11 @@ func (m *Monitor) Call(core phys.CoreID, target DomainID) error {
 // the core lock is taken (Domain.mu is below coreSched.mu in the lock
 // order only conceptually — they are never nested here).
 func (m *Monitor) call(core phys.CoreID, target DomainID) error {
+	if m.tcOn.Load() {
+		if done, err := m.cachedCall(core, target); done {
+			return err
+		}
+	}
 	td, err := m.liveDomain(target)
 	if err != nil {
 		return err
@@ -140,6 +145,7 @@ func (m *Monitor) call(core phys.CoreID, target DomainID) error {
 	sc.cur, sc.hasCur = target, true
 	m.stats.transitions.Add(1)
 	m.emitCore(core, trace.KTransition, target, uint64(cur), 0, 0, trace.TransCall)
+	m.tcFill(sc, core, cur, target, td, entry, ring)
 	return nil
 }
 
@@ -154,6 +160,11 @@ func (m *Monitor) Return(core phys.CoreID) error {
 
 // ret is Return with the shared monitor lock held (the guest ABI path).
 func (m *Monitor) ret(core phys.CoreID) error {
+	if m.tcOn.Load() {
+		if done, err := m.cachedReturn(core); done {
+			return err
+		}
+	}
 	sc := m.sched[core]
 	sc.mu.Lock()
 	defer sc.mu.Unlock()

@@ -81,6 +81,13 @@ type Machine struct {
 	// and internal/trace); checked on every emit site, so it is an
 	// atomic pointer like the fault injector.
 	tracer atomic.Pointer[trace.Tracer]
+
+	// sdBatch, when non-nil, diverts shootdowns into a coalescing
+	// accumulator instead of running them immediately (see
+	// BeginShootdownBatch). Armed and drained only by the monitor while
+	// it holds its exclusive lock, which is also the only state every
+	// shootdown call site runs under — so a plain field suffices.
+	sdBatch *shootdownBatch
 }
 
 // NewMachine builds a machine from cfg.

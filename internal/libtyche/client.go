@@ -95,6 +95,10 @@ func (c *Client) AutoHeap(reservePages uint64) error {
 // Heap returns the client's allocator (nil before SetHeap).
 func (c *Client) Heap() *Allocator { return c.heap }
 
+// HeapNode returns the capability node backing the heap (zero before
+// SetHeap) — the node further delegations of heap memory derive from.
+func (c *Client) HeapNode() cap.NodeID { return c.heapNode }
+
 // Alloc carves a fresh region from the heap.
 func (c *Client) Alloc(pages uint64) (phys.Region, error) {
 	if c.heap == nil {

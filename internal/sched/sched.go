@@ -116,6 +116,8 @@ type Counters struct {
 	Steals        uint64 // dispatches that crossed cores
 	Purged        uint64 // queued vCPUs removed because their domain died
 	MaxQueueDepth uint64 // deepest any single run queue ever got
+	BarrierDrains uint64 // round barriers that drained submission rings
+	DrainedOps    uint64 // ring descriptors executed at those barriers
 }
 
 // Scheduler is the shared run-queue state. Safe for concurrent use;
@@ -349,6 +351,18 @@ func (s *Scheduler) Counters() Counters {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.ctr
+}
+
+// RecordBarrierDrain tallies one round-barrier ring drain that executed
+// ops submission descriptors. The monitor's scheduling engine calls it
+// from the barrier phase, where all cores are quiescent — the drain is
+// part of the deterministic schedule, so its tally lives here with the
+// other schedule-shaped counters.
+func (s *Scheduler) RecordBarrierDrain(ops uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ctr.BarrierDrains++
+	s.ctr.DrainedOps += ops
 }
 
 // Records returns the dispatch schedule so far.

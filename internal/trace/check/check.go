@@ -20,6 +20,12 @@
 //     reusable before it is scrubbed.
 //  4. Structural sanity: operations balance (KOpEnd matches KOpBegin),
 //     and acknowledgements only occur for an open shootdown.
+//  5. Batch coalescing: a ring drain (KBatchBegin..KBatchEnd) performs
+//     at most one cross-core shootdown round of its own, no matter how
+//     many revocations the batch executed, and that round — like any
+//     op's — is fully acknowledged before the batch closes. Batches
+//     are also subject to dead-domain silence: a drain never runs for
+//     a killed ring owner.
 //
 // Alongside the properties the checker tallies event-derived counters
 // (Counts) that tests compare against Monitor.Stats(): the two are
@@ -63,6 +69,8 @@ type Counts struct {
 	IRQsRouted    uint64
 	IRQsDropped   uint64
 	Attests       uint64
+	Batches       uint64 // ring drains (KBatchBegin)
+	BatchedOps    uint64 // descriptors executed inside drains (KBatchEnd.Aux)
 }
 
 // shootdown is one in-flight cross-core TLB shootdown.
@@ -71,9 +79,11 @@ type shootdown struct {
 	acks map[uint64]bool
 }
 
-// frame is one open monitor operation (KOpBegin..KOpEnd).
+// frame is one open monitor operation (KOpBegin..KOpEnd) or ring drain
+// (KBatchBegin..KBatchEnd).
 type frame struct {
 	ev        trace.Event
+	batch     bool
 	shootdown []*shootdown
 }
 
@@ -136,7 +146,8 @@ func (c *Checker) Event(ev trace.Event) {
 	// with a kill on another core and prove nothing by themselves.
 	switch ev.Kind {
 	case trace.KTransition, trace.KShare, trace.KGrant, trace.KRevoke,
-		trace.KSeal, trace.KEPTMap, trace.KPMPWrite, trace.KAttest:
+		trace.KSeal, trace.KEPTMap, trace.KPMPWrite, trace.KAttest,
+		trace.KBatchBegin, trace.KBatchEnd:
 		if c.dead[ev.Domain] {
 			c.violate(ev, "dead domain %d used in successful %s", ev.Domain, ev.Kind)
 		}
@@ -152,6 +163,40 @@ func (c *Checker) Event(ev trace.Event) {
 
 	case trace.KOpBegin:
 		c.frames = append(c.frames, &frame{ev: ev})
+
+	case trace.KBatchBegin:
+		c.counts.Batches++
+		c.frames = append(c.frames, &frame{ev: ev, batch: true})
+
+	case trace.KBatchEnd:
+		c.counts.BatchedOps += ev.Aux
+		idx := -1
+		for i := len(c.frames) - 1; i >= 0; i-- {
+			if c.frames[i].batch && c.frames[i].ev.Node == ev.Node {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			c.violate(ev, "batch end token %d matches no open batch", ev.Node)
+			break
+		}
+		f := c.frames[idx]
+		c.frames = append(c.frames[:idx], c.frames[idx+1:]...)
+		// Property 5: one coalesced shootdown round per drained batch.
+		if len(f.shootdown) > 1 {
+			c.violate(ev, "batch performed %d shootdown rounds (coalescing requires at most 1)",
+				len(f.shootdown))
+		}
+		for _, sd := range f.shootdown {
+			if len(sd.acks) != c.cores {
+				c.violate(ev, "batch shootdown [%#x,+%d) acked by %d/%d cores when batch completed",
+					sd.ev.Addr, sd.ev.Size, len(sd.acks), c.cores)
+			}
+			if c.last == sd {
+				c.last = nil
+			}
+		}
 
 	case trace.KOpEnd:
 		if len(c.frames) == 0 {

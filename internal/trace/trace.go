@@ -115,6 +115,15 @@ const (
 	KPMPWrite
 	// KAttest is an attestation report being produced: Domain = subject.
 	KAttest
+	// KBatchBegin opens one ring drain: Domain = ring owner,
+	// Aux = descriptors pending, Node = frame token. The logical ops the
+	// batch executes emit their ordinary events inside the frame, so the
+	// checker still sees every op; deferred shootdowns coalesce into at
+	// most one KShootdown round before the frame closes.
+	KBatchBegin
+	// KBatchEnd closes the drain: Domain = ring owner, Aux = descriptors
+	// executed, Node = the matching begin token.
+	KBatchEnd
 
 	numKinds
 )
@@ -130,6 +139,7 @@ var kindNames = [...]string{
 	KContain: "contain", KScrubPlan: "scrub-plan", KScrub: "scrub",
 	KKill: "kill", KEPTMap: "ept-map", KEPTClear: "ept-clear",
 	KPMPWrite: "pmp-write", KAttest: "attest",
+	KBatchBegin: "batch-begin", KBatchEnd: "batch-end",
 }
 
 func (k Kind) String() string {
