@@ -1,6 +1,8 @@
 package core
 
 import (
+	"encoding/binary"
+
 	"github.com/tyche-sim/tyche/internal/cap"
 	"github.com/tyche-sim/tyche/internal/hw"
 	"github.com/tyche-sim/tyche/internal/phys"
@@ -170,9 +172,18 @@ func (m *Monitor) handleVMCall(c *hw.Core, core phys.CoreID) (stop bool, err err
 		}
 		c.Regs[0] = StatusOK
 	case CallAttest:
-		st, res := m.ringExec(cur, CallAttest, c.Regs[1], 0, 0, 0, 0)
-		c.Regs[0] = st
-		c.Regs[1] = res
+		// Attest takes the monitor lock shared around the report commit;
+		// ringExec's attestLocked variant is only safe under the exclusive
+		// lock of a ring drain, and handleVMCall holds no lock here.
+		var nonce [8]byte
+		binary.LittleEndian.PutUint64(nonce[:], c.Regs[1])
+		rep, err := m.Attest(cur, nonce[:])
+		if err != nil {
+			c.Regs[0] = StatusDenied
+			return false, nil
+		}
+		c.Regs[0] = StatusOK
+		c.Regs[1] = binary.LittleEndian.Uint64(rep.Measurement[:8])
 	default:
 		c.Regs[0] = StatusBadCall
 	}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"encoding/binary"
+
 	"testing"
 
 	"github.com/tyche-sim/tyche/internal/cap"
@@ -112,6 +114,35 @@ func TestABIDeniedCallReportsStatus(t *testing.T) {
 	d2, _ := m2.Domain(InitialDomain)
 	if logs := d2.Log(); len(logs) != 1 || logs[0] != StatusDenied {
 		t.Fatalf("logs = %v", logs)
+	}
+}
+
+// TestABIAttest: the guest-facing attest verb returns the first 8
+// bytes of the caller's measurement and matches what the Go-level
+// Attest reports for the same nonce — the trap path goes through the
+// shared-lock Attest, not the drain-only ringExec variant.
+func TestABIAttest(t *testing.T) {
+	m := bootWorld(t, BackendVTX)
+	a := hw.NewAsm()
+	a.Movi(0, uint32(CallAttest)).Movi(1, 42).Vmcall()
+	a.Movi(0, uint32(CallLog)).Vmcall() // log r1 (= measurement prefix)
+	a.Hlt()
+	if trap := runGuest(t, m, a); trap.Kind != hw.TrapHalt {
+		t.Fatalf("trap = %v", trap)
+	}
+	var nonce [8]byte
+	binary.LittleEndian.PutUint64(nonce[:], 42)
+	rep, err := m.Attest(InitialDomain, nonce[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := binary.LittleEndian.Uint64(rep.Measurement[:8])
+	d, _ := m.Domain(InitialDomain)
+	if logs := d.Log(); len(logs) != 1 || logs[0] != want {
+		t.Fatalf("guest logged %v, want measurement prefix %#x", logs, want)
+	}
+	if got := m.Stats().Attests; got != 2 { // one guest trap + one Go-level
+		t.Fatalf("attests = %d, want 2", got)
 	}
 }
 

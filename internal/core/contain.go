@@ -71,6 +71,14 @@ func (m *Monitor) destroyDomain(d *Domain, scrub bool) error {
 	for _, r := range scrubRegions {
 		m.emit(trace.KScrubPlan, d.id, 0, 0, uint64(r.Start), r.Size())
 	}
+	// Drop and scrub the dead domain's submission ring before revocation
+	// destroys its capability records: the teardown revalidates the
+	// owner's access over the ring footprint (skipping the header scrub
+	// if the pages were granted away), which only answers correctly
+	// while the owner's capabilities still exist. Descriptors a dying
+	// domain managed to enqueue are never executed — dead-domain silence
+	// covers queued work, not just running work.
+	m.ringTeardownLocked(d.id)
 	acts := m.space.RevokeOwner(owner)
 	d.setState(StateDead)
 	m.stats.revocations.Add(1)
@@ -106,10 +114,6 @@ func (m *Monitor) destroyDomain(d *Domain, scrub bool) error {
 	// killed domain is never dispatched again (the trace oracle's
 	// dead-domain-silence property over KTransition checks it).
 	m.schedPurge(d.id)
-	// Drop and scrub the dead domain's submission ring: descriptors a
-	// dying domain managed to enqueue are never executed (dead-domain
-	// silence covers queued work, not just running work).
-	m.ringTeardownLocked(d.id)
 	m.emit(trace.KKill, d.id, 0, 0, 0, 0)
 	return nil
 }

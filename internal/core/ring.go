@@ -386,18 +386,27 @@ func (m *Monitor) ringExec(owner DomainID, verb, a1, a2, a3, a4, a5 uint64) (sta
 }
 
 // ringTeardownLocked removes a dying domain's ring (exclusive monitor
-// lock held, called from destroyDomain before the kill closes). The
-// pending descriptors are never executed — dead-domain silence extends
-// to queued work — and the header is scrubbed so a stale ring cannot
-// be mistaken for live state by whoever inherits the memory; the
-// domain's exclusively-held pages (the usual home of a ring) are
-// additionally zeroed wholesale by the forced-scrub path.
+// lock held, called from destroyDomain BEFORE RevokeOwner destroys the
+// domain's capabilities). The pending descriptors are never executed —
+// dead-domain silence extends to queued work — and the header is
+// scrubbed so a stale ring cannot be mistaken for live state by whoever
+// inherits the memory. The scrub only runs if the dying owner still
+// holds read+write over the footprint: the owner may have granted or
+// shared the ring pages away since the last validation, and writing the
+// header then would scribble on a surviving domain's memory — the same
+// cross-domain write the drain path's revalidation guards against. On
+// loss the registration is simply dropped; exclusively-held pages (the
+// usual home of a ring) are zeroed wholesale by the forced-scrub path
+// regardless.
 func (m *Monitor) ringTeardownLocked(id DomainID) {
 	r, ok := m.ringOf(id)
 	if !ok {
 		return
 	}
 	m.ringDrop(id)
+	if err := m.ringRevalidate(r); err != nil {
+		return
+	}
 	mem := m.mach.Mem
 	for _, off := range []uint64{RingOffEntries, RingOffSQTail, RingOffSQHead, RingOffCQTail} {
 		_ = mem.Write64(r.base+phys.Addr(off), 0)
@@ -408,12 +417,15 @@ func (m *Monitor) ringTeardownLocked(id DomainID) {
 // drained on the domain's ring (0 with no ring) — a test and
 // diagnostics hook.
 func (m *Monitor) RingPending(id DomainID) uint64 {
+	// Look the ring up only after taking the shared lock: a concurrent
+	// RingSetup replaces the registration, and mixing the new ring's
+	// tail with the old ring's head yields a garbage count.
+	m.lk.rlock()
+	defer m.lk.runlock()
 	r, ok := m.ringOf(id)
 	if !ok {
 		return 0
 	}
-	m.lk.rlock()
-	defer m.lk.runlock()
 	tail, err := m.mach.Mem.Read64(r.base + RingOffSQTail)
 	if err != nil {
 		return 0

@@ -431,6 +431,52 @@ func TestRingForceKillScrubsRing(t *testing.T) {
 	assertTraceClean(t, m, ck)
 }
 
+// TestRingTeardownSkipsScrubAfterGrantAway: a dying domain that granted
+// its ring pages away no longer holds them, so the kill-path header
+// scrub must not run — it would write into the surviving grantee's
+// memory, a cross-domain write the drain path already refuses. The
+// teardown revalidates the footprint (before revocation destroys the
+// owner's records) and skips the scrub on loss.
+func TestRingTeardownSkipsScrubAfterGrantAway(t *testing.T) {
+	m, ck := bootTracedWorld(t, BackendVTX)
+	node := dom0MemNode(t, m)
+	worker, err := m.CreateDomain(InitialDomain, "worker")
+	if err != nil {
+		t.Fatal(err)
+	}
+	peer, err := m.CreateDomain(InitialDomain, "peer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wnode, err := m.Grant(InitialDomain, node, worker, memRes(300, 2), cap.MemRW|cap.RightGrant, cap.CleanNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const entries = 8
+	base := ringAt(t, m, worker, 300, entries)
+	enqueue(t, m, base, entries, CallLog, 0x222)
+	// The worker hands the ring pages to the peer wholesale and loses
+	// all access; the stale registration survives until teardown.
+	if _, err := m.Grant(worker, wnode, peer, memRes(300, 2), cap.MemRW, cap.CleanNone); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.ForceKill(worker); err != nil {
+		t.Fatal(err)
+	}
+	// The registration is gone but the peer's memory is untouched: the
+	// header words the scrub would have zeroed still hold their values.
+	if got := m.RingPending(worker); got != 0 {
+		t.Fatalf("dead domain still reports %d pending", got)
+	}
+	if v, _ := m.Machine().Mem.Read64(base + RingOffEntries); v != entries {
+		t.Fatalf("header entries = %d after kill, want %d (scrub wrote into the grantee's memory)", v, entries)
+	}
+	if v, _ := m.Machine().Mem.Read64(base + RingOffSQTail); v != 1 {
+		t.Fatalf("header sqTail = %d after kill, want 1 (scrub wrote into the grantee's memory)", v)
+	}
+	assertTraceClean(t, m, ck)
+}
+
 // TestRingBatchOfOneShootdownParity: a single-revocation batch emits a
 // shootdown indistinguishable (addr/size payload) from the synchronous
 // path — the coalescer must not perturb the degenerate case the cycle
