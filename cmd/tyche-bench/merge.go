@@ -26,6 +26,7 @@ type scalePoint struct {
 
 type scaleOutput struct {
 	RequireSpeedup  float64
+	CapringRequire  float64
 	GateWorkers     int
 	GateSpeedups    map[string]float64 // workload -> speedup at GateWorkers
 	// GateApplied is false when the host that produced the runs cannot
@@ -48,6 +49,15 @@ var (
 )
 
 const gateWorkers = 4
+
+// capringRequire is the share+revoke A/B gate. Under the old scheme a
+// revocation held the monitor lock exclusively, so the capring workload
+// serialised under either policy and the merge only demanded "no
+// regression" (0.9x). Epoch-based reclamation detaches the subtree
+// under the shared lock and defers frees past the grace period, so
+// revoke-heavy work must now beat the big lock measurably at the gate
+// point, not just tie it.
+const capringRequire = 1.1
 
 func loadC18(path string) (*benchOutput, map[string]float64, error) {
 	blob, err := os.ReadFile(path)
@@ -103,6 +113,7 @@ func mergeScale(spec, out string, requireSpeedup float64) error {
 
 	doc := scaleOutput{
 		RequireSpeedup: requireSpeedup,
+		CapringRequire: capringRequire,
 		GateWorkers:    gateWorkers,
 		GateSpeedups:   map[string]float64{},
 		Pass:           true,
@@ -161,9 +172,10 @@ func mergeScale(spec, out string, requireSpeedup float64) error {
 
 	// Acceptance gate: at 4 workers the fine-grained monitor must beat
 	// the big lock by the required factor on the transition storm — the
-	// workload the lock-free read path exists for. The capability ring
-	// must at minimum not regress (its revocations serialise under
-	// either policy). The gate only means something when the host can
+	// workload the lock-free read path exists for — and by
+	// capringRequire on the capability ring, whose revocations now run
+	// under the shared lock (detach + grace period + deferred free)
+	// instead of stopping the world. The gate only means something when the host can
 	// actually run gateWorkers monitor entries in parallel: with
 	// GOMAXPROCS below that, goroutines time-share one hardware thread,
 	// no lock is ever contended for wall-clock time, and both builds
@@ -184,10 +196,10 @@ func mergeScale(spec, out string, requireSpeedup float64) error {
 			fmt.Fprintf(os.Stderr, "tyche-bench: FAIL storm w%d speedup %.2fx < required %.2fx\n",
 				gateWorkers, storm, requireSpeedup)
 		}
-		if capring, ok := doc.GateSpeedups["capring"]; ok && capring < 0.9 {
+		if capring, ok := doc.GateSpeedups["capring"]; ok && capring < capringRequire {
 			doc.Pass = false
-			fmt.Fprintf(os.Stderr, "tyche-bench: FAIL capring w%d regressed to %.2fx of the big lock\n",
-				gateWorkers, capring)
+			fmt.Fprintf(os.Stderr, "tyche-bench: FAIL capring w%d speedup %.2fx < required %.2fx (concurrent revocation must beat the big lock)\n",
+				gateWorkers, capring, capringRequire)
 		}
 	}
 

@@ -35,13 +35,19 @@ type domainState struct {
 
 // Backend is the machine-mode PMP enforcement backend.
 //
-// Concurrency contract: InstallDomain/RemoveDomain run only under the
-// monitor's exclusive lock, so the domains map and nextASID are safe
-// bare; per-domain mutable state carries the domainState mutex.
+// Concurrency contract: under the epoch scheme every monitor entry
+// holds the top-level lock shared, so InstallDomain can race
+// RemoveDomain at this layer. The domains map and nextASID carry their
+// own RWMutex (domMu); per-domain mutable state carries the
+// domainState mutex. A domainState pointer read under domMu.RLock
+// stays valid after the unlock — removal only deletes the map entry,
+// and the dead domain's PMP files have been cleared, so a racing
+// reader's view degrades to deny-all.
 type Backend struct {
 	mach  *hw.Machine
 	space *cap.Space
 
+	domMu    sync.RWMutex
 	domains  map[cap.OwnerID]*domainState
 	nextASID uint64
 	reserved int // entries locked for monitor self-protection per core
@@ -87,9 +93,13 @@ func (b *Backend) Budget() int {
 	return b.mach.Cores[0].PMPUnit.NumEntries() - b.reserved
 }
 
-// InstallDomain implements backend.Backend.
+// InstallDomain implements backend.Backend. The map insert holds domMu
+// exclusively; the initial sync runs after the unlock (SyncDomain
+// re-enters through state(), and the RWMutex is not reentrant).
 func (b *Backend) InstallDomain(owner cap.OwnerID) error {
+	b.domMu.Lock()
 	if _, ok := b.domains[owner]; ok {
+		b.domMu.Unlock()
 		return fmt.Errorf("pmp: domain %d already installed", owner)
 	}
 	b.domains[owner] = &domainState{
@@ -98,11 +108,14 @@ func (b *Backend) InstallDomain(owner cap.OwnerID) error {
 		ctxs:  make(map[phys.CoreID]*hw.Context),
 	}
 	b.nextASID++
+	b.domMu.Unlock()
 	return b.SyncDomain(owner)
 }
 
 func (b *Backend) state(owner cap.OwnerID) (*domainState, error) {
+	b.domMu.RLock()
 	st, ok := b.domains[owner]
+	b.domMu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("%w: %d", backend.ErrUnknownDomain, owner)
 	}
@@ -169,7 +182,9 @@ func (b *Backend) RemoveDomain(owner cap.OwnerID) error {
 			b.mach.Clock.Advance(uint64(cleared) * b.mach.Cost.PMPWrite)
 		}
 	}
+	b.domMu.Lock()
 	delete(b.domains, owner)
+	b.domMu.Unlock()
 	return nil
 }
 

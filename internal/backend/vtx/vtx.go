@@ -32,16 +32,20 @@ type domainState struct {
 
 // Backend is the VT-x enforcement backend.
 //
-// Concurrency contract: the monitor calls InstallDomain and
-// RemoveDomain only under its exclusive lock, so the domains map and
-// nextASID need no locking of their own — readers all hold the shared
-// monitor lock. fastPairs is registered and consulted on the shared
-// path, so it carries its own RWMutex; per-domain context caches are
-// guarded by the domainState mutex.
+// Concurrency contract: under the epoch scheme every monitor entry
+// holds the top-level lock shared, so domain creation can race
+// destruction at this layer. The domains map and nextASID carry their
+// own RWMutex (domMu); fastPairs is registered and consulted on the
+// shared path, so it carries another; per-domain context caches are
+// guarded by the domainState mutex. A domainState pointer read under
+// domMu.RLock stays valid after the unlock — RemoveDomain empties the
+// EPT rather than freeing it, so a racing reader's view degrades to
+// deny-all, never to a dangling table.
 type Backend struct {
 	mach  *hw.Machine
 	space *cap.Space
 
+	domMu    sync.RWMutex
 	domains  map[cap.OwnerID]*domainState
 	nextASID uint64
 
@@ -75,9 +79,13 @@ func New(mach *hw.Machine, space *cap.Space) *Backend {
 // Name implements backend.Backend.
 func (b *Backend) Name() string { return "vtx" }
 
-// InstallDomain implements backend.Backend.
+// InstallDomain implements backend.Backend. The map insert holds domMu
+// exclusively; the initial sync runs after the unlock (SyncDomain
+// re-enters through state(), and the RWMutex is not reentrant).
 func (b *Backend) InstallDomain(owner cap.OwnerID) error {
+	b.domMu.Lock()
 	if _, ok := b.domains[owner]; ok {
+		b.domMu.Unlock()
 		return fmt.Errorf("vtx: domain %d already installed", owner)
 	}
 	b.domains[owner] = &domainState{
@@ -86,11 +94,14 @@ func (b *Backend) InstallDomain(owner cap.OwnerID) error {
 		ctxs: make(map[phys.CoreID]*hw.Context),
 	}
 	b.nextASID++
+	b.domMu.Unlock()
 	return b.SyncDomain(owner)
 }
 
 func (b *Backend) state(owner cap.OwnerID) (*domainState, error) {
+	b.domMu.RLock()
 	st, ok := b.domains[owner]
+	b.domMu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("%w: %d", backend.ErrUnknownDomain, owner)
 	}
@@ -129,7 +140,9 @@ func (b *Backend) RemoveDomain(owner cap.OwnerID) error {
 	// pointer to this table, and an empty table denies every access.
 	st.ept.Clear()
 	b.mach.Trace(trace.GlobalCore, trace.KEPTClear, uint64(owner), 0, 0, 0, 0)
+	b.domMu.Lock()
 	delete(b.domains, owner)
+	b.domMu.Unlock()
 	b.pairMu.Lock()
 	for k := range b.fastPairs {
 		if k.a == owner || k.b == owner {

@@ -26,24 +26,31 @@ func init() {
 // shoots down every core's TLB, and removes the backend state. The
 // latency is dominated by the scrub (linear in domain size) and the
 // per-core TLB shootdown (linear in core count); the sweep exposes both
-// axes. A final end-to-end round injects a deterministic machine check
-// under a running victim and checks that a concurrent survivor finishes
-// its workload untouched — containment, not just teardown.
+// axes. A third axis holds the victim fixed and grows the population of
+// unrelated live domains: epoch-based revocation detaches only the
+// victim's subtree and defers node frees to the grace period, so kill
+// latency must stay flat as the rest of the machine fills up — the
+// bystanders are never walked, locked, or resynced. A final end-to-end
+// round injects a deterministic machine check under a running victim
+// and checks that a concurrent survivor finishes its workload untouched
+// — containment, not just teardown.
 func runC16(cfg Config) (*Result, error) {
 	res := &Result{
 		ID: "C16", Title: "Kill-and-reclaim latency",
-		Columns: []string{"domain pages", "cores", "kill cycles", "cycles/page", "scrubbed", "wall us"},
+		Columns: []string{"domain pages", "cores", "bystanders", "kill cycles", "cycles/page", "scrubbed", "wall us"},
 	}
 	sizeSweep := []uint64{16, 64, 256}
 	coreSweep := []int{1, 2, 4}
+	domSweep := []int{0, 8, 32}
 	if cfg.Quick {
 		sizeSweep = []uint64{16, 128}
 		coreSweep = []int{1, 4}
+		domSweep = []int{0, 16}
 	}
 	// Axis 1: domain size at a fixed 2-core machine.
 	var sizeCycles []uint64
 	for _, pages := range sizeSweep {
-		kc, err := c16Kill(cfg, res, pages, 2)
+		kc, err := c16Kill(cfg, res, pages, 2, 0)
 		if err != nil {
 			return nil, err
 		}
@@ -61,7 +68,7 @@ func runC16(cfg Config) (*Result, error) {
 	// Axis 2: core count at a fixed 64-page domain (TLB shootdown cost).
 	var coreCycles []uint64
 	for _, cores := range coreSweep {
-		kc, err := c16Kill(cfg, res, 64, cores)
+		kc, err := c16Kill(cfg, res, 64, cores, 0)
 		if err != nil {
 			return nil, err
 		}
@@ -70,6 +77,24 @@ func runC16(cfg Config) (*Result, error) {
 	res.check("shootdown-scales-with-cores",
 		coreCycles[len(coreCycles)-1] > coreCycles[0],
 		"kill cycles grow with core count (TLB shootdown): %v", coreCycles)
+
+	// Axis 3: live-domain count at a fixed 64-page victim on 2 cores.
+	// Containment touches the victim's subtree and nothing else, so the
+	// kill must cost the same on a crowded machine as on an empty one.
+	var domCycles []uint64
+	for _, n := range domSweep {
+		kc, err := c16Kill(cfg, res, 64, 2, n)
+		if err != nil {
+			return nil, err
+		}
+		domCycles = append(domCycles, kc)
+	}
+	base, crowded := domCycles[0], domCycles[len(domCycles)-1]
+	res.metric("kill_cycles_vs_domains_ratio", float64(crowded)/float64(base))
+	res.check("latency-flat-vs-domains",
+		crowded <= base+base/10,
+		"kill cycles flat as live domains grow %v -> %v: %v (crowded/empty %.2fx, allowed 1.10x)",
+		domSweep[0], domSweep[len(domSweep)-1], domCycles, float64(crowded)/float64(base))
 
 	// End to end: inject a machine check under a running victim while a
 	// survivor computes on another core.
@@ -104,13 +129,20 @@ func c16Victim(w *world, pages uint64, run bool) (*libtyche.Domain, error) {
 
 // c16Kill measures one ForceKill on an idle machine, so the cycle delta
 // is exactly the containment path: revocation, scrub, shootdown,
-// backend removal.
-func c16Kill(cfg Config, res *Result, pages uint64, cores int) (uint64, error) {
+// backend removal. bystanders unrelated live domains are loaded before
+// the victim so the domain-count axis can show the kill never walks
+// them.
+func c16Kill(cfg Config, res *Result, pages uint64, cores int, bystanders int) (uint64, error) {
 	opts := defaultWorldOpts()
 	opts.cores = cores
 	w, err := newWorld(cfg, opts)
 	if err != nil {
 		return 0, err
+	}
+	for i := 0; i < bystanders; i++ {
+		if _, err := w.cl.Load(haltImage(fmt.Sprintf("bystander%d", i)), libtyche.DefaultLoadOptions()); err != nil {
+			return 0, err
+		}
 	}
 	dom, err := c16Victim(w, pages, false)
 	if err != nil {
@@ -131,7 +163,10 @@ func c16Kill(cfg Config, res *Result, pages uint64, cores int) (uint64, error) {
 	scrubbed := after.PagesScrubbed - before.PagesScrubbed
 
 	tag := fmt.Sprintf("p%d_c%d", pages, cores)
-	res.row(fmtU(pages), fmt.Sprintf("%d", cores), fmtU(kc),
+	if bystanders > 0 {
+		tag += fmt.Sprintf("_d%d", bystanders)
+	}
+	res.row(fmtU(pages), fmt.Sprintf("%d", cores), fmt.Sprintf("%d", bystanders), fmtU(kc),
 		fmt.Sprintf("%.0f", float64(kc)/float64(pages)), fmtU(scrubbed),
 		fmt.Sprintf("%d", wall.Microseconds()))
 	res.metric(tag+"_kill_cycles", float64(kc))

@@ -24,9 +24,10 @@ func init() {
 // runC18 measures how monitor-entry throughput scales with core count
 // under two workloads at opposite ends of the locking spectrum:
 //
-//	capring — the C15 share+revoke ring: every iteration takes the
-//	          monitor lock shared (delegate) and exclusive (revoke),
-//	          the worst case for any locking policy;
+//	capring — the C15 share+revoke ring: every iteration delegates
+//	          under the shared lock and revokes via epoch-based
+//	          detach (shared lock + revocation mutex + grace period),
+//	          the heaviest mutation mix the monitor serves;
 //	storm   — a transition storm: each worker loops a mediated
 //	          call+return into a private service domain, the pure
 //	          read-path case the fine-grained monitor runs with the
@@ -41,8 +42,11 @@ func init() {
 // policy is baked in by the `biglock` build tag and reported as the
 // `biglock` metric, and `tyche-bench -merge` joins a fine-grained and
 // a big-lock BENCH json into BENCH_scale.json, computing A/B speedups
-// and enforcing the acceptance gate (fine >= 1.5x big lock at 4
-// workers). Simulated cycles are wall-clock independent, so the merge
+// and enforcing the acceptance gates (storm >= 1.5x and capring >=
+// 1.1x over the big lock at 4 workers — the latter is the concurrent
+// revocation win: epoch-based reclamation detaches under the shared
+// lock, so the revoke-heavy ring no longer serialises the monitor).
+// Simulated cycles are wall-clock independent, so the merge
 // also asserts single-worker cycle counts are bit-identical across the
 // two builds — the locking policy must change timing only, never the
 // simulated machine's history.

@@ -55,6 +55,9 @@ var (
 type node struct {
 	// id, owner, res, rights, cleanup, kind, and parent are immutable
 	// after creation; children is guarded by the owner's shard lock.
+	// detached marks a node removed from the index by a two-phase
+	// revocation but not yet released (detach.go); it is written only
+	// under the structural writer lock.
 	id       NodeID
 	owner    OwnerID
 	res      Resource
@@ -63,6 +66,7 @@ type node struct {
 	kind     NodeKind
 	parent   *node
 	children []*node
+	detached bool
 }
 
 // Info is an exported snapshot of one capability node.
@@ -131,6 +135,7 @@ type Space struct {
 	gen      atomic.Uint64
 	ops      atomic.Uint64
 	numNodes atomic.Int64
+	limbo    atomic.Int64 // detached, not yet reclaimed (detach.go)
 }
 
 // NewSpace returns an empty capability space.
@@ -350,6 +355,9 @@ func (s *Space) Revoke(id NodeID) ([]CleanupAction, error) {
 
 func (s *Space) revokeSubtree(n *node, actions *[]CleanupAction) {
 	for _, c := range n.children {
+		if c.detached {
+			continue // in limbo: already counted by its Detach
+		}
 		s.revokeSubtree(c, actions)
 	}
 	n.children = nil
@@ -451,6 +459,9 @@ func (s *Space) info(n *node) Info {
 		inf.Parent = n.parent.id
 	}
 	for _, c := range n.children {
+		if c.detached {
+			continue // limbo children are no longer observable
+		}
 		inf.Children = append(inf.Children, c.id)
 	}
 	sort.Slice(inf.Children, func(i, j int) bool { return inf.Children[i] < inf.Children[j] })

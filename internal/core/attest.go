@@ -115,24 +115,25 @@ func writeBytes(b *bytes.Buffer, p []byte) {
 // system on behalf of a remote verifier) may request one.
 //
 // The expensive work — resource enumeration and the signature — runs
-// without the monitor lock: the domain record is snapshotted under its
-// own mutex and every capability query is internally consistent. Only
-// the final commit (counter + trace event) briefly holds the lock
-// shared and re-checks liveness, so a report is never announced for a
-// domain that has since been killed.
+// without any monitor entry: the domain record is snapshotted under
+// its own mutex and every capability query is internally consistent.
+// Only the final commit (counter + trace event) is a pinned reader
+// entry that re-checks liveness, so a report is never announced for a
+// domain that has since been killed, and the KAttest emit is sequenced
+// before any concurrent kill's KKill.
 func (m *Monitor) Attest(id DomainID, nonce []byte) (*Report, error) {
 	r, d, err := m.buildReport(id, nonce)
 	if err != nil {
 		return nil, err
 	}
-	m.lk.rlock()
-	defer m.lk.runlock()
+	p := m.renter()
+	defer m.rexit(p)
 	return m.commitReport(r, d)
 }
 
-// attestLocked is Attest with the monitor lock already held (the ring
-// drain executes attest descriptors under the exclusive lock, which is
-// not reentrant).
+// attestLocked is Attest with a monitor entry already held (the ring
+// drain executes attest descriptors inside its destructive-family
+// entry, whose locks are not reentrant).
 func (m *Monitor) attestLocked(id DomainID, nonce []byte) (*Report, error) {
 	r, d, err := m.buildReport(id, nonce)
 	if err != nil {

@@ -9,10 +9,15 @@ package core
 // engine's cascading revocation and adds a forced scrub: containment
 // cannot trust the cleanup policies a crashed domain chose for itself.
 //
-// Every destruction path holds the exclusive monitor lock: teardown
-// must not interleave with delegations or transitions, and draining the
-// readers is what keeps the scrub-before-kill and shootdown-ack trace
-// invariants sequential.
+// Every destruction path is a destructive-family entry (shared monitor
+// lock + revMu, epoch.go) and follows the epoch discipline: publish the
+// death (atomic state store), synchronize (wait out every reader that
+// validated liveness before the publish), then run the irreversible
+// teardown — detach, cleanups, scrub, shootdown, backend removal,
+// reclaim. Readers emit their trace events before unpinning and KKill
+// is emitted after the grace period, so the scrub-before-kill and
+// dead-domain-silence trace invariants hold exactly as they did under
+// the exclusive lock.
 
 import (
 	"github.com/tyche-sim/tyche/internal/cap"
@@ -29,8 +34,8 @@ import (
 // force-killable — it is the platform's root workload; faults on it
 // park the faulting core instead (see containFault).
 func (m *Monitor) ForceKill(id DomainID) error {
-	m.lk.wlock()
-	defer m.lk.wunlock()
+	m.denter()
+	defer m.dexit()
 	d, err := m.liveDomain(id)
 	if err != nil {
 		return err
@@ -43,24 +48,45 @@ func (m *Monitor) ForceKill(id DomainID) error {
 	return m.destroyDomain(d, true)
 }
 
-// destroyDomain is the shared kill path (exclusive monitor lock held):
-// revoke the domain's entire capability subtree with cleanups,
-// resynchronise every surviving owner's hardware state, remove the
-// backend state (which leaves any still-installed context of the victim
-// denying all accesses), drop the encryption key, and clear scheduling
-// state. With scrub set, the domain's exclusively-held memory is
-// additionally zeroed and shot down from every TLB regardless of
-// cleanup policies.
+// destroyDomain is the shared kill path (destructive-family entry
+// held). It is the epoch scheme's publish → quiesce → reclaim sequence
+// end to end: publish death, wait the grace period out, then detach the
+// domain's entire capability subtree with cleanups, resynchronise every
+// surviving owner's hardware state, remove the backend state (which
+// leaves any still-installed context of the victim denying all
+// accesses), drop the encryption key, and clear scheduling state. With
+// scrub set, the domain's exclusively-held memory is additionally
+// zeroed and shot down from every TLB regardless of cleanup policies.
 func (m *Monitor) destroyDomain(d *Domain, scrub bool) error {
 	tok := m.opTok.Add(1)
 	m.emit(trace.KOpBegin, d.id, trace.OpKill, tok, 0, 0)
 	defer m.emit(trace.KOpEnd, d.id, trace.OpKill, tok, 0, 0)
 	owner := cap.OwnerID(d.id)
+	// Drop and scrub the dying domain's submission ring first: the
+	// teardown revalidates the owner's access over the ring footprint
+	// (skipping the header scrub if the pages were granted away), which
+	// only answers correctly while the owner is still live and holds its
+	// capabilities. Descriptors a dying domain managed to enqueue are
+	// never executed — dead-domain silence covers queued work, not just
+	// running work. A ring the victim re-registers between here and the
+	// death publish is dropped unexecuted by the next drain's dead-owner
+	// check.
+	m.ringTeardownLocked(d.id)
+	// Publish: every entry from here on fails the liveness check. The
+	// store is absorbing — a concurrent seal cannot resurrect the state.
+	d.setState(StateDead)
+	// Quiesce: wait for every entry that validated liveness (or
+	// capability access) before the publish. After this, no delegation
+	// can add to the victim's subtree, no copy or dispatch relies on its
+	// memory, and every trace event such entries emit has its sequence
+	// number — before the KKill below.
+	m.ep.synchronize()
 	var scrubRegions []phys.Region
 	if scrub {
-		// Exclusive regions must be computed before revocation destroys
-		// the ownership records. Shared regions are left intact — a
-		// surviving co-owner still uses them.
+		// Exclusive regions are computed post-quiesce (no delegation in
+		// flight can change them now) and before the detach destroys the
+		// ownership records. Shared regions are left intact — a surviving
+		// co-owner still uses them.
 		for _, rc := range m.space.RefCounts() {
 			if rc.Count == 1 && len(rc.Owners) == 1 && rc.Owners[0] == owner {
 				scrubRegions = append(scrubRegions, rc.Region)
@@ -71,19 +97,13 @@ func (m *Monitor) destroyDomain(d *Domain, scrub bool) error {
 	for _, r := range scrubRegions {
 		m.emit(trace.KScrubPlan, d.id, 0, 0, uint64(r.Start), r.Size())
 	}
-	// Drop and scrub the dead domain's submission ring before revocation
-	// destroys its capability records: the teardown revalidates the
-	// owner's access over the ring footprint (skipping the header scrub
-	// if the pages were granted away), which only answers correctly
-	// while the owner's capabilities still exist. Descriptors a dying
-	// domain managed to enqueue are never executed — dead-domain silence
-	// covers queued work, not just running work.
-	m.ringTeardownLocked(d.id)
-	acts := m.space.RevokeOwner(owner)
-	d.setState(StateDead)
+	// Detach the whole subtree: the victim's capabilities (and all
+	// derived ones) leave the index, while grant suspensions persist so
+	// parents cannot re-delegate regions that are about to be scrubbed.
+	det := m.space.DetachOwner(owner)
 	m.stats.revocations.Add(1)
 	m.emit(trace.KRevoke, d.id, 1, 0, 0, 0)
-	if err := m.afterRevocation(acts); err != nil {
+	if err := m.bk.ExecuteCleanups(det.Actions()); err != nil {
 		return err
 	}
 	for _, r := range scrubRegions {
@@ -95,13 +115,21 @@ func (m *Monitor) destroyDomain(d *Domain, scrub bool) error {
 		m.stats.pagesScrubbed.Add(r.Pages())
 		m.emit(trace.KScrub, d.id, 0, 0, uint64(r.Start), r.Size())
 	}
+	// Scrub done: release the detached subtrees (parents regain access
+	// to granted-back regions), resynchronise the survivors' hardware,
+	// and queue the limbo records for reclamation after the next grace
+	// period.
+	m.space.Release(det)
+	if err := m.resyncAfterRevocation(det.Actions()); err != nil {
+		return err
+	}
+	m.ep.deferFree(func() { m.space.Reclaim(det) })
 	if err := m.bk.RemoveDomain(owner); err != nil {
 		return err
 	}
 	m.cryptoErase(d.id)
-	// Clear scheduling state referring to the dead domain. Writers have
-	// drained every reader, but core run loops hold their sched mutex
-	// only briefly — take each in turn.
+	// Clear scheduling state referring to the dead domain. Core run
+	// loops hold their sched mutex only briefly — take each in turn.
 	for _, sc := range m.sched {
 		sc.mu.Lock()
 		if sc.hasCur && sc.cur == d.id {
@@ -110,16 +138,18 @@ func (m *Monitor) destroyDomain(d *Domain, scrub bool) error {
 		sc.mu.Unlock()
 	}
 	// Purge the dead domain's queued vCPUs from the multi-tenant run
-	// queue: under the exclusive lock no dispatch can race this, so a
-	// killed domain is never dispatched again (the trace oracle's
-	// dead-domain-silence property over KTransition checks it).
+	// queue. Any dispatch that validated liveness before the death
+	// publish has retired inside the grace period above; dispatches
+	// after it fail the liveness check — so a killed domain is never
+	// dispatched again (the trace oracle's dead-domain-silence property
+	// over KTransition checks it).
 	m.schedPurge(d.id)
 	m.emit(trace.KKill, d.id, 0, 0, 0, 0)
 	return nil
 }
 
 // containFault handles a machine check taken on core while victim ran
-// (exclusive monitor lock held). The victim is force-killed and the
+// (destructive-family entry held). The victim is force-killed and the
 // core's call stack discarded; survivors on other cores are untouched.
 // A fault while the initial domain ran only parks the core — dom0 holds
 // the platform's root capabilities, and destroying it would take down

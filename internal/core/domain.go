@@ -134,8 +134,22 @@ func (d *Domain) Creator() DomainID { return d.creator }
 // State returns the lifecycle state (atomic, lock-free).
 func (d *Domain) State() DomainState { return DomainState(d.state.Load()) }
 
-// setState publishes a lifecycle transition.
-func (d *Domain) setState(s DomainState) { d.state.Store(int32(s)) }
+// setState publishes a lifecycle transition. StateDead is absorbing:
+// once a kill has published death, a configuration reader that
+// validated liveness just before (e.g. an epoch-pinned seal) must not
+// resurrect the domain by storing over it — the CAS loop makes the
+// late writer lose.
+func (d *Domain) setState(s DomainState) {
+	for {
+		old := d.state.Load()
+		if DomainState(old) == StateDead {
+			return
+		}
+		if d.state.CompareAndSwap(old, int32(s)) {
+			return
+		}
+	}
+}
 
 // bumpCfgGen invalidates any cached pre-validated transitions into
 // this domain (called under d.mu by every entry/ring/seal mutation).

@@ -28,9 +28,11 @@ import (
 // re-checked periodically and at the end. Ops 12-15 exercise the
 // multi-tenant scheduler (exec shares, core delegation, CallYield
 // tenants, scheduled run bursts); ops 16-18 the batched ABI (ring
-// setup, raw descriptor enqueue, doorbell flush). Widening the opcode
-// space shifts how pre-existing corpus entries decode, which is fine —
-// every decode is a valid program.
+// setup, raw descriptor enqueue, doorbell flush); ops 19-21 are the
+// revoke-heavy mix for the epoch-reclamation scheme (revoke bursts,
+// create+share+revoke churn, revocations interleaved with ring
+// drains). Widening the opcode space shifts how pre-existing corpus
+// entries decode, which is fine — every decode is a valid program.
 func driveMonitorOps(tb testing.TB, m *Monitor, data []byte) {
 	domains := []DomainID{InitialDomain}
 	var nodes []cap.NodeID
@@ -86,7 +88,7 @@ func driveMonitorOps(tb testing.TB, m *Monitor, data []byte) {
 	schedOn := false
 	steps := 0
 	for pos < len(data) {
-		switch next() % 19 {
+		switch next() % 22 {
 		case 0:
 			if len(domains) < 32 {
 				if id, err := m.CreateDomain(randDomain(), "fuzz"); err == nil {
@@ -213,9 +215,37 @@ func driveMonitorOps(tb testing.TB, m *Monitor, data []byte) {
 			}
 			_ = mem.Write64(r.base+RingOffSQTail, tail+1)
 		case 18:
-			// Ring the doorbell: drains under the exclusive lock with the
-			// coalesced shootdown armed, against whatever state ops 16/17
-			// (and every revoke/kill in between) left behind.
+			// Ring the doorbell: drains under the destructive-family
+			// entry with the coalesced shootdown armed, against whatever
+			// state ops 16/17 (and every revoke/kill in between) left
+			// behind.
+			d := randDomain()
+			if _, err := m.RingFlush(d); err != nil {
+				delete(rings, d)
+			}
+		case 19:
+			// Revoke burst: back-to-back detach→quiesce→reclaim cycles,
+			// the hot path of the epoch engine. Arbitrary nodes from
+			// arbitrary callers — most are denied, the rest cascade.
+			for n := pick(3) + 1; n > 0; n-- {
+				_ = m.Revoke(randDomain(), randNode())
+			}
+		case 20:
+			// Create+share+revoke churn: a subtree is born and torn down
+			// inside one op, so limbo records and the transition cache
+			// see maximum turnover.
+			if d, err := m.CreateDomain(randDomain(), "churn"); err == nil {
+				domains = append(domains, d)
+				if id, err := m.Share(InitialDomain, randNode(), d, randRegion(), cap.MemRW|cap.RightShare, cap.CleanFlushTLB); err == nil {
+					_ = m.Revoke(InitialDomain, id)
+				}
+			}
+		case 21:
+			// Revocation interleaved with a ring drain: the two
+			// destructive-family entries serialise on revMu while
+			// readers keep flowing — the exact contention the epoch
+			// scheme exists for.
+			_ = m.Revoke(randDomain(), randNode())
 			d := randDomain()
 			if _, err := m.RingFlush(d); err != nil {
 				delete(rings, d)

@@ -21,8 +21,8 @@ type IRQHandler func(c *hw.Core, irq hw.IRQ) error
 // SetIRQHandler installs the domain's interrupt handler. The domain
 // itself or its creator may configure it.
 func (m *Monitor) SetIRQHandler(caller, id DomainID, h IRQHandler) error {
-	m.lk.rlock()
-	defer m.lk.runlock()
+	p := m.renter()
+	defer m.rexit(p)
 	d, err := m.liveDomain(id)
 	if err != nil {
 		return err
@@ -41,19 +41,20 @@ func (m *Monitor) SetIRQHandler(caller, id DomainID, h IRQHandler) error {
 // whose holder has no handler (or devices nobody holds) are dropped and
 // counted — exactly what real hardware does with masked vectors.
 //
-// The routing decision holds the monitor lock shared — the capability
-// lookup and the liveness it depends on must not race a revocation —
-// and reads the receiving domain's handler under its own mutex. The
-// handler itself is invoked with every lock released, because Go-level
-// handlers are domain kernels that re-enter the monitor through its
-// public API.
+// The routing decision is a pinned reader entry — the capability
+// lookup and the liveness it depends on must not race a revocation's
+// reclaim, and the KIRQRoute emit must be sequenced before a
+// concurrent kill's KKill — and reads the receiving domain's handler
+// under its own mutex. The handler itself is invoked with the entry
+// fully exited (unpinned, unlocked), because Go-level handlers are
+// domain kernels that re-enter the monitor through its public API.
 func (m *Monitor) routeIRQs(c *hw.Core) error {
 	for {
 		irq, ok := m.mach.TakeIRQ()
 		if !ok {
 			return nil
 		}
-		m.lk.rlock()
+		p := m.renter()
 		var handler IRQHandler
 		tab := m.tab.Load()
 		for _, owner := range m.space.DeviceUsers(irq.Device) {
@@ -76,7 +77,7 @@ func (m *Monitor) routeIRQs(c *hw.Core) error {
 			m.stats.irqsDropped.Add(1)
 			m.emit(trace.KIRQDrop, 0, uint64(irq.Device), uint64(irq.Vector), 0, 0)
 		}
-		m.lk.runlock()
+		m.rexit(p)
 		if handler == nil {
 			continue
 		}

@@ -9,13 +9,17 @@ import (
 
 // BigLockBuild reports whether this binary was built with the biglock
 // tag. This file restores the PR-1 behaviour for A/B comparison: every
-// monitor entry that takes the top-level lock — shared or exclusive in
-// the fine-grained build — serialises on one mutex. The inner layers
-// (per-domain mutexes, per-core scheduling locks, the sharded
-// capability space) are identical in both builds; they are simply
-// uncontended here, so the A/B difference isolates the top-level
-// locking policy. Cycle charging is shared code, so single-core cycle
-// counts are bit-identical across builds.
+// monitor entry that takes the top-level lock — shared in the epoch
+// build — serialises on one mutex. The epoch machinery degenerates
+// cleanly: with all entries serialised there is never a concurrent
+// reader pin, so ep.synchronize returns without waiting and the
+// publish → quiesce → reclaim sequence becomes plain stop-the-world
+// teardown on one code path. The inner layers (per-domain mutexes,
+// per-core scheduling locks, the sharded capability space) are
+// identical in both builds; they are simply uncontended here, so the
+// A/B difference isolates the concurrency policy. Cycle charging is
+// shared code, so single-core cycle counts are bit-identical across
+// builds.
 const BigLockBuild = true
 
 // monLock is the monitor's top-level lock: one mutex, with rlock and

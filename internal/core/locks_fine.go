@@ -9,17 +9,19 @@ import (
 
 // BigLockBuild reports whether this binary was built with the biglock
 // tag (the PR-1 single-mutex monitor, kept for A/B comparison). The
-// default build uses the fine-grained scheme: a reader/writer monitor
-// lock where the common operations (delegations, transitions, VMCalls)
-// hold it shared and only the revoke family (Revoke, KillDomain,
-// ForceKill, containFault) holds it exclusively.
+// default build uses the epoch scheme (epoch.go): every monitor entry
+// — including the revoke family — holds the top-level lock shared;
+// readers additionally pin an epoch slot, destructive entries
+// serialise among themselves on revMu and wait readers out with
+// ep.synchronize instead of a writer lock.
 const BigLockBuild = false
 
 // monLock is the monitor's top-level lock. In the fine-grained build it
-// is an RWMutex: rlock admits concurrent monitor entries (per-domain
-// and per-core mutexes below it provide the actual mutual exclusion),
-// wlock drains every reader for the revocation paths, whose shootdown
-// and scrub ordering invariants require the world stopped.
+// is an RWMutex taken shared by every monitor entry (per-domain and
+// per-core mutexes below it provide the actual mutual exclusion; epoch
+// pins provide the revocation grace period). wlock remains for
+// embedders or tests that want a genuine stop-the-world barrier; the
+// monitor itself no longer takes it on any path.
 //
 // Both builds account the time callers spend blocked acquiring the
 // lock; Monitor.LockWait exposes the totals for the C18 experiment's

@@ -209,13 +209,20 @@ type coreSched struct {
 //     to the internally-synchronised cap.Space. Stats, Domain, Domains,
 //     DomainKeyID, Enumerate, Attest's enumeration+signing, RefCounts,
 //     and read-only VMCall dispatch take no monitor lock at all.
-//   - The top-level monLock (lk) is a reader/writer lock. Delegations,
-//     transitions, seals, copies, and IRQ routing hold it shared — they
-//     may run concurrently with each other; the revoke family (Revoke,
-//     KillDomain, ForceKill, containFault) holds it exclusively, which
-//     drains every in-flight operation and makes the scrub/shootdown
-//     ordering invariants trivially sequential, exactly as the trace
-//     checker demands.
+//   - The top-level monLock (lk) is a reader/writer lock that every
+//     monitor entry now holds SHARED. Entries that rely on the state
+//     they read staying reachable — delegations, transitions, seals,
+//     copies, IRQ routing, attestation — additionally pin the epoch
+//     engine (renter/rexit, epoch.go). The destructive family (Revoke,
+//     KillDomain, ForceKill, containFault, ring drains) serialises on
+//     revMu and follows the RCU discipline: publish the removal
+//     (capability-subtree detach, atomic death state), synchronize
+//     (wait for every pre-publish pin to drop), then run the
+//     irreversible effects (cleanups, scrub, shootdown, hardware
+//     resync, deferred record reclaim). Revocation therefore runs
+//     concurrently with lock-free readers; only its publish steps are
+//     serialized. Domain creation serialises on tabMu, the only other
+//     writer of the published table.
 //   - Per-domain mutexes (Domain.mu) guard one domain's mutable record
 //     (entry point, measured regions, handlers, log); per-core mutexes
 //     (coreSched.mu) guard one core's call stack and serialise
@@ -223,19 +230,34 @@ type coreSched struct {
 //     resync (device filters, encryption keying); the capability space
 //     shards its own locks per owner (see cap.Space).
 //
-// Lock order (documented, enforced by construction): lk (shared or
-// exclusive) → coreSched.mu → Domain.mu (two domains in ascending
+// Lock order (documented, enforced by construction): lk (shared) →
+// revMu / tabMu → coreSched.mu → Domain.mu (two domains in ascending
 // DomainID) → hwMu → capability-space locks / hardware-object locks.
 // Locks are only ever taken left-to-right; cap and hw locks are leaves,
-// never held across calls back into the monitor. Go-level syscall and
-// IRQ handlers are invoked with no monitor locks held — they re-enter
-// the monitor through the public API like any caller.
+// never held across calls back into the monitor. ep.synchronize is
+// called while holding only lk (shared) + revMu, before any leaf lock,
+// so a pinned reader can always finish. Go-level syscall and IRQ
+// handlers are invoked with no monitor locks held — they re-enter the
+// monitor through the public API like any caller. Under the biglock
+// build tag lk is one mutex, no two entries overlap, synchronize never
+// waits, and the whole scheme degenerates to stop-the-world.
 type Monitor struct {
 	lk monLock
 	// hwMu serialises global hardware resynchronisation: IOMMU device
 	// filters and memory-encryption keying, which read system-wide
 	// capability state and write shared hardware objects.
 	hwMu sync.Mutex
+
+	// revMu serialises the destructive family — revoke, kill,
+	// containment, ring drains — against itself: the single-writer side
+	// of the epoch scheme. It nests directly under lk (held shared).
+	revMu sync.Mutex
+	// tabMu serialises domain creation, the only writer of the
+	// published domain table besides boot.
+	tabMu sync.Mutex
+	// ep is the epoch-based reclamation engine (epoch.go): readers pin,
+	// destructive operations synchronize and defer frees.
+	ep epochEngine
 
 	mach  *hw.Machine
 	space *cap.Space
@@ -290,6 +312,12 @@ type Monitor struct {
 	// on the pre-cache path.
 	tcOn atomic.Bool
 
+	// hookDelegatePreEmit, when non-nil, runs inside delegateLocked
+	// after the capability mutation and before the trace emit. Test-only
+	// (never set outside _test files): the epoch mutation test parks a
+	// delegation here to hold its pin open across a concurrent kill.
+	hookDelegatePreEmit func(DomainID)
+
 	stats statCounters
 }
 
@@ -340,6 +368,7 @@ func Boot(cfg BootConfig) (*Monitor, error) {
 	for _, c := range m.mach.CoreIDs() {
 		m.sched[c] = &coreSched{}
 	}
+	m.ep.init()
 
 	// Measured boot: firmware, then the monitor itself (DRTM-style).
 	if err := m.rot.Extend(tpm.PCRFirmware, tpm.Measure([]byte("platform-firmware/v1")), "firmware"); err != nil {
@@ -422,12 +451,15 @@ func (m *Monitor) Backend() string { return m.bk.Name() }
 // MonitorRegion returns the monitor's self-protected memory.
 func (m *Monitor) MonitorRegion() phys.Region { return m.monRegion }
 
-// Stats returns a coherent, allocation-free snapshot of the monitor's
-// event counters: every field is one atomic load, and holding the
-// monitor lock shared excludes the revocation family — the only
-// operations that commit multiple logically-paired counters — so no
-// snapshot observes such a pair half-done. Delegations and transitions
-// (also shared holders) are never blocked by a Stats reader.
+// Stats returns an allocation-free snapshot of the monitor's event
+// counters: every field is one atomic load. Each field is individually
+// exact, but since the revocation family now runs under the shared
+// lock too (epoch scheme), a snapshot may land between the
+// logically-paired counter updates of an in-flight revoke — e.g. see
+// CapOps already incremented but Revocations not yet. The tearing is
+// bounded by the number of in-flight operations and resolves as soon
+// as they retire; quiescent snapshots are exact. Delegations,
+// transitions, and revocations are never blocked by a Stats reader.
 func (m *Monitor) Stats() Stats {
 	m.lk.rlock()
 	defer m.lk.runlock()
@@ -478,8 +510,11 @@ func (m *Monitor) Domains() []DomainID {
 	return out
 }
 
-// liveDomain resolves id to a live domain (lock-free; callers needing
-// liveness to be *stable* hold lk, under which no kill can run).
+// liveDomain resolves id to a live domain (lock-free). Liveness is a
+// moment-in-time fact: a concurrent kill may publish death right after
+// this returns. Callers that act on the answer hold an epoch pin, so
+// the kill's irreversible effects (scrub, reclaim, KKill) wait for
+// them to finish — the operation linearizes before the kill.
 func (m *Monitor) liveDomain(id DomainID) (*Domain, error) {
 	d, err := m.domain(id)
 	if err != nil {
@@ -501,11 +536,14 @@ func (m *Monitor) deny(format string, args ...any) error {
 // "software running in any trust domain can access the isolation
 // monitor API").
 //
-// Creation publishes a new domain table, so it takes the exclusive
-// monitor lock; it is the only non-revocation writer.
+// Creation publishes a new domain table under tabMu — it no longer
+// stalls readers or the destructive family. The epoch pin orders the
+// KCreate emit before any concurrent kill of the creator retires.
 func (m *Monitor) CreateDomain(caller DomainID, name string) (DomainID, error) {
-	m.lk.wlock()
-	defer m.lk.wunlock()
+	p := m.renter()
+	defer m.rexit(p)
+	m.tabMu.Lock()
+	defer m.tabMu.Unlock()
 	if _, err := m.liveDomain(caller); err != nil {
 		return 0, err
 	}
@@ -549,21 +587,24 @@ func (m *Monitor) Grant(caller DomainID, node cap.NodeID, dst DomainID, sub cap.
 	return m.delegate(caller, node, dst, sub, rights, cleanup, true)
 }
 
-// delegate validates and performs one Share or Grant. It holds the
-// monitor lock shared: the capability space provides its own per-owner
-// locking for the mutation, liveness cannot change underneath (kills
-// are writers), and hardware resync is serialised per affected domain.
-// Two delegations between disjoint domain pairs therefore run fully in
-// parallel.
+// delegate validates and performs one Share or Grant. It is an epoch-
+// pinned reader entry: the capability space provides its own per-owner
+// locking for the mutation, and hardware resync is serialised per
+// affected domain. Two delegations between disjoint domain pairs run
+// fully in parallel. A kill racing the delegation either loses the
+// liveness check (it published death first) or waits out the pin in
+// its grace period — in which case the delegated capability is part of
+// the subtree its DetachOwner then revokes.
 func (m *Monitor) delegate(caller DomainID, node cap.NodeID, dst DomainID, sub cap.Resource, rights cap.Rights, cleanup cap.Cleanup, grant bool) (cap.NodeID, error) {
-	m.lk.rlock()
-	defer m.lk.runlock()
+	p := m.renter()
+	defer m.rexit(p)
 	return m.delegateLocked(caller, node, dst, sub, rights, cleanup, grant)
 }
 
-// delegateLocked is delegate with the monitor lock already held (shared
-// by the public wrappers, exclusive on the ring drain path — the lock
-// is not reentrant, so batch execution needs this entry point).
+// delegateLocked is delegate with a monitor entry already held (a
+// pinned reader entry from the public wrappers, the destructive entry
+// on the ring drain path — the locks are not reentrant, so batch
+// execution needs this entry point).
 func (m *Monitor) delegateLocked(caller DomainID, node cap.NodeID, dst DomainID, sub cap.Resource, rights cap.Rights, cleanup cap.Cleanup, grant bool) (cap.NodeID, error) {
 	op := trace.OpShare
 	if grant {
@@ -593,6 +634,9 @@ func (m *Monitor) delegateLocked(caller DomainID, node cap.NodeID, dst DomainID,
 		return 0, err
 	}
 	m.stats.capOps.Add(1)
+	if m.hookDelegatePreEmit != nil {
+		m.hookDelegatePreEmit(dst)
+	}
 	kind := trace.KShare
 	if grant {
 		kind = trace.KGrant
@@ -615,16 +659,30 @@ func (m *Monitor) delegateLocked(caller DomainID, node cap.NodeID, dst DomainID,
 // management code in control despite making policy configuration
 // available to all software" (§3.2).
 func (m *Monitor) Revoke(caller DomainID, node cap.NodeID) error {
-	m.lk.wlock()
-	defer m.lk.wunlock()
+	m.denter()
+	defer m.dexit()
 	return m.revoke(caller, node)
 }
 
-// revoke is Revoke with the exclusive monitor lock held (the guest ABI
-// path). Revocation stops the world: subtree removal, cleanups, and
-// shootdowns must not interleave with delegations or transitions, and
-// holding the writer lock is what preserves the trace checker's
-// shootdown-ack and scrub ordering invariants unchanged.
+// revoke is Revoke with the destructive-family entry held (rlock +
+// revMu — the guest ABI and ring drain paths share it). Revocation no
+// longer stops the world; it follows the epoch discipline:
+//
+//	publish  — Detach removes the subtree from the capability index in
+//	           one short structural critical section. New readers stop
+//	           seeing the capabilities; grant suspensions persist, so
+//	           the parents cannot re-delegate the regions yet.
+//	quiesce  — synchronize waits out every reader that could have
+//	           validated access before the detach. After it returns,
+//	           no check-then-act entry still relies on revoked state.
+//	reclaim  — cleanups (zero/flush + shootdowns) scrub the revoked
+//	           state, Release hands the parents their access back,
+//	           affected hardware is resynchronised, and the detached
+//	           records go to the deferred-free list.
+//
+// The KOpBegin/KOpEnd frame brackets all of it, so the trace checker's
+// shootdown-ack-inside-frame and scrub ordering invariants hold
+// unchanged.
 func (m *Monitor) revoke(caller DomainID, node cap.NodeID) error {
 	tok := m.opTok.Add(1)
 	m.emit(trace.KOpBegin, caller, trace.OpRevoke, tok, 0, 0)
@@ -645,22 +703,31 @@ func (m *Monitor) revoke(caller DomainID, node cap.NodeID) error {
 	if !authorized {
 		return m.deny("domain %d may not revoke capability %d", caller, node)
 	}
-	acts, err := m.space.Revoke(node)
+	det, err := m.space.Detach(node)
 	if err != nil {
 		return err
 	}
 	m.stats.capOps.Add(1)
 	m.stats.revocations.Add(1)
 	m.emit(trace.KRevoke, caller, 0, uint64(node), 0, 0)
-	return m.afterRevocation(acts, info.Owner)
-}
-
-// afterRevocation executes cleanups and resynchronises hardware state
-// for every owner whose access changed. Exclusive monitor lock held.
-func (m *Monitor) afterRevocation(acts []cap.CleanupAction, alsoSync ...cap.OwnerID) error {
-	if err := m.bk.ExecuteCleanups(acts); err != nil {
+	m.ep.synchronize()
+	if err := m.bk.ExecuteCleanups(det.Actions()); err != nil {
 		return err
 	}
+	m.space.Release(det)
+	if err := m.resyncAfterRevocation(det.Actions(), info.Owner); err != nil {
+		return err
+	}
+	m.ep.deferFree(func() { m.space.Reclaim(det) })
+	return nil
+}
+
+// resyncAfterRevocation reprograms hardware state for every owner whose
+// access changed. Destructive-family entry held — not exclusive — so
+// each per-domain filter rebuild takes Domain.mu, exactly like the
+// delegation path's syncAfterChange, keeping rebuilds for one domain
+// serialised against concurrent delegations.
+func (m *Monitor) resyncAfterRevocation(acts []cap.CleanupAction, alsoSync ...cap.OwnerID) error {
 	affected := make(map[cap.OwnerID]bool)
 	for _, a := range acts {
 		affected[a.Owner] = true
@@ -671,7 +738,10 @@ func (m *Monitor) afterRevocation(acts []cap.CleanupAction, alsoSync ...cap.Owne
 	tab := m.tab.Load()
 	for o := range affected {
 		if d, ok := tab.doms[DomainID(o)]; ok && d.State() != StateDead {
-			if err := m.bk.SyncDomain(o); err != nil {
+			d.mu.Lock()
+			err := m.bk.SyncDomain(o)
+			d.mu.Unlock()
+			if err != nil {
 				return err
 			}
 		}
@@ -682,14 +752,16 @@ func (m *Monitor) afterRevocation(acts []cap.CleanupAction, alsoSync ...cap.Owne
 	return m.syncEncryption()
 }
 
-// syncAfterChange refreshes hardware state after a delegation (shared
-// monitor lock held). Domain filter rebuilds are serialised per domain
+// syncAfterChange refreshes hardware state after a delegation (pinned
+// reader entry held). Domain filter rebuilds are serialised per domain
 // by Domain.mu — taken one at a time, never as a held pair, so rings of
 // delegating domains cannot convoy. Concurrent delegations touching the
 // same domain are safe: each rebuild reads the capability space at
 // rebuild time, so the last one to run sees (at least) all mutations
-// committed before it — and revocations, the only removals, exclude
-// this path entirely via the writer lock.
+// committed before it. Revocations take Domain.mu for their rebuilds
+// too (resyncAfterRevocation), and their scrub/reclaim effects wait out
+// this entry's epoch pin, so a rebuild never reprograms a filter from
+// state that is mid-reclaim.
 func (m *Monitor) syncAfterChange(a, b *Domain, res cap.Resource) error {
 	doms := []*Domain{a, b}
 	if a == b {
@@ -766,8 +838,8 @@ func (m *Monitor) syncAllDevices() error {
 // entry point"). Only the domain itself or its creator may configure it,
 // and only before sealing.
 func (m *Monitor) SetEntry(caller, id DomainID, entry phys.Addr) error {
-	m.lk.rlock()
-	defer m.lk.runlock()
+	p := m.renter()
+	defer m.rexit(p)
 	d, err := m.liveDomain(id)
 	if err != nil {
 		return err
@@ -794,8 +866,8 @@ func (m *Monitor) SetEntry(caller, id DomainID, entry phys.Addr) error {
 // ring 3 so the domain's first-level filter applies from the first
 // instruction). Same authorization and sealing rules as SetEntry.
 func (m *Monitor) SetEntryRing(caller, id DomainID, ring hw.Ring) error {
-	m.lk.rlock()
-	defer m.lk.runlock()
+	p := m.renter()
+	defer m.rexit(p)
 	d, err := m.liveDomain(id)
 	if err != nil {
 		return err
@@ -816,8 +888,8 @@ func (m *Monitor) SetEntryRing(caller, id DomainID, ring hw.Ring) error {
 // AddMeasuredRegion marks a region of the domain's memory whose content
 // is included in the seal-time measurement.
 func (m *Monitor) AddMeasuredRegion(caller, id DomainID, r phys.Region) error {
-	m.lk.rlock()
-	defer m.lk.runlock()
+	p := m.renter()
+	defer m.rexit(p)
 	d, err := m.liveDomain(id)
 	if err != nil {
 		return err
@@ -845,8 +917,8 @@ func (m *Monitor) AddMeasuredRegion(caller, id DomainID, r phys.Region) error {
 // A sealed domain can no longer receive resources; its attestation
 // becomes stable (§3.1).
 func (m *Monitor) Seal(caller, id DomainID) (tpm.Digest, error) {
-	m.lk.rlock()
-	defer m.lk.runlock()
+	p := m.renter()
+	defer m.rexit(p)
 	return m.seal(caller, id)
 }
 
@@ -891,8 +963,8 @@ func (m *Monitor) seal(caller, id DomainID) (tpm.Digest, error) {
 // capabilities ever derived from them) is revoked with its cleanup
 // policies executed, and its hardware state is removed.
 func (m *Monitor) KillDomain(caller, id DomainID) error {
-	m.lk.wlock()
-	defer m.lk.wunlock()
+	m.denter()
+	defer m.dexit()
 	d, err := m.liveDomain(id)
 	if err != nil {
 		return err
@@ -993,11 +1065,12 @@ func (m *Monitor) CheckAccess(id DomainID, a phys.Addr, want cap.Rights) bool {
 // domain holds write access over every touched page. Go-level domain
 // logic (the OS kit, libraries, examples) uses this instead of raw
 // physical writes so that the capability system is never bypassed.
-// The shared monitor lock keeps the check-then-copy atomic against
-// revocation (a writer).
+// The epoch pin keeps the check-then-copy atomic against revocation:
+// a concurrent revoke's scrub and reclaim wait out the pin, so a copy
+// that validated access never lands on already-scrubbed memory.
 func (m *Monitor) CopyInto(id DomainID, a phys.Addr, data []byte) error {
-	m.lk.rlock()
-	defer m.lk.runlock()
+	p := m.renter()
+	defer m.rexit(p)
 	if err := m.checkRange(id, a, uint64(len(data)), cap.RightWrite); err != nil {
 		return err
 	}
@@ -1006,8 +1079,8 @@ func (m *Monitor) CopyInto(id DomainID, a phys.Addr, data []byte) error {
 
 // CopyFrom reads the domain's memory after validating read access.
 func (m *Monitor) CopyFrom(id DomainID, a phys.Addr, n uint64) ([]byte, error) {
-	m.lk.rlock()
-	defer m.lk.runlock()
+	p := m.renter()
+	defer m.rexit(p)
 	if err := m.checkRange(id, a, n, cap.RightRead); err != nil {
 		return nil, err
 	}
@@ -1043,8 +1116,8 @@ func (m *Monitor) checkRange(id DomainID, a phys.Addr, n uint64, want cap.Rights
 // itself may set it — it is runtime material (e.g. the hash of a
 // key-exchange public key), settable even after sealing.
 func (m *Monitor) SetReportData(caller, id DomainID, data tpm.Digest) error {
-	m.lk.rlock()
-	defer m.lk.runlock()
+	p := m.renter()
+	defer m.rexit(p)
 	d, err := m.liveDomain(id)
 	if err != nil {
 		return err
@@ -1061,8 +1134,8 @@ func (m *Monitor) SetReportData(caller, id DomainID, data tpm.Digest) error {
 // SetSyscallHandler installs the Go-level ring-0 trap handler for the
 // domain (its "kernel").
 func (m *Monitor) SetSyscallHandler(caller, id DomainID, h SyscallHandler) error {
-	m.lk.rlock()
-	defer m.lk.runlock()
+	p := m.renter()
+	defer m.rexit(p)
 	d, err := m.liveDomain(id)
 	if err != nil {
 		return err
@@ -1081,8 +1154,8 @@ func (m *Monitor) SetSyscallHandler(caller, id DomainID, h SyscallHandler) error
 // first-level filter). The monitor-controlled Filter inside it keeps
 // enforcing regardless of what the domain does to OSFilter.
 func (m *Monitor) DomainContext(caller, id DomainID, core phys.CoreID) (*hw.Context, error) {
-	m.lk.rlock()
-	defer m.lk.runlock()
+	p := m.renter()
+	defer m.rexit(p)
 	d, err := m.liveDomain(id)
 	if err != nil {
 		return nil, err

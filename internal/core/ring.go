@@ -47,13 +47,17 @@ package core
 // the owner loses access — the monitor never writes a completion into
 // memory the owner no longer holds.
 //
-// Lock order: drains run under the EXCLUSIVE monitor lock. Batches mix
-// delegations (shared-lock ops) with revocations (exclusive-lock ops),
-// and one exclusive section for the whole batch both amortises the
-// acquisition and makes the coalesced shootdown trivially race-free —
-// every shootdown call site in the monitor runs under the exclusive
-// lock, so arming the machine-level accumulator there is sound.
-// ringMu is a leaf below lk guarding only the registry map.
+// Lock order: drains are destructive-family entries (shared monitor
+// lock + revMu, epoch.go). Batches mix delegations with revocations,
+// and one revMu section for the whole batch both amortises the
+// acquisition and keeps the coalesced shootdown race-free — every
+// shootdown call site in the monitor (batch drains, revocation
+// cleanups, kill scrubs) runs under revMu, so arming the machine-level
+// accumulator there is sound. Pinned readers keep flowing during a
+// drain; each revocation the batch executes runs its own grace period
+// before scrubbing. ringMu is a leaf below lk guarding only the
+// registry map. A drain is also a quiescent point for the epoch
+// engine's per-core counters.
 
 import (
 	"encoding/binary"
@@ -120,8 +124,8 @@ type domainRing struct {
 // header. Guests reach this via CallRingSetup (r1 = base,
 // r2 = entries).
 func (m *Monitor) RingSetup(caller DomainID, base phys.Addr, entries uint64) error {
-	m.lk.rlock()
-	defer m.lk.runlock()
+	p := m.renter()
+	defer m.rexit(p)
 	if entries == 0 || entries > MaxRingEntries {
 		return m.deny("ring capacity %d out of range [1,%d]", entries, MaxRingEntries)
 	}
@@ -181,8 +185,8 @@ func (m *Monitor) RingFlush(caller DomainID) (uint64, error) {
 }
 
 func (m *Monitor) ringFlush(caller DomainID, core int32) (uint64, error) {
-	m.lk.wlock()
-	defer m.lk.wunlock()
+	m.denter()
+	defer m.dexit()
 	if _, err := m.liveDomain(caller); err != nil {
 		return 0, err
 	}
@@ -190,15 +194,21 @@ func (m *Monitor) ringFlush(caller DomainID, core int32) (uint64, error) {
 	if !ok {
 		return 0, m.deny("domain %d has no ring (CallRingSetup first)", caller)
 	}
-	return m.drainRingLocked(r, core)
+	n, err := m.drainRingLocked(r, core)
+	// The doorbell is a quiescent point: the flushing guest is by
+	// definition outside any other monitor entry on its core.
+	if core >= 0 {
+		m.ep.quiesce(phys.CoreID(core))
+	}
+	return n, err
 }
 
 // DrainRings drains every registered ring (ascending owner ID, one
-// exclusive-lock section) and returns the total descriptors executed.
-// The multi-tenant engine calls it at every round barrier; dedicated-
-// mode embedders may call it directly. With no rings registered it is
-// one atomic load and returns immediately — unbatched runs never take
-// the lock here.
+// destructive-family section) and returns the total descriptors
+// executed. The multi-tenant engine calls it at every round barrier;
+// dedicated-mode embedders may call it directly. With no rings
+// registered it is one atomic load and returns immediately — unbatched
+// runs never take a lock here.
 func (m *Monitor) DrainRings() uint64 {
 	if m.ringCount.Load() == 0 {
 		return 0
@@ -211,8 +221,8 @@ func (m *Monitor) DrainRings() uint64 {
 	m.ringMu.Unlock()
 	sort.Slice(owners, func(i, j int) bool { return owners[i] < owners[j] })
 	var total uint64
-	m.lk.wlock()
-	defer m.lk.wunlock()
+	m.denter()
+	defer m.dexit()
 	for _, id := range owners {
 		r, ok := m.ringOf(id)
 		if !ok {
@@ -229,7 +239,7 @@ func (m *Monitor) DrainRings() uint64 {
 }
 
 // drainRingLocked executes every pending descriptor in r as one batch
-// (exclusive monitor lock held). The batch is bracketed by
+// (destructive-family entry held). The batch is bracketed by
 // KBatchBegin/KBatchEnd trace events; shootdowns the executed
 // operations request are coalesced into at most one cross-core round,
 // retired before the batch closes so the checker's ack invariant holds
@@ -331,8 +341,8 @@ func (m *Monitor) ringRevalidate(r *domainRing) error {
 	return nil
 }
 
-// ringExec executes one descriptor on behalf of owner (exclusive
-// monitor lock held; batch shootdown armed). Only non-transfer verbs
+// ringExec executes one descriptor on behalf of owner (destructive-
+// family entry held; batch shootdown armed). Only non-transfer verbs
 // are ring-eligible: control transfers (call/return/fast-switch/yield)
 // change which domain runs on a core and cannot be deferred into a
 // drain; ring management itself doesn't nest. An ineligible or unknown
@@ -385,9 +395,9 @@ func (m *Monitor) ringExec(owner DomainID, verb, a1, a2, a3, a4, a5 uint64) (sta
 	}
 }
 
-// ringTeardownLocked removes a dying domain's ring (exclusive monitor
-// lock held, called from destroyDomain BEFORE RevokeOwner destroys the
-// domain's capabilities). The pending descriptors are never executed —
+// ringTeardownLocked removes a dying domain's ring (destructive-family
+// entry held, called from destroyDomain BEFORE the death publish and
+// the detach destroy the domain's capabilities). The pending descriptors are never executed —
 // dead-domain silence extends to queued work — and the header is
 // scrubbed so a stale ring cannot be mistaken for live state by whoever
 // inherits the memory. The scrub only runs if the dying owner still
@@ -417,11 +427,11 @@ func (m *Monitor) ringTeardownLocked(id DomainID) {
 // drained on the domain's ring (0 with no ring) — a test and
 // diagnostics hook.
 func (m *Monitor) RingPending(id DomainID) uint64 {
-	// Look the ring up only after taking the shared lock: a concurrent
+	// Look the ring up only after entering as a reader: a concurrent
 	// RingSetup replaces the registration, and mixing the new ring's
 	// tail with the old ring's head yields a garbage count.
-	m.lk.rlock()
-	defer m.lk.runlock()
+	p := m.renter()
+	defer m.rexit(p)
 	r, ok := m.ringOf(id)
 	if !ok {
 		return 0

@@ -112,9 +112,10 @@ func (m *Monitor) schedQueue(cores []phys.CoreID) *sched.Scheduler {
 }
 
 // schedPurge drops every queued vCPU of a dying domain from the run
-// queue. Called by destroyDomain under the exclusive monitor lock, so
-// no dispatch can race it: a ForceKilled domain's queued vCPUs are
-// gone before any reader resumes.
+// queue. Called by destroyDomain after the death publish and grace
+// period: any dispatch that validated liveness before the publish has
+// retired, and later ones fail the liveness check — so a ForceKilled
+// domain is never dispatched again.
 func (m *Monitor) schedPurge(id DomainID) {
 	m.schedMu.Lock()
 	q := m.runq
@@ -263,6 +264,13 @@ func (m *Monitor) runScheduled(budget int, cores []phys.CoreID) (map[phys.CoreID
 				// mode.
 			}
 		}
+		// The round barrier is the engine's natural quiescent point:
+		// every core is outside any monitor entry, so stamp the epoch
+		// counters (advancing deferred reclamation) before the ring
+		// drain. Host-side atomics only — the cycle clock is untouched.
+		for _, c := range cores {
+			m.ep.quiesce(c)
+		}
 		// Round-barrier ring drain: every core is quiescent and the
 		// cycle clock is at a sequential point, so batched work lands at
 		// a deterministic place in the schedule. Guarded by one atomic
@@ -310,11 +318,12 @@ func (m *Monitor) dispatchVCPU(v *sched.VCPU, core phys.CoreID) (live bool, err 
 // resumeVCPU performs the TransDispatch transition: validated like
 // Launch (liveness of the running domain and every saved call frame,
 // core capability) but restoring the vCPU's architectural state
-// instead of entering at the fixed entry point. Shared monitor lock →
-// per-core lock, the standard transition order.
+// instead of entering at the fixed entry point. Pinned reader entry →
+// per-core lock, the standard transition order; the pin orders the
+// dispatch's KTransition before any concurrent kill's KKill.
 func (m *Monitor) resumeVCPU(v *sched.VCPU, core phys.CoreID) (bool, error) {
-	m.lk.rlock()
-	defer m.lk.runlock()
+	p := m.renter()
+	defer m.rexit(p)
 	id := DomainID(v.Running)
 	if _, err := m.liveDomain(id); err != nil {
 		return false, nil

@@ -17,11 +17,13 @@ import (
 // entry point; Return unwinds. FastSwitch is the VMFUNC path: a
 // pre-authorised filter swap without a monitor exit.
 //
-// Concurrency: transitions hold the monitor lock shared — they exclude
-// revocations (writers) but run concurrently with transitions on other
-// cores and with delegations. The per-core coreSched mutex serialises
-// transitions on one core; cores never touch each other's scheduling
-// state, so the transition path has no cross-core contention at all.
+// Concurrency: transitions are epoch-pinned reader entries (shared
+// monitor lock + pin, epoch.go) — they run concurrently with
+// transitions on other cores, with delegations, and with the
+// destructive family, whose irreversible effects wait out the pins.
+// The per-core coreSched mutex serialises transitions on one core;
+// cores never touch each other's scheduling state, so the transition
+// path has no cross-core contention at all.
 
 // ErrCallDepth reports an attempt to return with no caller frame.
 var ErrCallDepth = errors.New("core: call stack empty")
@@ -51,8 +53,8 @@ func (m *Monitor) currentDomain(core phys.CoreID, sc *coreSched) (DomainID, bool
 // Launch starts the initial domain (or any domain with an entry point)
 // on a core with an empty call stack — boot-time scheduling.
 func (m *Monitor) Launch(id DomainID, core phys.CoreID) error {
-	m.lk.rlock()
-	defer m.lk.runlock()
+	p := m.renter()
+	defer m.rexit(p)
 	d, err := m.liveDomain(id)
 	if err != nil {
 		return err
@@ -90,12 +92,12 @@ func (m *Monitor) Launch(id DomainID, core phys.CoreID) error {
 // r0..r5 copied from the caller. The transfer is validated: the target
 // must be live, runnable on the core, and have an entry point.
 func (m *Monitor) Call(core phys.CoreID, target DomainID) error {
-	m.lk.rlock()
-	defer m.lk.runlock()
+	p := m.renter()
+	defer m.rexit(p)
 	return m.call(core, target)
 }
 
-// call is Call with the shared monitor lock held (the guest ABI path).
+// call is Call with a pinned reader entry held (the guest ABI path).
 // The target's entry point is snapshotted under the domain mutex before
 // the core lock is taken (Domain.mu is below coreSched.mu in the lock
 // order only conceptually — they are never nested here).
@@ -153,12 +155,12 @@ func (m *Monitor) call(core phys.CoreID, target DomainID) error {
 // domain, which resumes after its call site. Registers r0 and r1 of the
 // returning domain are delivered to the caller as return values.
 func (m *Monitor) Return(core phys.CoreID) error {
-	m.lk.rlock()
-	defer m.lk.runlock()
+	p := m.renter()
+	defer m.rexit(p)
 	return m.ret(core)
 }
 
-// ret is Return with the shared monitor lock held (the guest ABI path).
+// ret is Return with a pinned reader entry held (the guest ABI path).
 func (m *Monitor) ret(core phys.CoreID) error {
 	if m.tcOn.Load() {
 		if done, err := m.cachedReturn(core); done {
@@ -202,8 +204,8 @@ func (m *Monitor) ret(core phys.CoreID) error {
 // "accelerate existing operations with hardware, such as fast (100
 // cycles) domain transitions using VMFUNC" (§4.1).
 func (m *Monitor) RegisterFastPath(caller DomainID, a, b DomainID, core phys.CoreID) error {
-	m.lk.rlock()
-	defer m.lk.runlock()
+	p := m.renter()
+	defer m.rexit(p)
 	if _, err := m.liveDomain(caller); err != nil {
 		return err
 	}
@@ -226,12 +228,12 @@ func (m *Monitor) RegisterFastPath(caller DomainID, a, b DomainID, core phys.Cor
 // entirely (the fast path trades register hygiene for speed; domains
 // using it share a protocol, like Hodor-style data-plane libraries).
 func (m *Monitor) FastSwitch(core phys.CoreID, target DomainID) error {
-	m.lk.rlock()
-	defer m.lk.runlock()
+	p := m.renter()
+	defer m.rexit(p)
 	return m.fastSwitch(core, target)
 }
 
-// fastSwitch is FastSwitch with the shared monitor lock held.
+// fastSwitch is FastSwitch with a pinned reader entry held.
 func (m *Monitor) fastSwitch(core phys.CoreID, target DomainID) error {
 	td, err := m.liveDomain(target)
 	if err != nil {
@@ -286,9 +288,11 @@ type RunResult struct {
 //
 // RunCore itself holds no monitor lock: guest execution between traps
 // is always lock-free, and each trap handler takes exactly the locks
-// its operation needs (most hold the monitor lock shared; only fault
-// containment stops the world). Cores running independent workloads
-// therefore do not serialise on monitor entries at all.
+// its operation needs (pinned reader entries for most; the destructive
+// entry for fault containment). Cores running independent workloads
+// therefore do not serialise on monitor entries at all. The run loop
+// is a quiescent point for the epoch engine: the core stamps its epoch
+// counter between traps, which is what lets deferred frees retire.
 func (m *Monitor) RunCore(core phys.CoreID, budget int) (RunResult, error) {
 	c := m.mach.Core(core)
 	if c == nil {
@@ -298,6 +302,8 @@ func (m *Monitor) RunCore(core phys.CoreID, budget int) (RunResult, error) {
 	if _, ok := m.Current(core); !ok {
 		return RunResult{}, fmt.Errorf("%w: %v", ErrNotRunning, core)
 	}
+	m.ep.setOnline(core, true)
+	defer m.ep.setOnline(core, false)
 	// The installed context decides attribution: guest VMFUNC switches
 	// change the running domain without informing the monitor.
 	cur := func() DomainID {
@@ -310,6 +316,9 @@ func (m *Monitor) RunCore(core phys.CoreID, budget int) (RunResult, error) {
 	}
 	total := 0
 	for total < budget {
+		// Between traps the core holds no monitor entry: a quiescent
+		// point for epoch-based reclamation.
+		m.ep.quiesce(core)
 		// Route pending device interrupts before resuming guest code:
 		// IRQs raised by drivers or handlers during the previous trap
 		// window are delivered at the next entry, like real injection.
@@ -372,15 +381,18 @@ func (m *Monitor) RunCore(core phys.CoreID, budget int) (RunResult, error) {
 		case hw.TrapMachineCheck:
 			// A hardware fault killed whatever ran here. Contain it:
 			// destroy the victim domain (scrubbed), park the core, and
-			// report the trap. Containment stops the world — it holds
-			// the exclusive monitor lock. Other cores resume once the
-			// victim is torn down.
+			// report the trap. Containment is a destructive-family
+			// entry — readers on other cores keep flowing; the teardown
+			// waits out their epoch pins instead of the whole world.
+			// Synchronize never waits on this core's own pin (the trap
+			// handler holds none), so containing from the faulting core
+			// cannot self-deadlock.
 			m.mach.Clock.Advance(m.mach.Cost.VMExit)
 			m.stats.vmExits.Add(1)
 			victim := cur()
-			m.lk.wlock()
+			m.denter()
 			cErr := m.containFault(core, victim)
-			m.lk.wunlock()
+			m.dexit()
 			return RunResult{Steps: total, Trap: trap, Domain: victim}, cErr
 		default: // fault, illegal
 			return RunResult{Steps: total, Trap: trap, Domain: cur()}, nil
