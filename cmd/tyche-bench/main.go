@@ -10,6 +10,7 @@
 //	tyche-bench -parallel 4 -out BENCH_smp.json
 //	tyche-bench -traced -experiment C15
 //	tyche-bench -experiment C19 -out BENCH_sched.json
+//	tyche-bench -verify 16 -experiment C21 -out BENCH_check.json
 //
 // A/B lock-scalability merge: run C18 from a default build and from a
 // `-tags biglock` build, then join the two JSON files into
@@ -49,7 +50,7 @@ type benchOutput struct {
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "", "experiment ID (F1-F4, C1-C20); empty runs all")
+		experiment = flag.String("experiment", "", "experiment ID (F1-F4, C1-C21); empty runs all")
 		backend    = flag.String("backend", "vtx", "enforcement backend: vtx or pmp")
 		quick      = flag.Bool("quick", false, "smaller sweeps")
 		seed       = flag.Int64("seed", 1, "workload seed")
@@ -58,6 +59,7 @@ func main() {
 		parallel   = flag.Int("parallel", 1, "experiments to run concurrently")
 		out        = flag.String("out", "", "write machine-readable results (BENCH_smp.json) to this file")
 		traced     = flag.Bool("traced", false, "run every experiment with the cycle-stamped tracer and online invariant checker attached")
+		verify     = flag.Int("verify", 0, "attach the always-on runtime-verification service to every experiment world: 1 = exact sharded checking, N>1 = 1-in-N sampling of high-rate events (0 disables)")
 		merge      = flag.String("merge", "", "merge two C18 result files (fine.json,biglock.json) into an A/B scalability report instead of running experiments")
 		reqSpeedup = flag.Float64("require-speedup", 0, "with -merge: fail unless the fine-grained build beats the big lock by this factor at 4 workers (0 disables the gate)")
 	)
@@ -80,6 +82,7 @@ func main() {
 	}
 	cfg := bench.Config{
 		Trace:   *traced,
+		Verify:  *verify,
 		Backend: core.BackendKind(*backend),
 		Quick:   *quick,
 		Seed:    *seed,

@@ -21,6 +21,7 @@ import (
 	"github.com/tyche-sim/tyche/internal/image"
 	"github.com/tyche-sim/tyche/internal/libtyche"
 	"github.com/tyche-sim/tyche/internal/phys"
+	"github.com/tyche-sim/tyche/internal/rv"
 	"github.com/tyche-sim/tyche/internal/tpm"
 	"github.com/tyche-sim/tyche/internal/trace"
 	"github.com/tyche-sim/tyche/internal/trace/check"
@@ -42,12 +43,30 @@ type Config struct {
 	// experiment asserting no world saw a violation. No-op under the
 	// notrace build tag.
 	Trace bool
+	// Verify > 0 attaches the always-on runtime-verification service
+	// (internal/rv: sharded incremental checker merged at the monitor's
+	// quiescent points) to every experiment world. 1 is exact mode;
+	// N > 1 samples the high-rate event kinds 1-in-N (safety-critical
+	// kinds stay exact). Composes with Trace — both sinks then feed off
+	// one tracer. No-op under the notrace build tag.
+	Verify int
 
 	// audit, when non-nil, collects every traced world so the harness
 	// can render the checker's verdict even for experiments without
 	// explicit trace checks. Wired by RunExperiments.
 	audit *traceAudit
+	// contended marks a multi-worker pool run: sibling experiments are
+	// competing for the host CPU, so wall-clock gates cannot be
+	// enforced meaningfully. Experiments with such gates (C21) demote
+	// them to informational and shrink their measurement load. Set by
+	// RunExperiments.
+	contended bool
 }
+
+// verdicter is any attached trace oracle the audit can finalise: the
+// serial online checker and the sharded runtime-verification service
+// both satisfy it.
+type verdicter interface{ Err() error }
 
 // traceAudit accumulates the checkers of the traced worlds one
 // experiment boots. It holds the checkers themselves, not the worlds:
@@ -55,10 +74,10 @@ type Config struct {
 // the verdict wanted here is each checker's over whatever it saw.
 type traceAudit struct {
 	mu  sync.Mutex
-	cks []*check.Checker
+	cks []verdicter
 }
 
-func (a *traceAudit) add(ck *check.Checker) {
+func (a *traceAudit) add(ck verdicter) {
 	a.mu.Lock()
 	a.cks = append(a.cks, ck)
 	a.mu.Unlock()
@@ -262,7 +281,8 @@ func RunExperiments(exps []Experiment, cfg Config, workers int) ([]*Result, erro
 			defer wg.Done()
 			for j := range jobs {
 				run := cfg
-				if cfg.Trace {
+				run.contended = workers > 1
+				if cfg.Trace || cfg.Verify > 0 {
 					run.audit = &traceAudit{}
 				}
 				start := time.Now()
@@ -303,26 +323,52 @@ type world struct {
 	mon  *core.Monitor
 	cl   *libtyche.Client
 	ck   *check.Checker
+	// rvs is the always-on runtime-verification service (Config.Verify);
+	// nil when verification is off or tracing is compiled out.
+	rvs *rv.Service
 }
 
 // traceClean appends the checker-oracle checks to res when the world
 // is traced: no invariant violations, and event-derived counters
 // reconciling exactly with the monitor's statistics.
 func (w *world) traceClean(res *Result, tag string) {
-	if w.ck == nil {
-		return
+	if w.ck != nil {
+		err := w.ck.Err()
+		res.check(tag+"-trace-clean", err == nil, "online invariant checker over the full run: %v", err)
+		st := w.mon.Stats()
+		c := w.ck.Counts()
+		ok := countsMatch(c, st)
+		res.check(tag+"-trace-counts", ok,
+			"event-derived counts match Stats(): trace %+v vs stats %+v", c, st)
 	}
-	err := w.ck.Err()
-	res.check(tag+"-trace-clean", err == nil, "online invariant checker over the full run: %v", err)
-	st := w.mon.Stats()
-	c := w.ck.Counts()
-	ok := c.Transitions == st.Transitions && c.FastSwitches == st.FastSwitches &&
+	if w.rvs != nil {
+		err := w.rvs.Err()
+		mode := "exact"
+		if n := w.rvs.Tracer().SampleN(); n > 1 {
+			mode = fmt.Sprintf("sampled 1-in-%d", n)
+		}
+		res.check(tag+"-rv-clean", err == nil,
+			"sharded runtime verifier (%s) over the full run: %v", mode, err)
+		// Count reconciliation needs every event: skip it in sampled mode
+		// (tallies are deliberately inexact there) and when the tracer was
+		// detached mid-run.
+		if !w.rvs.Sampled() && w.mach.Tracer() == w.rvs.Tracer() {
+			st := w.mon.Stats()
+			c := w.rvs.Checker().Counts()
+			res.check(tag+"-rv-counts", countsMatch(c, st),
+				"shard-derived counts match Stats(): trace %+v vs stats %+v", c, st)
+		}
+	}
+}
+
+// countsMatch is the harness-level count reconciliation both trace
+// oracles share.
+func countsMatch(c check.Counts, st core.Stats) bool {
+	return c.Transitions == st.Transitions && c.FastSwitches == st.FastSwitches &&
 		c.CapOps == st.CapOps && c.Revocations == st.Revocations &&
 		c.ForcedKills == st.ForcedKills && c.PagesScrubbed == st.PagesScrubbed &&
 		c.VMCalls+c.MachineChecks == st.VMExits &&
 		c.Batches == st.RingFlushes && c.BatchedOps == st.RingOps
-	res.check(tag+"-trace-counts", ok,
-		"event-derived counts match Stats(): trace %+v vs stats %+v", c, st)
 }
 
 type worldOpts struct {
@@ -375,17 +421,38 @@ func newWorld(cfg Config, o worldOpts) (*world, error) {
 		return nil, err
 	}
 	var ck *check.Checker
-	if cfg.Trace && trace.Compiled {
-		// Installed before dom0's first op so the checker's counts and
-		// the monitor's statistics tally the same history from zero.
+	var rvs *rv.Service
+	if (cfg.Trace || cfg.Verify > 0) && trace.Compiled {
+		// One tracer feeds every attached oracle, installed before dom0's
+		// first op so checker counts and monitor statistics tally the
+		// same history from zero. Sinks attach before SetTracer so all of
+		// them observe KBoot.
 		tr := mach.NewTracer(trace.DefaultRingEntries)
-		ck = check.New()
-		tr.Attach(ck)
+		if cfg.Trace {
+			ck = check.New()
+			tr.Attach(ck)
+		}
+		if cfg.Verify > 0 {
+			svc, err := rv.Attach(mach, mon, rv.Options{
+				Node:    "bench",
+				SampleN: cfg.Verify,
+				Tracer:  tr,
+			})
+			if err != nil {
+				return nil, err
+			}
+			rvs = svc
+		}
 		mach.SetTracer(tr)
 	}
-	w := &world{mach: mach, rot: rot, mon: mon, ck: ck}
-	if ck != nil && cfg.audit != nil {
-		cfg.audit.add(ck)
+	w := &world{mach: mach, rot: rot, mon: mon, ck: ck, rvs: rvs}
+	if cfg.audit != nil {
+		if ck != nil {
+			cfg.audit.add(ck)
+		}
+		if rvs != nil {
+			cfg.audit.add(rvs)
+		}
 	}
 	cl := libtyche.New(mon, core.InitialDomain)
 	w.cl = cl

@@ -63,6 +63,11 @@ func runC17(cfg Config) (*Result, error) {
 			// own instrumentation, so start from a clean slate.
 			w.mach.SetTracer(nil)
 			w.ck = nil
+			// A -verify service attached at boot would keep merging at
+			// checkpoints against the replaced tracer; release the hook so
+			// C17's modes measure only their own instrumentation.
+			w.mon.SetCheckpoint(nil)
+			w.rvs = nil
 			if name == "off" {
 				return nil
 			}

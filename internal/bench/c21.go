@@ -1,0 +1,496 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/tyche-sim/tyche/internal/attest"
+	"github.com/tyche-sim/tyche/internal/cap"
+	"github.com/tyche-sim/tyche/internal/core"
+	"github.com/tyche-sim/tyche/internal/dist"
+	"github.com/tyche-sim/tyche/internal/hw"
+	"github.com/tyche-sim/tyche/internal/image"
+	"github.com/tyche-sim/tyche/internal/libtyche"
+	"github.com/tyche-sim/tyche/internal/phys"
+	"github.com/tyche-sim/tyche/internal/rv"
+	"github.com/tyche-sim/tyche/internal/sched"
+	"github.com/tyche-sim/tyche/internal/tpm"
+	"github.com/tyche-sim/tyche/internal/trace"
+	"github.com/tyche-sim/tyche/internal/trace/check"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "C21",
+		Title: "Always-on runtime verification: sharded checking at production rates, audited across machines",
+		Paper: "trust without hierarchy needs evidence: the monitor's invariants are checked live on every machine and re-checked by its peers",
+		Run:   runC21,
+	})
+}
+
+// runC21 validates the always-on runtime-verification stack end to end,
+// in three phases:
+//
+//	A — cost: the C19-style oversubscribed scheduler workload at 8-core
+//	    full load, run untraced, with exact sharded verification, and
+//	    with 1-in-16 sampled verification. Gates: min-of-trials
+//	    wall-clock overhead under 5%, and bit-identical simulated cycle
+//	    histories with checking on and off (verification must never
+//	    advance the clocks it audits).
+//	B — correctness: the run's own trace replayed through BOTH checker
+//	    implementations, clean and with a seeded dead-domain violation;
+//	    serial is the reference semantics, sharded must agree verbatim.
+//	C — remoteness: a second machine ships hash-chained trace digests
+//	    over the attested dist channel; the verifier machine replays the
+//	    audit stream, flags a violation seeded on the remote node, and
+//	    the wire tamper is caught by the channel itself.
+func runC21(cfg Config) (*Result, error) {
+	res := &Result{
+		ID: "C21", Title: "Always-on runtime verification (overhead / differential / remote audit)",
+		Columns: []string{"phase", "event", "detail"},
+	}
+	if !trace.Compiled {
+		res.row("-", "notrace", "-")
+		res.note("tracing compiled out (notrace build tag); runtime verification cannot attach")
+		res.check("phases-run", true, "skipped under notrace")
+		return res, nil
+	}
+	if err := runC21Overhead(cfg, res); err != nil {
+		return nil, fmt.Errorf("c21 phase A: %w", err)
+	}
+	if err := runC21Differential(cfg, res); err != nil {
+		return nil, fmt.Errorf("c21 phase B: %w", err)
+	}
+	if err := runC21Remote(cfg, res); err != nil {
+		return nil, fmt.Errorf("c21 phase C: %w", err)
+	}
+	return res, nil
+}
+
+// c21Run is one verification mode measured over several trials.
+type c21Run struct {
+	wall    time.Duration // min over trials
+	cycles  uint64        // trial 0; all trials must agree
+	stable  bool          // cycles identical across trials
+	events  uint64        // tracer emissions (last trial)
+	skipped uint64        // sampled-out emissions (last trial)
+	verdict error         // rv verdict (nil when clean or mode off)
+	exact   bool          // exact-mode tallies reconcile with Stats()
+}
+
+// runC21Overhead is phase A: the 16-domain / 8-worker-core scheduler
+// workload under three verification modes. Wall clock is host-noise
+// sensitive, so each mode takes the minimum over trials and the 5%
+// gate has a small absolute floor for machines where the whole run is
+// a few milliseconds.
+func runC21Overhead(cfg Config, res *Result) error {
+	const domains, workers, sampleRate = 16, 8, 16
+	iters, quantum, trials := 60_000, 8192, 5
+	if cfg.Quick {
+		iters = 6_000
+	}
+	if cfg.contended {
+		// Sibling experiments are sharing the host CPUs, so wall clock
+		// measures the worker pool, not the checker — and a full-size
+		// phase A would starve their timing in return. Shrink the load,
+		// keep the deterministic gates, waive the wall-clock ones.
+		iters, trials = 2_000, 2
+	}
+
+	runOnce := func(sampleN int, out *c21Run, first bool) error {
+		local := cfg
+		local.Trace, local.Verify, local.audit = false, 0, nil
+		opts := defaultWorldOpts()
+		opts.cores = workers + 1
+		w, err := newWorld(local, opts)
+		if err != nil {
+			return err
+		}
+		var svc *rv.Service
+		var base core.Stats
+		if sampleN > 0 {
+			base = w.mon.Stats()
+			if svc, err = rv.Attach(w.mach, w.mon, rv.Options{Node: "bench", SampleN: sampleN}); err != nil {
+				return err
+			}
+		}
+		cores := workerCores(workers)
+		w.mon.SetSchedPolicy(&sched.Policy{Quantum: quantum, Steal: true, Seed: cfg.Seed})
+		if _, err := loadTenants(w, domains, cores, computeTenant(uint32(iters))); err != nil {
+			return err
+		}
+		// Level the GC field so a mode's position in the trial order does
+		// not decide how much collector work its timed region inherits.
+		runtime.GC()
+		before := w.mach.Clock.Cycles()
+		start := time.Now()
+		if _, err := w.mon.RunCores(16_000_000, cores...); err != nil {
+			return err
+		}
+		wall := time.Since(start)
+		cycles := w.mach.Clock.Cycles() - before
+		if st := w.mon.Stats(); st.SchedCompleted != uint64(domains) {
+			return fmt.Errorf("only %d of %d tenants completed", st.SchedCompleted, domains)
+		}
+		if first {
+			out.wall, out.cycles = wall, cycles
+		} else {
+			if cycles != out.cycles {
+				out.stable = false
+			}
+			if wall < out.wall {
+				out.wall = wall
+			}
+		}
+		if svc != nil {
+			if err := svc.Finalize(); err != nil {
+				out.verdict = err
+			}
+			out.events = svc.Tracer().Len()
+			out.skipped = svc.Tracer().SampledOut()
+			if sampleN == 1 {
+				// Exact mode: event-derived tallies must reconcile with
+				// the monitor's statistics over the attached window.
+				c, st := svc.Checker().Counts(), w.mon.Stats()
+				if !(c.Transitions == st.Transitions-base.Transitions &&
+					c.Revocations == st.Revocations-base.Revocations &&
+					c.CapOps == st.CapOps-base.CapOps &&
+					c.VMCalls+c.MachineChecks == st.VMExits-base.VMExits) {
+					out.exact = false
+				}
+			}
+		}
+		return nil
+	}
+
+	// Trials interleave the modes with a rotated starting point: wall
+	// clock on a loaded host drifts over the experiment's lifetime, so a
+	// fixed order would systematically tax whichever mode runs last.
+	off := &c21Run{stable: true, exact: true}
+	exact := &c21Run{stable: true, exact: true}
+	sampled := &c21Run{stable: true, exact: true}
+	modes := []struct {
+		name    string
+		sampleN int
+		out     *c21Run
+	}{
+		{"off", 0, off},
+		{"verify exact", 1, exact},
+		{fmt.Sprintf("verify 1-in-%d", sampleRate), sampleRate, sampled},
+	}
+	for t := 0; t < trials; t++ {
+		for i := range modes {
+			m := modes[(t+i)%len(modes)]
+			if err := runOnce(m.sampleN, m.out, t == 0); err != nil {
+				return fmt.Errorf("%s trial %d: %w", m.name, t, err)
+			}
+		}
+	}
+
+	res.row("A", "off", fmt.Sprintf("wall %dus, cycles %s", off.wall.Microseconds(), fmtU(off.cycles)))
+	res.row("A", "verify exact", fmt.Sprintf("wall %dus, cycles %s, %s events",
+		exact.wall.Microseconds(), fmtU(exact.cycles), fmtU(exact.events)))
+	res.row("A", fmt.Sprintf("verify 1-in-%d", sampleRate), fmt.Sprintf("wall %dus, cycles %s, %s events (%s sampled out)",
+		sampled.wall.Microseconds(), fmtU(sampled.cycles), fmtU(sampled.events), fmtU(sampled.skipped)))
+	res.metric("a_off_wall_ns", float64(off.wall.Nanoseconds()))
+	res.metric("a_exact_wall_ns", float64(exact.wall.Nanoseconds()))
+	res.metric("a_sampled_wall_ns", float64(sampled.wall.Nanoseconds()))
+	res.metric("a_cycles", float64(off.cycles))
+	res.metric("a_events", float64(exact.events))
+	res.metric("a_sampled_out", float64(sampled.skipped))
+
+	res.check("a-cycles-identical",
+		off.stable && exact.stable && sampled.stable &&
+			off.cycles == exact.cycles && exact.cycles == sampled.cycles,
+		"verification advances no simulated clocks: off=%d exact=%d sampled=%d over %d trials each",
+		off.cycles, exact.cycles, sampled.cycles, trials)
+	overhead := func(m *c21Run) float64 {
+		return float64(m.wall-off.wall) / float64(off.wall) * 100
+	}
+	exactPct, sampledPct := overhead(exact), overhead(sampled)
+	res.metric("a_exact_overhead_pct", exactPct)
+	res.metric("a_sampled_overhead_pct", sampledPct)
+	// Absolute floor: when the whole workload is a few ms of host time,
+	// the percentage is dominated by scheduler jitter in the numerator.
+	// Under a contended worker pool the wall numbers are recorded but
+	// the gates are waived — they gate serial runs (CI enforces them
+	// via `-experiment C21`).
+	const floor = 2 * time.Millisecond
+	suffix := ""
+	if cfg.contended {
+		suffix = "; gate waived under shared-CPU worker pool"
+	}
+	res.check("a-overhead-exact",
+		cfg.contended || exactPct <= 5.0 || exact.wall-off.wall < floor,
+		"exact sharded checking adds %.2f%% wall clock at 8-core full load (min of %d trials, gate 5%%)%s",
+		exactPct, trials, suffix)
+	res.check("a-overhead-sampled",
+		cfg.contended || sampledPct <= 5.0 || sampled.wall-off.wall < floor,
+		"1-in-%d sampled checking adds %.2f%% wall clock (min of %d trials, gate 5%%)%s",
+		sampleRate, sampledPct, trials, suffix)
+	res.check("a-verifier-clean", exact.verdict == nil && sampled.verdict == nil,
+		"both verification modes report the workload clean: exact %v, sampled %v", exact.verdict, sampled.verdict)
+	res.check("a-counts-exact", exact.exact,
+		"exact-mode event tallies reconcile with the Stats() delta over the attached window")
+	res.note("phase A: %d domains over %d worker cores, %d iterations each, quantum %d, %d trials per mode",
+		domains, workers, iters, quantum, trials)
+	return nil
+}
+
+// sortedViolationMsgs projects violations to a sorted message multiset
+// for cross-checker comparison.
+func sortedViolationMsgs(vs []check.Violation) []string {
+	out := make([]string, len(vs))
+	for i, v := range vs {
+		out[i] = v.Msg
+	}
+	sort.Strings(out)
+	return out
+}
+
+// checkersAgree reports whether serial and sharded replays of the same
+// stream reached identical verdicts, violation multisets, and counts.
+func checkersAgree(serial *check.Checker, sh *check.Sharded) bool {
+	if (serial.Err() == nil) != (sh.Err() == nil) {
+		return false
+	}
+	a, b := sortedViolationMsgs(serial.Violations()), sortedViolationMsgs(sh.Violations())
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return serial.Counts() == sh.Counts()
+}
+
+// runC21Differential is phase B: record a real share/revoke/kill
+// history in-process and replay it through both checker
+// implementations, clean and with a seeded dead-domain violation.
+func runC21Differential(cfg Config, res *Result) error {
+	local := cfg
+	local.Trace, local.Verify, local.audit = false, 0, nil
+	w, err := newWorld(local, defaultWorldOpts())
+	if err != nil {
+		return err
+	}
+	tr := w.mach.NewTracer(1 << 15)
+	w.mach.SetTracer(tr)
+	lo := libtyche.DefaultLoadOptions()
+	lo.Seal = false
+	peer, err := w.cl.Load(haltImage("c21-peer"), lo)
+	if err != nil {
+		return err
+	}
+	rg, err := w.cl.Alloc(1)
+	if err != nil {
+		return err
+	}
+	rounds := 48
+	if cfg.Quick {
+		rounds = 12
+	}
+	for i := 0; i < rounds; i++ {
+		node, err := w.mon.Share(core.InitialDomain, w.cl.HeapNode(), peer.ID(),
+			cap.MemResource(rg), cap.MemRW, cap.CleanFlushTLB)
+		if err != nil {
+			return err
+		}
+		if err := w.mon.Revoke(core.InitialDomain, node); err != nil {
+			return err
+		}
+	}
+	if err := w.mon.ForceKill(peer.ID()); err != nil {
+		return err
+	}
+	if d := tr.Dropped(); d != 0 {
+		return fmt.Errorf("trace ring dropped %d events", d)
+	}
+
+	evs := tr.Events()
+	serial, sh := check.Replay(evs), check.ReplaySharded(evs)
+	res.row("B", "differential replay, clean history", fmt.Sprintf("%d events, serial vs sharded", len(evs)))
+	res.metric("b_events", float64(len(evs)))
+	res.check("b-clean", serial.Err() == nil && sh.Err() == nil,
+		"both checkers accept the recorded history: serial %v, sharded %v", serial.Err(), sh.Err())
+	res.check("b-agree-clean", checkersAgree(serial, sh),
+		"verdict, violation multiset, and counts identical on the clean history")
+
+	// Seed the violation the paper's trust argument hinges on: the
+	// "hardware" speaks for a domain the monitor already killed.
+	w.mach.Trace(trace.GlobalCore, trace.KShare, uint64(peer.ID()), 0, 99, 0x1000, 4096)
+	evs = tr.Events()
+	serial, sh = check.Replay(evs), check.ReplaySharded(evs)
+	caught := serial.Err() != nil && sh.Err() != nil
+	res.row("B", "differential replay, seeded dead-domain use",
+		boolCellWord(caught, "both reject", "MISSED"))
+	res.check("b-violation-agree", caught && checkersAgree(serial, sh),
+		"both checkers reject the seeded dead-domain use with identical verdicts: %v", serial.Err())
+	return nil
+}
+
+// runC21Remote is phase C: two independently booted machines; the
+// remote node runs verified with digest shipping over the attested
+// channel, seeds a violation, and the verifier machine must catch it.
+func runC21Remote(cfg Config, res *Result) error {
+	build := func(name string) (*core.Monitor, *tpm.TPM, *libtyche.Client, *libtyche.Domain, *image.Image, error) {
+		mach, err := hw.NewMachine(hw.Config{
+			MemBytes: 16 << 20, NumCores: 2, IOMMUAllowByDefault: true,
+			Devices: []hw.DeviceConfig{{Name: "rnic0", Class: hw.DevNIC}},
+		})
+		if err != nil {
+			return nil, nil, nil, nil, nil, err
+		}
+		rot, err := tpm.New(nil)
+		if err != nil {
+			return nil, nil, nil, nil, nil, err
+		}
+		mon, err := core.Boot(core.BootConfig{Machine: mach, TPM: rot, Backend: cfg.Backend})
+		if err != nil {
+			return nil, nil, nil, nil, nil, err
+		}
+		cl := libtyche.New(mon, core.InitialDomain)
+		if err := cl.AutoHeap(dom0ReservePages); err != nil {
+			return nil, nil, nil, nil, nil, err
+		}
+		// Digests carry the interval's full structural audit stream, so
+		// the registered buffer is sized well past one interval's JSON.
+		img := haltImage(name).WithBSS(".rdma", 32*phys.PageSize)
+		opts := libtyche.DefaultLoadOptions()
+		opts.Cores = []phys.CoreID{1}
+		opts.Devices = []phys.DeviceID{0}
+		dom, err := cl.NewEnclave(img, opts)
+		if err != nil {
+			return nil, nil, nil, nil, nil, err
+		}
+		return mon, rot, cl, dom, img, nil
+	}
+	endpoint := func(mon *core.Monitor, rot *tpm.TPM, dom *libtyche.Domain,
+		peerRot *tpm.TPM, peerMon *core.Monitor, peerImg *image.Image, peerDom *libtyche.Domain) (*dist.Endpoint, error) {
+		buf, ok := dom.SegmentRegion(".rdma")
+		if !ok {
+			return nil, fmt.Errorf("no .rdma segment in domain %d", dom.ID())
+		}
+		meas, err := peerImg.Measurement(peerDom.Base())
+		if err != nil {
+			return nil, err
+		}
+		return &dist.Endpoint{
+			Monitor: mon, TPM: rot, Domain: dom.ID(), Buffer: buf, NIC: 0,
+			PeerVerifier:    attest.NewVerifier(peerRot.EndorsementKey(), peerMon.Identity()),
+			PeerMeasurement: &meas,
+		}, nil
+	}
+
+	monA, rotA, _, domA, imgA, err := build("c21-verifier")
+	if err != nil {
+		return err
+	}
+	monB, rotB, clB, domB, imgB, err := build("c21-remote")
+	if err != nil {
+		return err
+	}
+	wire := &dist.Wire{}
+	epA, err := endpoint(monA, rotA, domA, rotB, monB, imgB, domB)
+	if err != nil {
+		return err
+	}
+	epB, err := endpoint(monB, rotB, domB, rotA, monA, imgA, domA)
+	if err != nil {
+		return err
+	}
+	conn, err := dist.Connect(epA, epB, wire)
+	if err != nil {
+		return err
+	}
+	res.row("C", "attested channel between verifier and remote node", "ok")
+	res.check("c-connect", true, "mutual attestation established the digest channel")
+
+	// The remote node verifies itself and ships every interval's digest
+	// to the verifier machine through the channel.
+	ver := check.NewRemoteVerifier("remote")
+	ship := func(raw []byte) error {
+		got, err := conn.Send(epB, raw)
+		if err != nil {
+			return err
+		}
+		return ver.Consume(got)
+	}
+	svc, err := rv.Attach(monB.Machine(), monB, rv.Options{Node: "remote", Ship: ship})
+	if err != nil {
+		return err
+	}
+
+	// Remote workload: the endpoint enclave runs to halt (the RunCores
+	// quiescent point fires the checkpoint, shipping interval 0), then a
+	// scratch domain takes an exclusive grant and is killed cleanly.
+	if err := domB.Launch(1); err != nil {
+		return err
+	}
+	if _, err := monB.RunCores(10_000, 1); err != nil {
+		return err
+	}
+	scratch, err := monB.CreateDomain(core.InitialDomain, "scratch")
+	if err != nil {
+		return err
+	}
+	rg, err := clB.Alloc(1)
+	if err != nil {
+		return err
+	}
+	if _, err := monB.Grant(core.InitialDomain, clB.HeapNode(), scratch,
+		cap.MemResource(rg), cap.MemRW, cap.CleanNone); err != nil {
+		return err
+	}
+	if err := monB.ForceKill(scratch); err != nil {
+		return err
+	}
+	// The seeded violation: the remote "hardware" emits a share by the
+	// domain the monitor just killed.
+	monB.Machine().Trace(trace.GlobalCore, trace.KShare, uint64(scratch), 0, 99, 0x1000, 4096)
+
+	verr := svc.Finalize()
+	res.row("C", "remote node self-verdict", boolCellWord(verr != nil, "violation flagged", "CLEAN"))
+	res.check("c-remote-flags-itself", verr != nil && strings.Contains(verr.Error(), "dead domain"),
+		"the remote node's own sharded checker rejects the seeded dead-domain use: %v", verr)
+
+	flags := ver.Finalize()
+	reported, diverged, broken := false, false, false
+	for _, f := range flags {
+		switch {
+		case strings.Contains(f, "reported violation") && strings.Contains(f, "dead domain"):
+			reported = true
+		case strings.Contains(f, "diverges"):
+			diverged = true
+		case strings.Contains(f, "chain") || strings.Contains(f, "hash mismatch") || strings.Contains(f, "truncated"):
+			broken = true
+		}
+	}
+	res.row("C", "verifier consumed the digest chain",
+		fmt.Sprintf("%d digest(s), %d flag(s)", ver.Digests(), len(flags)))
+	res.metric("c_digests", float64(ver.Digests()))
+	res.metric("c_flags", float64(len(flags)))
+	res.check("c-chain-delivered", svc.Shipped() >= 2 && ver.Digests() == svc.Shipped(),
+		"%d hash-chained digests shipped and every one consumed chain-valid", svc.Shipped())
+	res.check("c-verifier-detects", reported,
+		"the verifier machine flags the remote node's dead-domain violation over the attested channel")
+	res.check("c-replay-agrees", !diverged && !broken,
+		"independent audit replay agrees with the node's verdicts (no divergence, chain intact): %q", flags)
+
+	// The transport's own integrity: a bit-flip on a digest frame in
+	// flight must be rejected by the channel before it can reach the
+	// verifier's chain logic.
+	wire.Corrupt = func(f []byte) []byte { f[20] ^= 0xff; return f }
+	_, tamperErr := conn.Send(epB, []byte("late digest"))
+	wire.Corrupt = nil
+	res.row("C", "ciphertext bit-flip on a digest frame", boolCell(tamperErr == nil))
+	res.check("c-tamper-detected", errors.Is(tamperErr, dist.ErrTampered), "%v", tamperErr)
+	res.note("phase C: digests are SHA-256 hash-chained per interval; the verifier replays each interval's structural audit stream through its own serial engine")
+	return nil
+}

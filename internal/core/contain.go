@@ -106,7 +106,13 @@ func (m *Monitor) destroyDomain(d *Domain, scrub bool) error {
 	if err := m.bk.ExecuteCleanups(det.Actions()); err != nil {
 		return err
 	}
-	for _, r := range scrubRegions {
+	for i, r := range scrubRegions {
+		if scrubSkipFirst && i == 0 {
+			// Seeded mutation (scrubbug build tag): the first planned
+			// region is neither zeroed nor shot down — its KScrubPlan is
+			// still unmatched when KKill closes the destruction.
+			continue
+		}
 		if err := m.mach.Mem.Zero(r); err != nil {
 			return err
 		}

@@ -218,7 +218,8 @@ func TestEpochMutationOracle(t *testing.T) {
 	if BigLockBuild {
 		t.Skip("biglock serialises all entries; the grace period is vacuous")
 	}
-	m, ck := bootTracedWorld(t, BackendVTX)
+	skipUnlessOnlyMutation(t, EpochBugArmed)
+	m, ck, sh := bootDualTracedWorld(t, BackendVTX)
 	node := dom0MemNode(t, m)
 	victim, err := m.CreateDomain(InitialDomain, "victim")
 	if err != nil {
@@ -259,7 +260,7 @@ func TestEpochMutationOracle(t *testing.T) {
 	}
 	m.hookDelegatePreEmit = nil
 
-	err = ck.Err()
+	err = assertCheckersAgree(t, ck, sh)
 	if EpochBugArmed {
 		if err == nil {
 			t.Fatal("seeded premature reclaim (epochbug) not flagged by the checker")

@@ -312,6 +312,13 @@ type Monitor struct {
 	// on the pre-cache path.
 	tcOn atomic.Bool
 
+	// checkpoint, when installed (SetCheckpoint), runs at the monitor's
+	// quiescent points: scheduler round barriers, ring-drain doorbells,
+	// and RunCores completion. The runtime-verification service
+	// (internal/rv) registers its shard-merge step here so cross-core
+	// trace properties resolve without ever serialising the emit path.
+	checkpoint atomic.Pointer[func()]
+
 	// hookDelegatePreEmit, when non-nil, runs inside delegateLocked
 	// after the capability mutation and before the trace emit. Test-only
 	// (never set outside _test files): the epoch mutation test parks a
@@ -471,6 +478,31 @@ func (m *Monitor) Stats() Stats {
 // acquisitions — the contention signal C18 reports as wait share. The
 // accounting is wall-clock only and never advances simulated cycles.
 func (m *Monitor) LockWait() (time.Duration, uint64) { return m.lk.wait() }
+
+// SetCheckpoint installs fn (nil removes it) to run at the monitor's
+// quiescent points: every scheduler round barrier, every ring-drain
+// doorbell, and RunCores completion. It is the hook the runtime-
+// verification service (internal/rv) uses to merge its shard checkers
+// where cross-core state is naturally settled. fn must be fast, must
+// not call back into the monitor, and must never advance simulated
+// cycles — checkpoints are host-side work, invisible to the cycle
+// clock, which is what keeps cycle histories bit-identical with
+// verification on or off.
+func (m *Monitor) SetCheckpoint(fn func()) {
+	if fn == nil {
+		m.checkpoint.Store(nil)
+		return
+	}
+	m.checkpoint.Store(&fn)
+}
+
+// runCheckpoint fires the installed checkpoint hook, if any: one
+// atomic load on the (default) uninstalled path.
+func (m *Monitor) runCheckpoint() {
+	if f := m.checkpoint.Load(); f != nil {
+		(*f)()
+	}
+}
 
 // Identity returns the monitor binary that was measured at boot.
 func (m *Monitor) Identity() []byte { return append([]byte(nil), m.identity...) }

@@ -200,6 +200,11 @@ func (m *Monitor) ringFlush(caller DomainID, core int32) (uint64, error) {
 	if core >= 0 {
 		m.ep.quiesce(phys.CoreID(core))
 	}
+	// Ring-drain doorbells double as runtime-verification merge points:
+	// the drained batch's trace frame is complete here. Other cores may
+	// still be emitting — the shard merge's stability gate defers
+	// cross-core resolution in that case.
+	m.runCheckpoint()
 	return n, err
 }
 

@@ -281,6 +281,11 @@ func (m *Monitor) runScheduled(budget int, cores []phys.CoreID) (map[phys.CoreID
 				q.RecordBarrierDrain(n)
 			}
 		}
+		// Round barriers are where the runtime-verification service
+		// merges its shard checkers: every core is quiescent, so the
+		// cross-core trace properties are settled. Host-side only — an
+		// uninstalled hook is one atomic load.
+		m.runCheckpoint()
 	}
 	// Leave no stale one-shot timers armed across engine invocations.
 	for _, c := range cores {

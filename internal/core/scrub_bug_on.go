@@ -1,0 +1,16 @@
+//go:build scrubbug
+
+package core
+
+// Seeded mutation build: domain destruction announces its scrub plan
+// but skips the first exclusive region's zero+shootdown, completing
+// the kill with secrets still readable in supposedly-reclaimed
+// memory. This exists to prove the trace checkers' scrub-before-kill
+// property is not vacuous — see TestScrubMutationOracle. Never ship
+// with this tag.
+
+// ScrubBugArmed reports whether the seeded scrub-skip mutation is
+// compiled in.
+const ScrubBugArmed = true
+
+const scrubSkipFirst = true

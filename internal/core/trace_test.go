@@ -263,7 +263,8 @@ func TestShootdownMutationOracle(t *testing.T) {
 	if !trace.Compiled {
 		t.Skip("tracing compiled out (notrace)")
 	}
-	m, ck := bootTracedWorld(t, BackendVTX)
+	skipUnlessOnlyMutation(t, hw.ShootdownBugArmed)
+	m, ck, sh := bootDualTracedWorld(t, BackendVTX)
 	node := dom0MemNode(t, m)
 	dom, err := m.CreateDomain(InitialDomain, "target")
 	if err != nil {
@@ -276,7 +277,7 @@ func TestShootdownMutationOracle(t *testing.T) {
 	if err := m.Revoke(InitialDomain, id); err != nil {
 		t.Fatal(err)
 	}
-	err = ck.Err()
+	err = assertCheckersAgree(t, ck, sh)
 	if hw.ShootdownBugArmed {
 		if err == nil {
 			t.Fatal("seeded shootdown bug (tracebug) not flagged by the checker")

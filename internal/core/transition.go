@@ -444,5 +444,8 @@ func (m *Monitor) RunCores(budget int, cores ...phys.CoreID) (map[phys.CoreID]Ru
 		}(id)
 	}
 	wg.Wait()
+	// Dedicated-mode quiescent point: every driven core has retired, so
+	// the runtime-verification service can merge its shard checkers.
+	m.runCheckpoint()
 	return results, firstErr
 }

@@ -1,0 +1,17 @@
+//go:build !ackbug
+
+package hw
+
+// AckBugArmed reports whether this binary carries the seeded
+// lost-acknowledgement bug (the ackbug build tag): exactly one
+// cross-core TLB shootdown drops core 0's acknowledgement — the flush
+// itself still runs, so only the completion protocol is broken. The
+// mutation test proves both the serial and sharded trace checkers
+// flag the operation completing with a missing ack (shootdown-
+// acknowledgement property), distinguishing a reporting bug from
+// tracebug's genuinely-stale-TLB bug.
+const AckBugArmed = false
+
+// ackDropOne makes the next shootdown round swallow core 0's ack.
+// Constant-false in normal builds so the branch folds away.
+const ackDropOne = false

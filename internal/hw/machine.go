@@ -88,6 +88,11 @@ type Machine struct {
 	// it holds its exclusive lock, which is also the only state every
 	// shootdown call site runs under — so a plain field suffices.
 	sdBatch *shootdownBatch
+
+	// ackSwallowed latches the seeded ackbug mutation (ack_bug.go) so
+	// exactly one shootdown round per machine loses core 0's ack. Dead
+	// weight in normal builds (ackDropOne is constant false).
+	ackSwallowed atomic.Bool
 }
 
 // NewMachine builds a machine from cfg.

@@ -81,6 +81,11 @@ func (m *Machine) ShootdownRegion(r phys.Region) {
 		}
 		c.tlb.FlushRegion(r)
 		m.Clock.Advance(m.Cost.TLBFlush)
+		if ackDropOne && i == 0 && m.ackSwallowed.CompareAndSwap(false, true) {
+			// Seeded mutation (ackbug build tag): the flush ran but the
+			// acknowledgement is lost — the round completes short.
+			continue
+		}
 		m.Trace(trace.GlobalCore, trace.KShootdownAck, 0, uint64(i), 0, uint64(r.Start), r.Size())
 	}
 }
@@ -100,6 +105,9 @@ func (m *Machine) ShootdownAll() {
 		}
 		c.tlb.Flush()
 		m.Clock.Advance(m.Cost.TLBFlush)
+		if ackDropOne && i == 0 && m.ackSwallowed.CompareAndSwap(false, true) {
+			continue // Seeded mutation (ackbug): ack lost, flush done.
+		}
 		m.Trace(trace.GlobalCore, trace.KShootdownAck, 0, uint64(i), 0, 0, 0)
 	}
 }
@@ -147,6 +155,9 @@ func (m *Machine) EndShootdownBatch() (rounds, coalesced int) {
 			}
 		}
 		m.Clock.Advance(m.Cost.TLBFlush)
+		if ackDropOne && i == 0 && m.ackSwallowed.CompareAndSwap(false, true) {
+			continue // Seeded mutation (ackbug): ack lost, flush done.
+		}
 		m.Trace(trace.GlobalCore, trace.KShootdownAck, 0, uint64(i), 0, addr, size)
 	}
 	return 1, b.ops

@@ -1,0 +1,190 @@
+package rv
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/tyche-sim/tyche/internal/core"
+	"github.com/tyche-sim/tyche/internal/hw"
+	"github.com/tyche-sim/tyche/internal/tpm"
+	"github.com/tyche-sim/tyche/internal/trace"
+	"github.com/tyche-sim/tyche/internal/trace/check"
+)
+
+// bootPair builds one machine/monitor pair for service-level tests.
+func bootPair(t *testing.T) (*hw.Machine, *core.Monitor) {
+	t.Helper()
+	mach, err := hw.NewMachine(hw.Config{MemBytes: 8 << 20, NumCores: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rot, err := tpm.New(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon, err := core.Boot(core.BootConfig{Machine: mach, TPM: rot})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mach, mon
+}
+
+// TestAttachNotCompiled pins the notrace behaviour: the service must
+// refuse to attach rather than silently verify nothing.
+func TestAttachNotCompiled(t *testing.T) {
+	if trace.Compiled {
+		t.Skip("tracing compiled in")
+	}
+	mach, mon := bootPair(t)
+	if _, err := Attach(mach, mon, Options{}); err != ErrNotCompiled {
+		t.Fatalf("Attach under notrace = %v, want ErrNotCompiled", err)
+	}
+}
+
+// TestServiceCleanRun wires the full pipeline — service, digest chain,
+// remote verifier — over a clean kill-with-scrub history.
+func TestServiceCleanRun(t *testing.T) {
+	if !trace.Compiled {
+		t.Skip("tracing compiled out (notrace)")
+	}
+	mach, mon := bootPair(t)
+	ver := check.NewRemoteVerifier("clean-node")
+	svc, err := Attach(mach, mon, Options{
+		Node: "clean-node",
+		Ship: func(raw []byte) error { return ver.Consume(raw) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := mon.CreateDomain(core.InitialDomain, "tenant")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mon.ForceKill(d); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Finalize(); err != nil {
+		t.Fatalf("clean run flagged: %v", err)
+	}
+	if svc.Err() != nil {
+		t.Fatalf("Err after Finalize: %v", svc.Err())
+	}
+	if svc.Shipped() == 0 {
+		t.Fatal("no digests shipped")
+	}
+	if flags := ver.Finalize(); len(flags) != 0 {
+		t.Fatalf("verifier flagged a clean node: %q", flags)
+	}
+	if ver.Digests() != svc.Shipped() {
+		t.Fatalf("verifier consumed %d digests, node shipped %d", ver.Digests(), svc.Shipped())
+	}
+	if svc.Sampled() {
+		t.Fatal("exact-mode service reports sampled")
+	}
+}
+
+// TestServiceReportsSeededViolation seeds a dead-domain use; the node
+// must flag itself AND the shipped digests must carry the verdict to
+// the remote verifier, whose independent replay agrees (no divergence).
+func TestServiceReportsSeededViolation(t *testing.T) {
+	if !trace.Compiled {
+		t.Skip("tracing compiled out (notrace)")
+	}
+	mach, mon := bootPair(t)
+	ver := check.NewRemoteVerifier("bad-node")
+	svc, err := Attach(mach, mon, Options{
+		Node: "bad-node",
+		Ship: func(raw []byte) error { return ver.Consume(raw) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := mon.CreateDomain(core.InitialDomain, "victim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mon.ForceKill(d); err != nil {
+		t.Fatal(err)
+	}
+	mach.Trace(trace.GlobalCore, trace.KShare, uint64(d), 0, 1, 0x1000, 4096)
+	verr := svc.Finalize()
+	if verr == nil || !strings.Contains(verr.Error(), "dead domain") {
+		t.Fatalf("Finalize = %v, want dead-domain violation", verr)
+	}
+	reported, diverged := false, false
+	for _, f := range ver.Finalize() {
+		if strings.Contains(f, "reported violation") && strings.Contains(f, "dead domain") {
+			reported = true
+		}
+		if strings.Contains(f, "diverges") || strings.Contains(f, "chain") {
+			diverged = true
+		}
+	}
+	if !reported {
+		t.Fatal("verifier never saw the node's violation verdict")
+	}
+	if diverged {
+		t.Fatalf("verifier disagreed with an honestly-reporting node: %q", ver.Flags())
+	}
+}
+
+// TestServiceSampledMode pins the sampling plumbing: Attach installs
+// the 1-in-N regime on the tracer and the service reports it.
+func TestServiceSampledMode(t *testing.T) {
+	if !trace.Compiled {
+		t.Skip("tracing compiled out (notrace)")
+	}
+	mach, mon := bootPair(t)
+	svc, err := Attach(mach, mon, Options{Node: "sampled-node", SampleN: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !svc.Sampled() {
+		t.Fatal("SampleN=4 service not in sampled mode")
+	}
+	if got := svc.Tracer().SampleN(); got != 4 {
+		t.Fatalf("tracer SampleN = %d, want 4", got)
+	}
+	d, err := mon.CreateDomain(core.InitialDomain, "tenant")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mon.ForceKill(d); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Finalize(); err != nil {
+		t.Fatalf("sampled clean run flagged: %v", err)
+	}
+}
+
+// TestShipErrorLatched pins transport-failure reporting: a Ship error
+// must surface through Err, not vanish.
+func TestShipErrorLatched(t *testing.T) {
+	if !trace.Compiled {
+		t.Skip("tracing compiled out (notrace)")
+	}
+	mach, mon := bootPair(t)
+	svc, err := Attach(mach, mon, Options{
+		Node: "cut-node",
+		Ship: func([]byte) error { return errShipCut },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := mon.CreateDomain(core.InitialDomain, "tenant")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mon.ForceKill(d); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Finalize(); err != errShipCut {
+		t.Fatalf("Finalize = %v, want the latched ship error", err)
+	}
+}
+
+var errShipCut = &shipCutError{}
+
+type shipCutError struct{}
+
+func (*shipCutError) Error() string { return "digest channel cut" }

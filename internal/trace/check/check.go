@@ -1,7 +1,11 @@
 // Package check is an online invariant checker over the monitor's
 // event trace. It attaches to a trace.Tracer as a Sink — validating
 // the stream as it is produced, inline in any test or benchmark — or
-// replays a previously captured trace.
+// replays a previously captured trace. The serial Checker in this file
+// is the reference implementation; Sharded (sharded.go) is the
+// production-rate online form, which evaluates the same properties via
+// per-ring shard checkers merged at quiescent points and is
+// differentially tested against Replay.
 //
 // The temporal safety properties it enforces:
 //
@@ -54,7 +58,8 @@ func (v Violation) String() string {
 
 // Counts are monitor statistics derived purely from the event stream.
 // With a tracer installed at boot they must equal the corresponding
-// Monitor.Stats() fields.
+// Monitor.Stats() fields (unless sampling is on, in which case the
+// sample-eligible tallies are lower bounds).
 type Counts struct {
 	VMCalls       uint64
 	Transitions   uint64 // launch/call/return (not fast switches)
@@ -71,6 +76,25 @@ type Counts struct {
 	Attests       uint64
 	Batches       uint64 // ring drains (KBatchBegin)
 	BatchedOps    uint64 // descriptors executed inside drains (KBatchEnd.Aux)
+}
+
+// add accumulates o into c (used when merging shard-local tallies).
+func (c *Counts) add(o Counts) {
+	c.VMCalls += o.VMCalls
+	c.Transitions += o.Transitions
+	c.FastSwitches += o.FastSwitches
+	c.CapOps += o.CapOps
+	c.Revocations += o.Revocations
+	c.ForcedKills += o.ForcedKills
+	c.MachineChecks += o.MachineChecks
+	c.CoresParked += o.CoresParked
+	c.PagesScrubbed += o.PagesScrubbed
+	c.Shootdowns += o.Shootdowns
+	c.IRQsRouted += o.IRQsRouted
+	c.IRQsDropped += o.IRQsDropped
+	c.Attests += o.Attests
+	c.Batches += o.Batches
+	c.BatchedOps += o.BatchedOps
 }
 
 // shootdown is one in-flight cross-core TLB shootdown.
@@ -90,11 +114,12 @@ type frame struct {
 // region is a planned scrub target.
 type region struct{ addr, size uint64 }
 
-// Checker validates the event stream online. It implements trace.Sink;
-// all methods are safe for concurrent use.
-type Checker struct {
-	mu sync.Mutex
-
+// engine is the property state machine itself, with no locking: one
+// instance per linearised event stream. The serial Checker wraps it in
+// a mutex; the Sharded checker feeds it the seq-ordered merge stream.
+// Keeping a single engine is what makes the two checkers agree on
+// violation messages byte for byte.
+type engine struct {
 	cores      int
 	dead       map[uint64]bool
 	frames     []*frame
@@ -106,38 +131,29 @@ type Checker struct {
 	seen       uint64
 }
 
-// New returns an empty checker. The machine core count is learned from
-// the KBoot event the machine emits when a tracer is installed.
-func New() *Checker {
-	return &Checker{
+func newEngine() *engine {
+	return &engine{
 		dead:       make(map[uint64]bool),
 		scrubPlans: make(map[uint64][]region),
 	}
 }
 
-// Replay runs a captured trace (any order; sorted by Seq first) through
-// a fresh checker and returns it.
-func Replay(events []trace.Event) *Checker {
-	evs := append([]trace.Event(nil), events...)
-	sort.Slice(evs, func(i, j int) bool { return evs[i].Seq < evs[j].Seq })
-	c := New()
-	for _, ev := range evs {
-		c.Event(ev)
-	}
-	return c
+// deadUseMsg formats the dead-domain-silence violation. Both the
+// serial engine and the sharded checker's eager shard-local path go
+// through this one formatter, so their messages agree byte for byte.
+func deadUseMsg(ev trace.Event) string {
+	return fmt.Sprintf("dead domain %d used in successful %s", ev.Domain, ev.Kind)
 }
 
-func (c *Checker) violate(ev trace.Event, format string, args ...any) {
+func (c *engine) violate(ev trace.Event, format string, args ...any) {
 	c.violations = append(c.violations, Violation{
 		Event: ev,
 		Msg:   fmt.Sprintf(format, args...),
 	})
 }
 
-// Event consumes one trace event (trace.Sink).
-func (c *Checker) Event(ev trace.Event) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+// step consumes one event of the linearised stream.
+func (c *engine) step(ev trace.Event) {
 	c.seen++
 
 	// Property 1: dead-domain silence. Only kinds emitted on a
@@ -149,7 +165,7 @@ func (c *Checker) Event(ev trace.Event) {
 		trace.KSeal, trace.KEPTMap, trace.KPMPWrite, trace.KAttest,
 		trace.KBatchBegin, trace.KBatchEnd:
 		if c.dead[ev.Domain] {
-			c.violate(ev, "dead domain %d used in successful %s", ev.Domain, ev.Kind)
+			c.violate(ev, "%s", deadUseMsg(ev))
 		}
 	case trace.KCreate:
 		if c.dead[ev.Aux] {
@@ -321,17 +337,14 @@ func (c *Checker) Event(ev trace.Event) {
 }
 
 // orphan shootdowns (started outside any operation) are validated at
-// End(); violateLater records them.
-func (c *Checker) violateLater(sd *shootdown) {
+// end(); violateLater records them.
+func (c *engine) violateLater(sd *shootdown) {
 	c.orphans = append(c.orphans, sd)
 }
 
-// End closes the check: open operations and unacknowledged orphan
-// shootdowns become violations. Call once the run is quiescent (tests
-// call it via Err).
-func (c *Checker) End() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+// end closes the check: open operations and unacknowledged orphan
+// shootdowns become violations.
+func (c *engine) end() {
 	for _, f := range c.frames {
 		c.violate(f.ev, "operation %d still open at end of trace", f.ev.Aux)
 	}
@@ -345,18 +358,8 @@ func (c *Checker) End() {
 	c.orphans = nil
 }
 
-// Violations returns every failure recorded so far.
-func (c *Checker) Violations() []Violation {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return append([]Violation(nil), c.violations...)
-}
-
-// Err finalises the check (End) and returns an error describing the
-// violations, or nil if the trace is clean.
-func (c *Checker) Err() error {
-	c.End()
-	vs := c.Violations()
+// violationsErr formats a violation list the way Err reports it.
+func violationsErr(vs []Violation) error {
 	if len(vs) == 0 {
 		return nil
 	}
@@ -371,16 +374,73 @@ func (c *Checker) Err() error {
 	return fmt.Errorf("%s", msg)
 }
 
+// Checker validates the event stream online. It implements trace.Sink;
+// all methods are safe for concurrent use. This is the serial
+// reference checker: one mutex, one linearised stream.
+type Checker struct {
+	mu sync.Mutex
+	e  *engine
+}
+
+// New returns an empty checker. The machine core count is learned from
+// the KBoot event the machine emits when a tracer is installed.
+func New() *Checker {
+	return &Checker{e: newEngine()}
+}
+
+// Replay runs a captured trace (any order; sorted by Seq first) through
+// a fresh checker and returns it. The sort is stable so synthetic
+// traces with duplicate sequence numbers replay deterministically.
+func Replay(events []trace.Event) *Checker {
+	evs := append([]trace.Event(nil), events...)
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].Seq < evs[j].Seq })
+	c := New()
+	for _, ev := range evs {
+		c.Event(ev)
+	}
+	return c
+}
+
+// Event consumes one trace event (trace.Sink).
+func (c *Checker) Event(ev trace.Event) {
+	c.mu.Lock()
+	c.e.step(ev)
+	c.mu.Unlock()
+}
+
+// End closes the check: open operations and unacknowledged orphan
+// shootdowns become violations. Call once the run is quiescent (tests
+// call it via Err).
+func (c *Checker) End() {
+	c.mu.Lock()
+	c.e.end()
+	c.mu.Unlock()
+}
+
+// Violations returns every failure recorded so far.
+func (c *Checker) Violations() []Violation {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Violation(nil), c.e.violations...)
+}
+
+// Err finalises the check (End) and returns an error describing the
+// violations, or nil if the trace is clean.
+func (c *Checker) Err() error {
+	c.End()
+	return violationsErr(c.Violations())
+}
+
 // Counts returns the event-derived statistics tally.
 func (c *Checker) Counts() Counts {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.counts
+	return c.e.counts
 }
 
 // Seen returns how many events the checker has consumed.
 func (c *Checker) Seen() uint64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.seen
+	return c.e.seen
 }

@@ -1,0 +1,222 @@
+package check
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"github.com/tyche-sim/tyche/internal/trace"
+)
+
+// Trace digests: the fleet-facing output of the sharded checker. Each
+// stable merge becomes one Digest — shard counts, the interval's
+// violation verdicts, and the exact (never-sampled) structural events
+// as an audit stream — hash-chained to its predecessor and shipped
+// over an attested channel (internal/dist) to a RemoteVerifier. The
+// verifier re-derives the chain, replays the audit stream through its
+// own serial engine, and flags both reported violations and
+// divergence: a node whose checker says "clean" while the replay finds
+// a violation is lying or broken, and either way untrusted.
+
+// MaxAuditEvents bounds one digest's audit stream. Intervals that
+// resolve more structural events than this report the overflow in
+// AuditDropped — the verifier then skips divergence replay for the
+// chain (reported verdicts still count) instead of silently judging a
+// truncated stream.
+const MaxAuditEvents = 4096
+
+// Digest is one interval's attestable summary of a node's trace.
+type Digest struct {
+	// Node names the emitting machine in the fleet.
+	Node string `json:"node"`
+	// Interval is this digest's position in the node's chain (0-based).
+	Interval uint64 `json:"interval"`
+	// Seen is the node's cumulative delivered-event count.
+	Seen uint64 `json:"seen"`
+	// SampleN / SampledOut describe the sampling regime (exact = 0/1).
+	SampleN    int    `json:"sample_n,omitempty"`
+	SampledOut uint64 `json:"sampled_out,omitempty"`
+	// Counts is the node's cumulative event-derived tally.
+	Counts Counts `json:"counts"`
+	// Shards is the per-shard local bookkeeping snapshot.
+	Shards []ShardStat `json:"shards,omitempty"`
+	// Violations are the interval's new violation messages.
+	Violations []string `json:"violations,omitempty"`
+	// Audit is the interval's structural event stream (seq order).
+	Audit []trace.Event `json:"audit,omitempty"`
+	// AuditDropped counts audit events elided past MaxAuditEvents.
+	AuditDropped uint64 `json:"audit_dropped,omitempty"`
+	// PrevHash chains to the previous digest ("" for interval 0);
+	// Hash is this digest's own hash (computed with Hash empty).
+	PrevHash string `json:"prev_hash"`
+	Hash     string `json:"hash"`
+}
+
+// digestHash computes the canonical hash: SHA-256 over the JSON
+// encoding with the Hash field cleared.
+func digestHash(d Digest) (string, error) {
+	d.Hash = ""
+	b, err := json.Marshal(d)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// DigestBuilder turns a node's merge reports into its hash chain.
+type DigestBuilder struct {
+	node     string
+	sampleN  int
+	interval uint64
+	prevHash string
+}
+
+// NewDigestBuilder starts a chain for the named node. sampleN records
+// the sampling regime the node runs under (<=1 = exact).
+func NewDigestBuilder(node string, sampleN int) *DigestBuilder {
+	return &DigestBuilder{node: node, sampleN: sampleN}
+}
+
+// Build produces the next digest in the chain from one stable merge.
+// counts and sampledOut are the node's cumulative views at the merge
+// point. Returns the digest and its wire encoding.
+func (b *DigestBuilder) Build(rep MergeReport, counts Counts, shards []ShardStat, sampledOut uint64) (*Digest, []byte, error) {
+	d := &Digest{
+		Node:     b.node,
+		Interval: b.interval,
+		Seen:     rep.Seen,
+		Counts:   counts,
+		Shards:   shards,
+		PrevHash: b.prevHash,
+	}
+	if b.sampleN > 1 {
+		d.SampleN = b.sampleN
+		d.SampledOut = sampledOut
+	}
+	for _, v := range rep.NewViolations {
+		d.Violations = append(d.Violations, v.Msg)
+	}
+	audit := rep.Events
+	if len(audit) > MaxAuditEvents {
+		d.AuditDropped = uint64(len(audit) - MaxAuditEvents)
+		audit = audit[:MaxAuditEvents]
+	}
+	d.Audit = append([]trace.Event(nil), audit...)
+	h, err := digestHash(*d)
+	if err != nil {
+		return nil, nil, err
+	}
+	d.Hash = h
+	raw, err := json.Marshal(d)
+	if err != nil {
+		return nil, nil, err
+	}
+	b.interval++
+	b.prevHash = h
+	return d, raw, nil
+}
+
+// RemoteVerifier consumes a node's digest chain on another machine:
+// it checks chain integrity (hashes, links, interval continuity),
+// records the node's own verdicts, and independently replays the audit
+// stream through a serial engine to catch divergence. Not safe for
+// concurrent use; one verifier per watched node.
+type RemoteVerifier struct {
+	node      string
+	prevHash  string
+	next      uint64
+	eng       *engine
+	replayed  int // engine violations already compared
+	reported  map[string]int
+	flags     []string
+	truncated bool
+	digests   uint64
+}
+
+// NewRemoteVerifier watches the named node's chain from interval 0.
+func NewRemoteVerifier(node string) *RemoteVerifier {
+	return &RemoteVerifier{node: node, eng: newEngine(), reported: make(map[string]int)}
+}
+
+func (v *RemoteVerifier) flag(format string, args ...any) {
+	v.flags = append(v.flags, fmt.Sprintf(format, args...))
+}
+
+// Consume verifies one received digest (its wire encoding, exactly as
+// the node shipped it). A returned error means the chain itself is
+// unusable — undecodable, mis-hashed, or discontinuous; verdict flags
+// accumulate in Flags either way.
+func (v *RemoteVerifier) Consume(raw []byte) error {
+	var d Digest
+	if err := json.Unmarshal(raw, &d); err != nil {
+		v.flag("node %s: undecodable digest: %v", v.node, err)
+		return fmt.Errorf("check: undecodable digest from %s: %w", v.node, err)
+	}
+	h, err := digestHash(d)
+	if err != nil {
+		return err
+	}
+	if h != d.Hash {
+		v.flag("node %s: digest %d hash mismatch (tampered or corrupt)", v.node, d.Interval)
+		return fmt.Errorf("check: digest %d from %s fails its hash", d.Interval, v.node)
+	}
+	if d.Interval != v.next || d.PrevHash != v.prevHash {
+		v.flag("node %s: digest chain broken at interval %d (want %d, prev %.8s vs %.8s)",
+			v.node, d.Interval, v.next, d.PrevHash, v.prevHash)
+		return fmt.Errorf("check: digest chain from %s broken at interval %d", v.node, d.Interval)
+	}
+	v.prevHash = d.Hash
+	v.next++
+	v.digests++
+	if d.AuditDropped > 0 {
+		v.truncated = true
+		v.flag("node %s: digest %d truncated %d audit events (divergence replay disabled)",
+			v.node, d.Interval, d.AuditDropped)
+	}
+	for _, msg := range d.Violations {
+		v.reported[msg]++
+		v.flag("node %s reported violation: %s", v.node, msg)
+	}
+	for _, ev := range d.Audit {
+		v.eng.step(ev)
+	}
+	v.compare()
+	return nil
+}
+
+// compare flags engine violations the node never reported — the
+// divergence signal. Skipped once the audit stream is truncated.
+func (v *RemoteVerifier) compare() {
+	if v.truncated {
+		v.replayed = len(v.eng.violations)
+		return
+	}
+	for _, viol := range v.eng.violations[v.replayed:] {
+		if v.reported[viol.Msg] > 0 {
+			v.reported[viol.Msg]--
+			continue
+		}
+		v.flag("node %s diverges: replay found unreported violation: %s", v.node, viol)
+	}
+	v.replayed = len(v.eng.violations)
+}
+
+// Finalize ends the replay (end-of-trace validation over the audit
+// stream) and returns the accumulated flags. An empty result means the
+// node's chain was continuous, every digest authentic, and the replay
+// agreed with every verdict.
+func (v *RemoteVerifier) Finalize() []string {
+	v.eng.end()
+	v.compare()
+	return v.Flags()
+}
+
+// Flags returns the verdicts accumulated so far.
+func (v *RemoteVerifier) Flags() []string {
+	return append([]string(nil), v.flags...)
+}
+
+// Digests returns how many chain-valid digests were consumed.
+func (v *RemoteVerifier) Digests() uint64 { return v.digests }

@@ -203,6 +203,21 @@ type Sink interface {
 	Event(Event)
 }
 
+// ShardSink receives events per ring, WITHOUT the tracer-wide sink
+// mutex: shard is the ring index the event landed in (0 = global
+// context, c+1 = core c). Calls for different shards run concurrently;
+// calls for the same shard may too (the global ring takes emissions
+// from every core), so implementations synchronise per shard — which
+// is exactly what keeps the hot emit path unserialised. A ShardSink
+// may read Tracer.Len but must not otherwise call back into the
+// Tracer.
+type ShardSink interface {
+	ShardEvent(shard int, ev Event)
+}
+
+// shardHolder boxes the interface so it can live in an atomic.Pointer.
+type shardHolder struct{ s ShardSink }
+
 // ring is one bounded event buffer. Appends reserve a slot with an
 // atomic fetch-add and publish the event with an atomic pointer store,
 // so concurrent emitters never lock; the oldest events are overwritten
@@ -210,6 +225,10 @@ type Sink interface {
 type ring struct {
 	slots []atomic.Pointer[Event]
 	pos   atomic.Uint64
+	// tick counts sample-eligible emission attempts on this ring; the
+	// 1-in-N sampler keys off it so sampling is deterministic per ring,
+	// independent of cross-ring interleaving.
+	tick atomic.Uint64
 }
 
 func (r *ring) append(ev *Event) {
@@ -228,6 +247,17 @@ type Tracer struct {
 	rings  []*ring // rings[0] = global, rings[c+1] = core c
 
 	seq atomic.Uint64
+
+	// sampleN, when > 1, keeps only every Nth sample-eligible event
+	// per ring (see Sampleable); sampledOut counts the drops. Safety-
+	// critical kinds are never sampled, so the checker's invariants
+	// stay sound — only the high-rate tallies become estimates.
+	sampleN    atomic.Int64
+	sampledOut atomic.Uint64
+
+	// sharded is the per-ring sink (at most one), delivered to without
+	// the sink mutex when no serial sinks are attached.
+	sharded atomic.Pointer[shardHolder]
 
 	hasSinks atomic.Bool
 	mu       sync.Mutex
@@ -259,8 +289,65 @@ func (t *Tracer) Attach(s Sink) {
 	t.hasSinks.Store(true)
 }
 
+// AttachSharded registers the per-ring sink (replacing any previous
+// one). Unlike Attach, this does NOT put emission under the sink
+// mutex: each event is handed to the ShardSink right after its ring
+// store, concurrently across rings. When serial sinks are also
+// attached, delivery happens inside the sink mutex after them, so
+// both views agree on Seq order.
+func (t *Tracer) AttachSharded(s ShardSink) {
+	if s == nil {
+		t.sharded.Store(nil)
+		return
+	}
+	t.sharded.Store(&shardHolder{s: s})
+}
+
+// Rings returns the ring count (1 global + one per core) — the shard
+// space a ShardSink must cover.
+func (t *Tracer) Rings() int { return len(t.rings) }
+
+// SetSampling sets 1-in-N sampling of the sample-eligible event kinds
+// (Sampleable): per ring, only every Nth such emission is recorded;
+// the rest are dropped before allocation or sequence assignment.
+// n <= 1 disables sampling. Never-sampled kinds (ops, capability
+// mutations, shootdowns, scrubs, kills, batches) stay exact, so every
+// checker safety property remains sound under sampling; only the
+// high-rate tallies (VMCalls, Transitions, IRQ counts) become
+// estimates and stop reconciling exactly against Monitor.Stats().
+func (t *Tracer) SetSampling(n int) { t.sampleN.Store(int64(n)) }
+
+// SampleN returns the sampling divisor (<= 1 when sampling is off).
+func (t *Tracer) SampleN() int { return int(t.sampleN.Load()) }
+
+// SampledOut returns how many events sampling has dropped.
+func (t *Tracer) SampledOut() uint64 { return t.sampledOut.Load() }
+
+// Sampleable reports whether 1-in-N sampling may drop events of kind
+// k. Only the high-rate per-core kinds with no structural role in the
+// checker's temporal properties qualify; everything on a kill, scrub,
+// shootdown, capability or batch path is exact by construction.
+func Sampleable(k Kind) bool {
+	switch k {
+	case KVMCall, KTransition, KTrap, KIRQRaise, KIRQLost, KIRQSpurious,
+		KIRQRoute, KIRQDrop:
+		return true
+	}
+	return false
+}
+
 // Emit records one event. core is the emitting core or GlobalCore.
 func (t *Tracer) Emit(core int32, k Kind, domain, aux, node, addr, size uint64) {
+	ri := 0
+	if n := int(core) + 1; n >= 1 && n < len(t.rings) {
+		ri = n
+	}
+	if n := t.sampleN.Load(); n > 1 && Sampleable(k) {
+		if t.rings[ri].tick.Add(1)%uint64(n) != 0 {
+			t.sampledOut.Add(1)
+			return
+		}
+	}
 	ev := &Event{
 		Core: core, Kind: k,
 		Domain: domain, Aux: aux, Node: node, Addr: addr, Size: size,
@@ -268,10 +355,7 @@ func (t *Tracer) Emit(core int32, k Kind, domain, aux, node, addr, size uint64) 
 	if t.cycles != nil {
 		ev.Cycle = t.cycles()
 	}
-	ri := 0
-	if n := int(core) + 1; n >= 1 && n < len(t.rings) {
-		ri = n
-	}
+	sh := t.sharded.Load()
 	if t.hasSinks.Load() {
 		// Sink mode: sequence assignment, ring store, and delivery all
 		// happen under one mutex so every sink sees emission order and
@@ -282,11 +366,17 @@ func (t *Tracer) Emit(core int32, k Kind, domain, aux, node, addr, size uint64) 
 		for _, s := range t.sinks {
 			s.Event(*ev)
 		}
+		if sh != nil {
+			sh.s.ShardEvent(ri, *ev)
+		}
 		t.mu.Unlock()
 		return
 	}
 	ev.Seq = t.seq.Add(1)
 	t.rings[ri].append(ev)
+	if sh != nil {
+		sh.s.ShardEvent(ri, *ev)
+	}
 }
 
 // Len returns the number of events emitted so far (including any the
