@@ -1,0 +1,441 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"github.com/tyche-sim/tyche/internal/cap"
+	"github.com/tyche-sim/tyche/internal/core"
+	"github.com/tyche-sim/tyche/internal/phys"
+	"github.com/tyche-sim/tyche/internal/trace"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "C22",
+		Title: "Parallel reclamation pipeline: concurrent ring drains, shared grace periods, sharded kill-storm scrub",
+		Paper: "§3 mediation must scale with the machine: reclamation throughput must grow with cores, not serialise behind one",
+		Run:   runC22,
+	})
+}
+
+// runC22 measures the opt-in parallel reclamation pipeline
+// (Monitor.SetReclaimWorkers) in three phases:
+//
+//	drain — an 8-tenant ring fleet, every ring pre-loaded with
+//	        CallAttest descriptors (each costs an ed25519 report
+//	        signature — real, parallelisable host work). One
+//	        DrainRings per iteration drains the whole fleet; the sweep
+//	        compares the untouched serial path against partitioned
+//	        rounds at 1, 2, and 4 workers. Gates: ≥2x drain throughput
+//	        at 4 workers vs serial (demoted to a note when the host
+//	        lacks 4 hardware threads or the run shares a worker pool),
+//	        and — always enforced — the workers=1 run's cycle history
+//	        is bit-identical to serial, because one worker routes to
+//	        the exact serial code path.
+//	mixed — the same fleet running a revocation-heavy descriptor mix
+//	        (flush-cleanup revokes + attests) with a ForceKillAll storm
+//	        at the end, run serial and at 4 workers with the tracer and
+//	        checker attached. Gates: byte-identical checker verdicts
+//	        serial-vs-parallel (both clean, same violation bytes),
+//	        identical semantic counters, and exact count reconciliation
+//	        (which now includes parallel drain rounds).
+//	storm — a 12-victim ForceKillAll over ring-owning tenants with
+//	        exclusive slabs. Gate: the shared grace period combiner
+//	        covers the storm with at most kills/1.5 grace periods
+//	        (measured from EpochStats; the serial pre-pipeline kill
+//	        loop paid one per kill), and with workers opted in the
+//	        forced scrub reports sharded zeroing jobs.
+//
+// Timed runs are untraced; traced validation runs audit every
+// configuration's full history, exactly as C18/C20 do.
+func runC22(cfg Config) (*Result, error) {
+	res := &Result{
+		ID: "C22", Title: "Parallel reclamation pipeline (drain scaling / verdict identity / kill storm)",
+		Columns: []string{"phase", "workers", "wall us", "cycles", "ops", "kops/s", "speedup", "graces"},
+	}
+	res.metric("gomaxprocs", float64(runtime.GOMAXPROCS(0)))
+	res.metric("biglock", b2f(core.BigLockBuild))
+	hostParallel := runtime.GOMAXPROCS(0) >= 4 && !cfg.contended
+	if !hostParallel {
+		res.note("host GOMAXPROCS=%d contended=%v: drain workers time-share hardware threads, so the wall-clock speedup gate is demoted to a note (cycle bit-identity and verdict identity still gate)", runtime.GOMAXPROCS(0), cfg.contended)
+	}
+
+	iters := 6
+	if cfg.Quick {
+		iters = 2
+	}
+	timed := cfg
+	timed.Trace = false
+	valid := cfg
+	valid.Trace = true
+
+	// Phase A: attest-drain scaling.
+	type point struct {
+		p    *c22DrainRun
+		tput float64
+	}
+	var serialPt point
+	for _, workers := range []int{0, 1, 2, 4} {
+		tag := fmt.Sprintf("drain_w%d", workers)
+		arm := fmt.Sprintf("%d", workers)
+		if workers == 0 {
+			tag, arm = "drain_serial", "serial"
+		}
+		p, err := runC22Drain(timed, workers, iters)
+		if err != nil {
+			return nil, fmt.Errorf("c22 %s: %w", tag, err)
+		}
+		tput := float64(p.ops) / p.wall.Seconds()
+		speedup := 1.0
+		if workers == 0 {
+			serialPt = point{p: p, tput: tput}
+		} else {
+			speedup = tput / serialPt.tput
+		}
+		res.row("drain", arm, fmt.Sprintf("%d", p.wall.Microseconds()),
+			fmtU(p.cycles), fmtU(p.ops), fmt.Sprintf("%.0f", tput/1e3),
+			fmt.Sprintf("%.2fx", speedup), "-")
+		res.metric(tag+"_wall_ns", float64(p.wall.Nanoseconds()))
+		res.metric(tag+"_cycles", float64(p.cycles))
+		res.metric(tag+"_ops", float64(p.ops))
+		res.metric(tag+"_ops_per_sec", tput)
+		res.metric(tag+"_speedup_vs_serial", speedup)
+		res.check(tag+"-complete", p.complete, "fleet drained every descriptor each iteration%s", p.detail)
+		switch workers {
+		case 1:
+			// One worker must route to the exact serial code: the
+			// simulated history is bit-identical, not merely equivalent.
+			res.check("drain-w1-cycle-identity", p.cycles == serialPt.p.cycles,
+				"workers=1 cycle history %d vs serial %d (must be bit-identical)", p.cycles, serialPt.p.cycles)
+		case 4:
+			if hostParallel {
+				res.check("drain-w4-speedup", speedup >= 2.0,
+					"4-worker drain throughput %.2fx serial (gate: >= 2x)", speedup)
+			} else {
+				res.note("4-worker drain throughput %.2fx serial (2x gate demoted: host not parallel)", speedup)
+			}
+		}
+	}
+
+	// Phase B: mixed revocation workload — verdict identity.
+	if trace.Compiled {
+		ser, err := runC22Mixed(valid, 0)
+		if err != nil {
+			return nil, fmt.Errorf("c22 mixed serial: %w", err)
+		}
+		par, err := runC22Mixed(valid, 4)
+		if err != nil {
+			return nil, fmt.Errorf("c22 mixed parallel: %w", err)
+		}
+		one, err := runC22Mixed(valid, 1)
+		if err != nil {
+			return nil, fmt.Errorf("c22 mixed w1: %w", err)
+		}
+		for tag, r := range map[string]*c22MixedRun{"mixed_serial": ser, "mixed_w4": par} {
+			r.w.traceClean(res, tag)
+			res.metric(tag+"_cycles", float64(r.cycles))
+			res.metric(tag+"_revocations", float64(r.revocations))
+		}
+		res.check("mixed-verdict-identity", ser.verdict == par.verdict,
+			"checker verdicts serial vs parallel: %q vs %q (must be byte-identical)", ser.verdict, par.verdict)
+		res.check("mixed-semantics-identical",
+			ser.ringOps == par.ringOps && ser.revocations == par.revocations && ser.kills == par.kills,
+			"semantic counters serial ops=%d revs=%d kills=%d vs parallel ops=%d revs=%d kills=%d",
+			ser.ringOps, ser.revocations, ser.kills, par.ringOps, par.revocations, par.kills)
+		res.check("mixed-w1-cycle-identity", one.cycles == ser.cycles,
+			"workers=1 mixed cycle history %d vs serial %d (must be bit-identical)", one.cycles, ser.cycles)
+		res.check("mixed-parallel-coalesces", par.shootdownRounds < ser.shootdownRounds,
+			"parallel rounds retired %d shootdown rounds vs %d serial (cross-ring coalescing must reduce them)",
+			par.shootdownRounds, ser.shootdownRounds)
+		res.row("mixed", "serial", "-", fmtU(ser.cycles), fmtU(ser.ringOps), "-", "-", "-")
+		res.row("mixed", "4", "-", fmtU(par.cycles), fmtU(par.ringOps), "-", "-", "-")
+	} else {
+		res.note("notrace build: mixed verdict-identity phase skipped (tracing compiled out)")
+	}
+
+	// Phase C: kill storm — shared grace periods and sharded scrub.
+	for _, workers := range []int{0, 4} {
+		tag := fmt.Sprintf("storm_w%d", workers)
+		arm := fmt.Sprintf("%d", workers)
+		if workers == 0 {
+			tag, arm = "storm_serial", "serial"
+		}
+		s, err := runC22Storm(timed, workers)
+		if err != nil {
+			return nil, fmt.Errorf("c22 %s: %w", tag, err)
+		}
+		res.row("storm", arm, fmt.Sprintf("%d", s.wall.Microseconds()),
+			fmtU(s.cycles), fmtU(s.kills), "-", "-", fmtU(s.graces))
+		res.metric(tag+"_wall_ns", float64(s.wall.Nanoseconds()))
+		res.metric(tag+"_graces", float64(s.graces))
+		res.metric(tag+"_combined", float64(s.combined))
+		res.check(tag+"-kills", s.kills == c22StormVictims, "storm killed %d/%d victims", s.kills, c22StormVictims)
+		res.check(tag+"-graces", s.graces <= c22StormVictims*2/3,
+			"storm of %d kills ran %d grace periods (gate: <= kills/1.5 = %d; combiner folded %d)",
+			c22StormVictims, s.graces, c22StormVictims*2/3, s.combined)
+		if workers > 0 {
+			res.check(tag+"-scrub-sharded", s.scrubShards > 0,
+				"forced scrub fanned zeroing across workers: %d shard jobs", s.scrubShards)
+		}
+		if trace.Compiled {
+			v, err := runC22Storm(valid, workers)
+			if err != nil {
+				return nil, fmt.Errorf("c22 %s (traced): %w", tag, err)
+			}
+			res.check(tag+"-traced-kills", v.kills == c22StormVictims, "traced storm killed %d victims", v.kills)
+			v.w.traceClean(res, tag)
+		}
+	}
+	return res, nil
+}
+
+// c22Fleet is a set of ring-owning tenants built on a bench world.
+type c22Fleet struct {
+	w     *world
+	doms  []core.DomainID
+	bases []phys.Addr
+	tails []uint64
+	node  cap.NodeID // dom0's root memory capability
+}
+
+const (
+	c22Tenants      = 8
+	c22Entries      = 32
+	c22PerRing      = 16
+	c22StormVictims = 12
+)
+
+// c22PageRegion builds a page-granular memory resource.
+func c22PageRegion(page, pages uint64) cap.Resource {
+	return cap.MemResource(phys.MakeRegion(phys.Addr(page*phys.PageSize), pages*phys.PageSize))
+}
+
+// newC22Fleet boots a world with `tenants` ring-owning domains. Each
+// tenant owns one ring page (granted exclusively) at page ringBase+2i.
+func newC22Fleet(cfg Config, workers, tenants int) (*c22Fleet, error) {
+	w, err := newWorld(cfg, defaultWorldOpts())
+	if err != nil {
+		return nil, err
+	}
+	if workers > 0 {
+		w.mon.SetReclaimWorkers(workers)
+	}
+	f := &c22Fleet{w: w, tails: make([]uint64, tenants)}
+	for _, n := range w.mon.OwnerNodes(core.InitialDomain) {
+		if n.Resource.Kind == cap.ResMemory {
+			f.node = n.ID
+			break
+		}
+	}
+	const ringBase = 4096
+	for i := 0; i < tenants; i++ {
+		dom, err := w.mon.CreateDomain(core.InitialDomain, fmt.Sprintf("tenant%d", i))
+		if err != nil {
+			return nil, err
+		}
+		page := uint64(ringBase + 2*i)
+		if _, err := w.mon.Grant(core.InitialDomain, f.node, dom, c22PageRegion(page, 1), cap.MemRW, cap.CleanNone); err != nil {
+			return nil, err
+		}
+		base := phys.Addr(page * phys.PageSize)
+		if err := w.mon.RingSetup(dom, base, c22Entries); err != nil {
+			return nil, err
+		}
+		f.doms = append(f.doms, dom)
+		f.bases = append(f.bases, base)
+	}
+	return f, nil
+}
+
+// enqueue writes one descriptor with raw guest-level stores and
+// advances the fleet's shadow tail.
+func (f *c22Fleet) enqueue(i int, desc ...uint64) error {
+	mem := f.w.mach.Mem
+	off := f.bases[i] + phys.Addr(core.RingSQOff(c22Entries, f.tails[i]))
+	for w := 0; w < 6; w++ {
+		var v uint64
+		if w < len(desc) {
+			v = desc[w]
+		}
+		if err := mem.Write64(off+phys.Addr(8*w), v); err != nil {
+			return err
+		}
+	}
+	f.tails[i]++
+	return mem.Write64(f.bases[i]+core.RingOffSQTail, f.tails[i])
+}
+
+// c22DrainRun is one timed attest-drain configuration.
+type c22DrainRun struct {
+	w        *world
+	wall     time.Duration
+	cycles   uint64
+	ops      uint64
+	complete bool
+	detail   string
+}
+
+// runC22Drain drains c22PerRing CallAttest descriptors per tenant ring
+// per iteration — each descriptor signs an attestation report, so a
+// partitioned round has real host work to parallelise.
+func runC22Drain(cfg Config, workers, iters int) (*c22DrainRun, error) {
+	f, err := newC22Fleet(cfg, workers, c22Tenants)
+	if err != nil {
+		return nil, err
+	}
+	r := &c22DrainRun{w: f.w, complete: true}
+	// Pre-write every descriptor slot once (slots are reused modulo the
+	// ring size); iterations only republish tails.
+	mem := f.w.mach.Mem
+	for i := range f.doms {
+		for s := uint64(0); s < c22Entries; s++ {
+			off := f.bases[i] + phys.Addr(core.RingSQOff(c22Entries, s))
+			if err := mem.Write64(off, core.CallAttest); err != nil {
+				return nil, err
+			}
+			if err := mem.Write64(off+8, s); err != nil { // nonce
+				return nil, err
+			}
+		}
+	}
+	cyclesBefore := f.w.mach.Clock.Cycles()
+	start := time.Now()
+	for it := 0; it < iters; it++ {
+		for i := range f.doms {
+			f.tails[i] += c22PerRing
+			if err := mem.Write64(f.bases[i]+core.RingOffSQTail, f.tails[i]); err != nil {
+				return nil, err
+			}
+		}
+		n := f.w.mon.DrainRings()
+		want := uint64(c22Tenants * c22PerRing)
+		if n != want {
+			r.complete = false
+			r.detail = fmt.Sprintf(" (iteration %d drained %d, want %d; first error: %v)", it, n, want, f.w.mon.FirstDrainError())
+		}
+		r.ops += n
+	}
+	r.wall = time.Since(start)
+	r.cycles = f.w.mach.Clock.Cycles() - cyclesBefore
+	return r, nil
+}
+
+// c22MixedRun is one traced revocation-heavy run.
+type c22MixedRun struct {
+	w               *world
+	cycles          uint64
+	ringOps         uint64
+	revocations     uint64
+	kills           uint64
+	shootdownRounds uint64
+	verdict         string
+}
+
+// runC22Mixed drives flush-cleanup revokes and attests through every
+// ring, then storms the last two tenants, and snapshots the checker's
+// verdict bytes for the serial-vs-parallel identity gate.
+func runC22Mixed(cfg Config, workers int) (*c22MixedRun, error) {
+	f, err := newC22Fleet(cfg, workers, 6)
+	if err != nil {
+		return nil, err
+	}
+	rounds := 4
+	if cfg.Quick {
+		rounds = 2
+	}
+	const sharePages = 5200
+	page := uint64(sharePages)
+	for round := 0; round < rounds; round++ {
+		for i, dom := range f.doms {
+			for j := 0; j < 2; j++ {
+				id, err := f.w.mon.Share(core.InitialDomain, f.node, dom, c22PageRegion(page, 1), cap.MemRW, cap.CleanFlushTLB)
+				if err != nil {
+					return nil, err
+				}
+				page++
+				if err := f.enqueue(i, core.CallRevoke, uint64(id)); err != nil {
+					return nil, err
+				}
+			}
+			if err := f.enqueue(i, core.CallAttest, uint64(round)); err != nil {
+				return nil, err
+			}
+			if err := f.enqueue(i, core.CallEnumerateLen); err != nil {
+				return nil, err
+			}
+		}
+		f.w.mon.DrainRings()
+	}
+	if _, err := f.w.mon.ForceKillAll(f.doms[len(f.doms)-2], f.doms[len(f.doms)-1]); err != nil {
+		return nil, err
+	}
+	f.w.mon.DrainRings()
+	st := f.w.mon.Stats()
+	r := &c22MixedRun{
+		w:               f.w,
+		cycles:          f.w.mach.Clock.Cycles(),
+		ringOps:         st.RingOps,
+		revocations:     st.Revocations,
+		kills:           st.ForcedKills,
+		shootdownRounds: st.RingShootdowns,
+	}
+	if f.w.ck != nil {
+		r.verdict = fmt.Sprintf("%v|%v", f.w.ck.Err(), f.w.ck.Violations())
+	}
+	return r, nil
+}
+
+// c22StormRun is one kill-storm configuration.
+type c22StormRun struct {
+	w           *world
+	wall        time.Duration
+	cycles      uint64
+	kills       uint64
+	graces      uint64
+	combined    uint64
+	scrubShards uint64
+}
+
+// runC22Storm builds c22StormVictims ring-owning tenants, each with an
+// exclusive 8-page slab (forced-scrub fodder), and kills them all in
+// one ForceKillAll.
+func runC22Storm(cfg Config, workers int) (*c22StormRun, error) {
+	f, err := newC22Fleet(cfg, workers, c22StormVictims)
+	if err != nil {
+		return nil, err
+	}
+	// Exclusive slabs: granted wholesale, away from the ring pages so
+	// each victim scrubs at least two disjoint regions.
+	for i, dom := range f.doms {
+		slab := uint64(6000 + i*8)
+		if _, err := f.w.mon.Grant(core.InitialDomain, f.node, dom, c22PageRegion(slab, 8), cap.MemRW, cap.CleanNone); err != nil {
+			return nil, err
+		}
+		if err := f.enqueue(i, core.CallSelfID); err != nil {
+			return nil, err
+		}
+	}
+	f.w.mon.DrainRings()
+	es0 := f.w.mon.EpochStats()
+	st0 := f.w.mon.Stats()
+	cyclesBefore := f.w.mach.Clock.Cycles()
+	start := time.Now()
+	n, err := f.w.mon.ForceKillAll(f.doms...)
+	wall := time.Since(start)
+	if err != nil {
+		return nil, err
+	}
+	es1 := f.w.mon.EpochStats()
+	st1 := f.w.mon.Stats()
+	return &c22StormRun{
+		w:           f.w,
+		wall:        wall,
+		cycles:      f.w.mach.Clock.Cycles() - cyclesBefore,
+		kills:       uint64(n),
+		graces:      es1.Syncs - es0.Syncs,
+		combined:    es1.CombinedSyncs - es0.CombinedSyncs,
+		scrubShards: st1.ScrubShards - st0.ScrubShards,
+	}, nil
+}

@@ -20,6 +20,8 @@ package core
 // the exclusive lock.
 
 import (
+	"sync"
+
 	"github.com/tyche-sim/tyche/internal/cap"
 	"github.com/tyche-sim/tyche/internal/hw"
 	"github.com/tyche-sim/tyche/internal/phys"
@@ -48,6 +50,116 @@ func (m *Monitor) ForceKill(id DomainID) error {
 	return m.destroyDomain(d, true)
 }
 
+// ForceKillAll force-kills a batch of domains under ONE destructive-
+// family entry with ONE shared grace period covering every death — the
+// kill-storm path. Each victim is validated and its death published in
+// argument order; a single epoch synchronization then covers all the
+// publishes (the grace combiner counts the elided waits in
+// EpochStats), and the irreversible reclaims — detach, cleanups,
+// forced scrub, resync, key erase — run sequentially in the same
+// order. Victims that fail validation (dead, unknown, or the initial
+// domain) are skipped; the first such error is returned alongside the
+// number actually killed.
+func (m *Monitor) ForceKillAll(ids ...DomainID) (int, error) {
+	m.denter()
+	defer m.dexit()
+	var (
+		ticks    []destroyTicket
+		pub      uint64
+		firstErr error
+	)
+	for _, id := range ids {
+		d, err := m.liveDomain(id)
+		if err == nil && id == InitialDomain {
+			err = m.deny("the initial domain cannot be force-killed")
+		}
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		m.stats.forcedKills.Add(1)
+		m.emit(trace.KForceKill, id, 0, 0, 0, 0)
+		t := m.destroyPublish(d)
+		if t.pub > pub {
+			pub = t.pub
+		}
+		ticks = append(ticks, t)
+	}
+	if len(ticks) == 0 {
+		return 0, firstErr
+	}
+	m.ep.synchronizeShared(pub, len(ticks))
+	for _, t := range ticks {
+		if err := m.destroyReclaim(t, true); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return len(ticks), firstErr
+}
+
+// scrubZero zeroes the planned scrub regions — serially by default,
+// sharded round-robin across reclaimWorkers host goroutines when the
+// parallel pipeline is opted in and there is more than one region.
+// Regions are normalized (disjoint), so concurrent zeroing never
+// overlaps; physical memory serialises writers internally. The
+// scrubbug mutation skips region 0 here AND in the accounting loop, so
+// the seeded hole stays a hole in both builds.
+func (m *Monitor) scrubZero(regs []phys.Region) error {
+	w := int(m.reclaimWorkers.Load())
+	if w > len(regs) {
+		w = len(regs)
+	}
+	if w <= 1 || len(regs) < 2 {
+		for i, r := range regs {
+			if scrubSkipFirst && i == 0 {
+				continue
+			}
+			if err := m.mach.Mem.Zero(r); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+	)
+	for s := 0; s < w; s++ {
+		wg.Add(1)
+		m.stats.scrubShards.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for i := s; i < len(regs); i += w {
+				if scrubSkipFirst && i == 0 {
+					continue
+				}
+				if err := m.mach.Mem.Zero(regs[i]); err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+					return
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// destroyTicket is a published-but-not-reclaimed domain death: the
+// handle destroyPublish returns and destroyReclaim consumes, with the
+// epoch ticket the grace period must cover in between.
+type destroyTicket struct {
+	d   *Domain
+	tok uint64
+	pub uint64
+}
+
 // destroyDomain is the shared kill path (destructive-family entry
 // held). It is the epoch scheme's publish → quiesce → reclaim sequence
 // end to end: publish death, wait the grace period out, then detach the
@@ -57,11 +169,25 @@ func (m *Monitor) ForceKill(id DomainID) error {
 // accesses), drop the encryption key, and clear scheduling state. With
 // scrub set, the domain's exclusively-held memory is additionally
 // zeroed and shot down from every TLB regardless of cleanup policies.
+//
+// The publish and reclaim halves are split so ForceKillAll can publish
+// a whole storm of deaths and cover them with ONE shared grace period
+// (the grace combiner); this single-victim path quiesces in between,
+// exactly as before the split.
 func (m *Monitor) destroyDomain(d *Domain, scrub bool) error {
+	t := m.destroyPublish(d)
+	m.ep.synchronize()
+	return m.destroyReclaim(t, scrub)
+}
+
+// destroyPublish runs the reversible-at-no-point prefix of a kill: the
+// ring teardown and the absorbing death store. After it returns every
+// new entry fails the victim's liveness check; nothing irreversible
+// has happened yet, so any number of publishes may stack up before one
+// grace period covers them all.
+func (m *Monitor) destroyPublish(d *Domain) destroyTicket {
 	tok := m.opTok.Add(1)
 	m.emit(trace.KOpBegin, d.id, trace.OpKill, tok, 0, 0)
-	defer m.emit(trace.KOpEnd, d.id, trace.OpKill, tok, 0, 0)
-	owner := cap.OwnerID(d.id)
 	// Drop and scrub the dying domain's submission ring first: the
 	// teardown revalidates the owner's access over the ring footprint
 	// (skipping the header scrub if the pages were granted away), which
@@ -75,12 +201,18 @@ func (m *Monitor) destroyDomain(d *Domain, scrub bool) error {
 	// Publish: every entry from here on fails the liveness check. The
 	// store is absorbing — a concurrent seal cannot resurrect the state.
 	d.setState(StateDead)
-	// Quiesce: wait for every entry that validated liveness (or
-	// capability access) before the publish. After this, no delegation
-	// can add to the victim's subtree, no copy or dispatch relies on its
-	// memory, and every trace event such entries emit has its sequence
-	// number — before the KKill below.
-	m.ep.synchronize()
+	return destroyTicket{d: d, tok: tok, pub: m.ep.publishTicket()}
+}
+
+// destroyReclaim runs the irreversible tail of a kill. The caller must
+// have waited out a grace period covering t.pub since destroyPublish:
+// no delegation can still add to the victim's subtree, no copy or
+// dispatch relies on its memory, and every trace event such entries
+// emit has its sequence number — before the KKill below.
+func (m *Monitor) destroyReclaim(t destroyTicket, scrub bool) error {
+	d := t.d
+	defer m.emit(trace.KOpEnd, d.id, trace.OpKill, t.tok, 0, 0)
+	owner := cap.OwnerID(d.id)
 	var scrubRegions []phys.Region
 	if scrub {
 		// Exclusive regions are computed post-quiesce (no delegation in
@@ -106,15 +238,22 @@ func (m *Monitor) destroyDomain(d *Domain, scrub bool) error {
 	if err := m.bk.ExecuteCleanups(det.Actions()); err != nil {
 		return err
 	}
+	// Forced scrub, two phases. Zeroing — the memory traffic — fans out
+	// across idle host workers when the parallel pipeline is opted in
+	// (regions are normalized, hence disjoint: no two workers' writes
+	// overlap). Cycle accounting, TLB shootdowns, and KScrub events stay
+	// serial in plan order, so the trace and the cycle history are
+	// bit-identical to the serial scrub and every KScrub still precedes
+	// the KKill at each quiescent merge point.
+	if err := m.scrubZero(scrubRegions); err != nil {
+		return err
+	}
 	for i, r := range scrubRegions {
 		if scrubSkipFirst && i == 0 {
 			// Seeded mutation (scrubbug build tag): the first planned
 			// region is neither zeroed nor shot down — its KScrubPlan is
 			// still unmatched when KKill closes the destruction.
 			continue
-		}
-		if err := m.mach.Mem.Zero(r); err != nil {
-			return err
 		}
 		m.mach.Clock.Advance(r.Size() / hw.CacheLineSize * m.mach.Cost.ZeroLine)
 		m.mach.ShootdownRegion(r)

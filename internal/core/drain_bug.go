@@ -1,0 +1,13 @@
+//go:build !drainbug
+
+package core
+
+// DrainBugArmed reports whether this binary carries the seeded
+// coalescing bug (the drainbug build tag): the parallel drain round's
+// first deferred revocation runs its flush cleanups OUTSIDE the round's
+// shootdown accumulator, so extra unbatched shootdown rounds appear
+// inside the KDrainBegin/KDrainEnd frame. Mirrors the tracebug /
+// epochbug / scrubbug pattern: the mutation test proves the checker's
+// cross-ring coalescing property rejects the bug, which is what
+// licenses shipping the parallel pipeline.
+const DrainBugArmed = false

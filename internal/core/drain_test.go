@@ -1,0 +1,359 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/tyche-sim/tyche/internal/cap"
+	"github.com/tyche-sim/tyche/internal/phys"
+	"github.com/tyche-sim/tyche/internal/trace"
+)
+
+// drainWorld builds a fleet of ring-owning tenants with identical
+// pending work: each tenant's ring holds a CallSelfID, two CallRevoke
+// descriptors over its own flush-on-revoke shares, and a
+// CallEnumerateLen. Deterministic — two worlds built with the same
+// arguments submit byte-identical descriptor streams.
+func drainWorld(t testing.TB, m *Monitor, tenants int) (doms []DomainID, bases []phys.Addr) {
+	t.Helper()
+	node := dom0MemNode(t, m)
+	const entries = 16
+	for i := 0; i < tenants; i++ {
+		dom, err := m.CreateDomain(InitialDomain, "tenant")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ringPage := uint64(600 + i)
+		if _, err := m.Grant(InitialDomain, node, dom, memRes(ringPage, 1), cap.MemRW, cap.CleanNone); err != nil {
+			t.Fatal(err)
+		}
+		base := phys.Addr(ringPage * pg)
+		if err := m.RingSetup(dom, base, entries); err != nil {
+			t.Fatal(err)
+		}
+		rawEnqueue(t, m, base, entries, CallSelfID)
+		for j := uint64(0); j < 2; j++ {
+			id, err := m.Share(InitialDomain, node, dom, memRes(700+uint64(i)*4+j, 1), cap.MemRW, cap.CleanFlushTLB)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rawEnqueue(t, m, base, entries, CallRevoke, uint64(id))
+		}
+		rawEnqueue(t, m, base, entries, CallEnumerateLen)
+		doms = append(doms, dom)
+		bases = append(bases, base)
+	}
+	return doms, bases
+}
+
+// rawEnqueue is ring_test.go's enqueue for testing.TB (benchmarks use
+// it too).
+func rawEnqueue(t testing.TB, m *Monitor, base phys.Addr, entries uint64, desc ...uint64) {
+	t.Helper()
+	mem := m.Machine().Mem
+	tail, err := mem.Read64(base + RingOffSQTail)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := base + phys.Addr(RingSQOff(entries, tail))
+	for w := 0; w < 6; w++ {
+		var v uint64
+		if w < len(desc) {
+			v = desc[w]
+		}
+		if err := mem.Write64(off+phys.Addr(8*w), v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := mem.Write64(base+RingOffSQTail, tail+1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParallelDrainMatchesSerial drives the identical drain workload
+// through (a) the untouched serial path, (b) workers=1 — which must
+// route to the exact same serial code, cycle-for-cycle — and (c) a
+// 4-worker parallel round, which must agree on every completion,
+// every capability-space outcome, and all semantic counters, with a
+// clean trace. Two 4-worker runs must also agree with each other on
+// cycle totals (the partitioned round is deterministic).
+func TestParallelDrainMatchesSerial(t *testing.T) {
+	const tenants = 4
+	type outcome struct {
+		cycles  uint64
+		ops     uint64
+		revs    uint64
+		shoots  uint64
+		rounds  uint64
+		comps   []uint64
+		nodes   []int
+		pending []uint64
+	}
+	run := func(workers int) outcome {
+		m := bootWorld(t, BackendVTX)
+		if workers > 0 {
+			m.SetReclaimWorkers(workers)
+		}
+		doms, bases := drainWorld(t, m, tenants)
+		if n := m.DrainRings(); n != tenants*4 {
+			t.Fatalf("workers=%d executed %d descriptors, want %d", workers, n, tenants*4)
+		}
+		var o outcome
+		o.cycles = m.Machine().Clock.Cycles()
+		st := m.Stats()
+		o.ops, o.revs, o.shoots = st.RingOps, st.Revocations, st.RingShootdowns
+		o.rounds = st.RingParallelDrains
+		for i, base := range bases {
+			for slot := uint64(0); slot < 4; slot++ {
+				status, result := completion(t, m, base, 16, slot)
+				o.comps = append(o.comps, status, result)
+			}
+			o.nodes = append(o.nodes, len(m.OwnerNodes(doms[i])))
+			o.pending = append(o.pending, m.RingPending(doms[i]))
+		}
+		return o
+	}
+
+	serial := run(0)
+	one := run(1)
+	par := run(4)
+	par2 := run(4)
+
+	// workers=1 routes to the serial code: bit-identical cycle history.
+	if serial.cycles != one.cycles {
+		t.Fatalf("workers=1 cycles %d != serial %d", one.cycles, serial.cycles)
+	}
+	if fmt.Sprint(serial) != fmt.Sprint(one) {
+		t.Fatalf("workers=1 outcome diverged from serial:\n  serial: %+v\n  w=1:    %+v", serial, one)
+	}
+	// The parallel round must agree on all semantics. Cycle totals
+	// legitimately differ (cross-ring coalescing retires fewer
+	// shootdown rounds), as does the round counter.
+	if par.rounds != 1 || serial.rounds != 0 {
+		t.Fatalf("RingParallelDrains: serial %d (want 0), parallel %d (want 1)", serial.rounds, par.rounds)
+	}
+	if par.ops != serial.ops || par.revs != serial.revs {
+		t.Fatalf("semantic counters diverged: serial ops=%d revs=%d, parallel ops=%d revs=%d",
+			serial.ops, serial.revs, par.ops, par.revs)
+	}
+	if par.shoots >= serial.shoots {
+		t.Fatalf("parallel round ran %d shootdown rounds, serial %d — coalescing gained nothing", par.shoots, serial.shoots)
+	}
+	if fmt.Sprint(par.comps) != fmt.Sprint(serial.comps) {
+		t.Fatalf("completions diverged:\n  serial:   %v\n  parallel: %v", serial.comps, par.comps)
+	}
+	if fmt.Sprint(par.nodes) != fmt.Sprint(serial.nodes) || fmt.Sprint(par.pending) != fmt.Sprint(serial.pending) {
+		t.Fatalf("capability/ring state diverged: serial %v/%v, parallel %v/%v",
+			serial.nodes, serial.pending, par.nodes, par.pending)
+	}
+	// The partitioned round itself is deterministic.
+	if par.cycles != par2.cycles || fmt.Sprint(par) != fmt.Sprint(par2) {
+		t.Fatalf("two 4-worker runs diverged: cycles %d vs %d", par.cycles, par2.cycles)
+	}
+}
+
+// TestDrainErrorSurfaced: a malformed ring (guest overran its own
+// tail) used to fail its barrier drain silently. The failure must now
+// be counted in Stats().RingDrainErrors and latched for
+// FirstDrainError, without poisoning other tenants' rings.
+func TestDrainErrorSurfaced(t *testing.T) {
+	m := bootWorld(t, BackendVTX)
+	doms, bases := drainWorld(t, m, 2)
+	// Overrun tenant 0's ring: tail jumps past head by more than the
+	// capacity, which the drain must refuse.
+	if err := m.Machine().Mem.Write64(bases[0]+RingOffSQTail, 1000); err != nil {
+		t.Fatal(err)
+	}
+	n := m.DrainRings()
+	if n != 4 {
+		t.Fatalf("healthy tenant drained %d descriptors, want 4", n)
+	}
+	if got := m.Stats().RingDrainErrors; got != 1 {
+		t.Fatalf("RingDrainErrors = %d, want 1", got)
+	}
+	err := m.FirstDrainError()
+	if err == nil || !strings.Contains(err.Error(), "overruns") {
+		t.Fatalf("FirstDrainError = %v, want the overrun denial", err)
+	}
+	// The healthy tenant's ring still works.
+	if m.RingPending(doms[1]) != 0 {
+		t.Fatal("healthy tenant's ring was not drained")
+	}
+}
+
+// TestRevokeStormWhileDraining races 4-worker parallel drains against
+// public-API revocations, a ForceKillAll storm over ring-owning
+// tenants, guest-side descriptor enqueues, and pinned readers — the
+// revocation-storm-while-draining scenario, run under -race on both
+// lock builds. Trace-oracle gated: when tracing is compiled in, both
+// checkers must find the interleaved trace clean.
+func TestRevokeStormWhileDraining(t *testing.T) {
+	m, ck, sh := bootDualTracedWorld(t, BackendVTX)
+	m.SetReclaimWorkers(4)
+	const tenants = 6
+	doms, bases := drainWorld(t, m, tenants)
+	node := dom0MemNode(t, m)
+	// Extra dom0-side shares the storm revokes through the public API
+	// while drains run.
+	var shares []cap.NodeID
+	for i := 0; i < 16; i++ {
+		id, err := m.Share(InitialDomain, node, doms[i%tenants], memRes(800+uint64(i), 1), cap.MemRW, cap.CleanFlushTLB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shares = append(shares, id)
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(4)
+	go func() { // drainer
+		defer wg.Done()
+		for i := 0; i < 30; i++ {
+			m.DrainRings()
+		}
+	}()
+	go func() { // revoker (public destructive API)
+		defer wg.Done()
+		for _, id := range shares {
+			_ = m.Revoke(InitialDomain, id)
+		}
+	}()
+	go func() { // killer: a storm over ring-owning tenants
+		defer wg.Done()
+		if _, err := m.ForceKillAll(doms[tenants-2], doms[tenants-1]); err != nil {
+			t.Errorf("ForceKillAll: %v", err)
+		}
+	}()
+	go func() { // pinned readers + guest enqueues on surviving rings
+		defer wg.Done()
+		for i := 0; i < 40; i++ {
+			d := doms[i%(tenants-2)]
+			m.RingPending(d)
+			m.OwnerNodes(d)
+			rawEnqueue(t, m, bases[i%(tenants-2)], 16, CallSelfID)
+		}
+	}()
+	wg.Wait()
+	if n, err := m.ForceKillAll(doms[0]); n != 1 || err != nil {
+		t.Fatalf("post-storm kill: n=%d err=%v", n, err)
+	}
+	m.DrainRings()
+
+	es := m.EpochStats()
+	if es.CombinedSyncs < 1 {
+		t.Fatalf("kill storm combined no grace periods: %+v", es)
+	}
+	if trace.Compiled {
+		if err := assertCheckersAgree(t, ck, sh); err != nil {
+			t.Fatalf("storm trace flagged: %v", err)
+		}
+	}
+}
+
+// TestDrainHotPathAllocs pins the per-ring drain hot path (doorbell
+// flush of one pending descriptor, no tracer) at zero heap
+// allocations per operation — the batched-ABI latency budget the
+// benchmarks gate in CI.
+func TestDrainHotPathAllocs(t *testing.T) {
+	m := bootWorld(t, BackendVTX)
+	const entries = 1
+	base := phys.Addr(600 * pg)
+	if err := m.RingSetup(InitialDomain, base, entries); err != nil {
+		t.Fatal(err)
+	}
+	mem := m.Machine().Mem
+	// The descriptor slot is reused every iteration; only the tail
+	// moves.
+	if err := mem.Write64(base+phys.Addr(RingSQOff(entries, 0)), CallSelfID); err != nil {
+		t.Fatal(err)
+	}
+	tail := uint64(0)
+	allocs := testing.AllocsPerRun(200, func() {
+		tail++
+		if err := mem.Write64(base+RingOffSQTail, tail); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.RingFlush(InitialDomain); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("drain hot path allocates %.1f times per flush, want 0", allocs)
+	}
+}
+
+// BenchmarkDrainRingsParallel measures a full barrier drain over an
+// 8-tenant fleet at 1 and 4 reclamation workers, and the single-ring
+// doorbell hot path (perring, which must report 0 allocs/op).
+func BenchmarkDrainRingsParallel(b *testing.B) {
+	for _, w := range []int{1, 4} {
+		b.Run(fmt.Sprintf("rings8/w%d", w), func(b *testing.B) {
+			m := bootWorld(b, BackendVTX)
+			m.SetReclaimWorkers(w)
+			node := dom0MemNode(b, m)
+			const tenants, entries = 8, 64
+			bases := make([]phys.Addr, tenants)
+			for i := 0; i < tenants; i++ {
+				dom, err := m.CreateDomain(InitialDomain, "tenant")
+				if err != nil {
+					b.Fatal(err)
+				}
+				// 64 entries → RingBytes just over a page: grant two.
+				page := uint64(600 + i*2)
+				if _, err := m.Grant(InitialDomain, node, dom, memRes(page, 2), cap.MemRW, cap.CleanNone); err != nil {
+					b.Fatal(err)
+				}
+				bases[i] = phys.Addr(page * pg)
+				if err := m.RingSetup(dom, bases[i], entries); err != nil {
+					b.Fatal(err)
+				}
+				// Descriptor slots hold CallSelfID once; iterations only
+				// republish tails.
+				for s := uint64(0); s < entries; s++ {
+					if err := m.Machine().Mem.Write64(bases[i]+phys.Addr(RingSQOff(entries, s)), CallSelfID); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			mem := m.Machine().Mem
+			tail := uint64(0)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tail += 16
+				for _, base := range bases {
+					if err := mem.Write64(base+RingOffSQTail, tail); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if n := m.DrainRings(); n != tenants*16 {
+					b.Fatalf("drained %d, want %d", n, tenants*16)
+				}
+			}
+		})
+	}
+	b.Run("perring", func(b *testing.B) {
+		m := bootWorld(b, BackendVTX)
+		const entries = 1
+		base := phys.Addr(600 * pg)
+		if err := m.RingSetup(InitialDomain, base, entries); err != nil {
+			b.Fatal(err)
+		}
+		mem := m.Machine().Mem
+		if err := mem.Write64(base+phys.Addr(RingSQOff(entries, 0)), CallSelfID); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := mem.Write64(base+RingOffSQTail, uint64(i+1)); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := m.RingFlush(InitialDomain); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

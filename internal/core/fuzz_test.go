@@ -2,6 +2,8 @@ package core
 
 import (
 	"math/rand"
+	"sort"
+	"sync"
 	"testing"
 
 	"github.com/tyche-sim/tyche/internal/cap"
@@ -31,7 +33,9 @@ import (
 // setup, raw descriptor enqueue, doorbell flush); ops 19-21 are the
 // revoke-heavy mix for the epoch-reclamation scheme (revoke bursts,
 // create+share+revoke churn, revocations interleaved with ring
-// drains). Widening the opcode space shifts how pre-existing corpus
+// drains); op 22 bursts concurrent doorbell flushes from every
+// ring-owning domain with the parallel reclamation pipeline opted in.
+// Widening the opcode space shifts how pre-existing corpus
 // entries decode, which is fine — every decode is a valid program.
 func driveMonitorOps(tb testing.TB, m *Monitor, data []byte) {
 	domains := []DomainID{InitialDomain}
@@ -88,7 +92,7 @@ func driveMonitorOps(tb testing.TB, m *Monitor, data []byte) {
 	schedOn := false
 	steps := 0
 	for pos < len(data) {
-		switch next() % 22 {
+		switch next() % 23 {
 		case 0:
 			if len(domains) < 32 {
 				if id, err := m.CreateDomain(randDomain(), "fuzz"); err == nil {
@@ -249,6 +253,42 @@ func driveMonitorOps(tb testing.TB, m *Monitor, data []byte) {
 			d := randDomain()
 			if _, err := m.RingFlush(d); err != nil {
 				delete(rings, d)
+			}
+		case 22:
+			// Concurrent doorbells with the parallel reclamation
+			// pipeline opted in: every registered owner flushes from its
+			// own goroutine in one burst, so partitioned drain rounds
+			// race against each other, against the serial fallback, and
+			// against whatever destructive ops neighbouring stream
+			// positions run. Workers are reset afterwards so the rest of
+			// the stream fuzzes the serial paths unchanged.
+			workers := 2 + pick(3)
+			var owners []DomainID
+			for d := range rings {
+				owners = append(owners, d)
+			}
+			sort.Slice(owners, func(i, j int) bool { return owners[i] < owners[j] })
+			if len(owners) == 0 {
+				break
+			}
+			m.SetReclaimWorkers(workers)
+			failed := make([]bool, len(owners))
+			var wg sync.WaitGroup
+			for i, d := range owners {
+				wg.Add(1)
+				go func(i int, d DomainID) {
+					defer wg.Done()
+					if _, err := m.RingFlush(d); err != nil {
+						failed[i] = true
+					}
+				}(i, d)
+			}
+			wg.Wait()
+			m.SetReclaimWorkers(0)
+			for i, d := range owners {
+				if failed[i] {
+					delete(rings, d)
+				}
 			}
 		}
 		steps++

@@ -93,6 +93,12 @@ type Stats struct {
 	RingFlushes      uint64 // non-empty ring drains (batches)
 	RingShootdowns   uint64 // coalesced cross-core rounds those drains ran
 	RingOpsCoalesced uint64 // logical shootdowns absorbed into those rounds
+	RingDrainErrors  uint64 // per-ring drain failures surfaced by barrier drains
+
+	// Parallel reclamation pipeline (drain.go; zero until
+	// SetReclaimWorkers enables it).
+	RingParallelDrains uint64 // cross-ring parallel drain rounds
+	ScrubShards        uint64 // forced-scrub zeroing jobs run on fan-out workers
 
 	// Pre-validated transition cache (transcache.go; opt-in).
 	TransCacheHits   uint64 // switches that skipped full validation
@@ -131,6 +137,10 @@ type statCounters struct {
 	ringFlushes      atomic.Uint64
 	ringShootdowns   atomic.Uint64
 	ringOpsCoalesced atomic.Uint64
+	ringDrainErrors  atomic.Uint64
+
+	ringParallelDrains atomic.Uint64
+	scrubShards        atomic.Uint64
 
 	tcHits   atomic.Uint64
 	tcMisses atomic.Uint64
@@ -165,6 +175,10 @@ func (s *statCounters) snapshot() Stats {
 		RingFlushes:      s.ringFlushes.Load(),
 		RingShootdowns:   s.ringShootdowns.Load(),
 		RingOpsCoalesced: s.ringOpsCoalesced.Load(),
+		RingDrainErrors:  s.ringDrainErrors.Load(),
+
+		RingParallelDrains: s.ringParallelDrains.Load(),
+		ScrubShards:        s.scrubShards.Load(),
 
 		TransCacheHits:   s.tcHits.Load(),
 		TransCacheMisses: s.tcMisses.Load(),
@@ -311,6 +325,20 @@ type Monitor struct {
 	// Strictly opt-in: default-off keeps every transition byte-for-byte
 	// on the pre-cache path.
 	tcOn atomic.Bool
+
+	// reclaimWorkers is the parallel reclamation pipeline's fan-out
+	// (drain.go): ≤1 keeps ring drains and kill scrubs on the exact
+	// serial paths (bit-identical cycle histories — the default); >1
+	// lets DrainRings partition rings across that many host workers and
+	// fans forced-scrub zeroing out the same way. Strictly opt-in via
+	// SetReclaimWorkers, like tcOn.
+	reclaimWorkers atomic.Int32
+
+	// drainErrMu/firstDrainErr latch the first per-ring drain failure a
+	// barrier drain swallowed, so tests and embedders can observe what
+	// Stats().RingDrainErrors only counts.
+	drainErrMu    sync.Mutex
+	firstDrainErr error
 
 	// checkpoint, when installed (SetCheckpoint), runs at the monitor's
 	// quiescent points: scheduler round barriers, ring-drain doorbells,

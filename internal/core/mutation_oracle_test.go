@@ -48,7 +48,7 @@ func bootDualTracedWorld(tb testing.TB, kind BackendKind) (*Monitor, *check.Chec
 // all four oracles; the three foreign ones skip here.
 func skipUnlessOnlyMutation(t *testing.T, own bool) {
 	t.Helper()
-	anyArmed := hw.ShootdownBugArmed || hw.AckBugArmed || ScrubBugArmed || EpochBugArmed
+	anyArmed := hw.ShootdownBugArmed || hw.AckBugArmed || ScrubBugArmed || EpochBugArmed || DrainBugArmed
 	if anyArmed && !own {
 		t.Skip("a different seeded mutation is armed")
 	}
@@ -121,6 +121,62 @@ func TestScrubMutationOracle(t *testing.T) {
 	}
 	if err != nil {
 		t.Fatalf("clean kill flagged: %v", err)
+	}
+}
+
+// TestDrainMutationOracle: under the drainbug build tag the parallel
+// drain round runs its first deferred revocation's flush cleanups
+// OUTSIDE the round's shootdown accumulator, so extra unbatched
+// shootdown rounds retire inside the KDrainBegin/KDrainEnd frame. Both
+// checkers must flag the cross-ring coalescing property (6); in normal
+// builds the identical parallel run must be clean.
+func TestDrainMutationOracle(t *testing.T) {
+	if !trace.Compiled {
+		t.Skip("tracing compiled out (notrace)")
+	}
+	skipUnlessOnlyMutation(t, DrainBugArmed)
+	m, ck, sh := bootDualTracedWorld(t, BackendVTX)
+	node := dom0MemNode(t, m)
+	m.SetReclaimWorkers(2)
+	// Two ring-owning tenants, each with two revocable flush-on-revoke
+	// shares: the round defers four revocations, whose shootdowns must
+	// coalesce into ONE cross-ring round.
+	const entries = 8
+	for i := uint64(0); i < 2; i++ {
+		dom, err := m.CreateDomain(InitialDomain, "tenant")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Grant(InitialDomain, node, dom, memRes(400+i*8, 1), cap.MemRW, cap.CleanNone); err != nil {
+			t.Fatal(err)
+		}
+		base := ringAt(t, m, dom, 400+i*8, entries)
+		for j := uint64(0); j < 2; j++ {
+			id, err := m.Share(InitialDomain, node, dom, memRes(500+i*8+j, 1), cap.MemRW, cap.CleanFlushTLB)
+			if err != nil {
+				t.Fatal(err)
+			}
+			enqueue(t, m, base, entries, CallRevoke, uint64(id))
+		}
+	}
+	if n := m.DrainRings(); n != 4 {
+		t.Fatalf("parallel round executed %d descriptors, want 4", n)
+	}
+	if got := m.Stats().RingParallelDrains; got != 1 {
+		t.Fatalf("RingParallelDrains = %d, want 1", got)
+	}
+	err := assertCheckersAgree(t, ck, sh)
+	if DrainBugArmed {
+		if err == nil {
+			t.Fatal("seeded uncoalesced drain shootdowns (drainbug) not flagged by the checkers")
+		}
+		if !strings.Contains(err.Error(), "drain round performed") {
+			t.Fatalf("wrong violation for seeded bug: %v", err)
+		}
+		return
+	}
+	if err != nil {
+		t.Fatalf("clean parallel drain flagged: %v", err)
 	}
 }
 

@@ -194,7 +194,25 @@ func (m *Monitor) ringFlush(caller DomainID, core int32) (uint64, error) {
 	if !ok {
 		return 0, m.deny("domain %d has no ring (CallRingSetup first)", caller)
 	}
-	n, err := m.drainRingLocked(r, core)
+	var n uint64
+	var err error
+	if w := int(m.reclaimWorkers.Load()); w > 1 && m.ringCount.Load() > 1 {
+		// Parallel pipeline (opt-in): the doorbell drains EVERY
+		// registered ring as one partitioned round — the flusher's trap
+		// amortises over the fleet, and the round's revocations share
+		// one grace period and one cross-ring shootdown. The caller
+		// still observes exactly its own ring's count and error.
+		_, results := m.drainRingsParallel(w)
+		res, ok := results[caller]
+		if !ok {
+			// The caller's ring was dropped (dead owner or lost
+			// footprint) before it could drain.
+			res = ringDrainResult{err: m.deny("domain %d has no ring (CallRingSetup first)", caller)}
+		}
+		n, err = res.n, res.err
+	} else {
+		n, err = m.drainRingLocked(r, core)
+	}
 	// The doorbell is a quiescent point: the flushing guest is by
 	// definition outside any other monitor entry on its core.
 	if core >= 0 {
@@ -228,6 +246,10 @@ func (m *Monitor) DrainRings() uint64 {
 	var total uint64
 	m.denter()
 	defer m.dexit()
+	if w := int(m.reclaimWorkers.Load()); w > 1 && len(owners) > 1 {
+		total, _ = m.drainRingsParallel(w)
+		return total
+	}
 	for _, id := range owners {
 		r, ok := m.ringOf(id)
 		if !ok {
@@ -237,7 +259,12 @@ func (m *Monitor) DrainRings() uint64 {
 			m.ringDrop(id)
 			continue
 		}
-		n, _ := m.drainRingLocked(r, trace.GlobalCore)
+		n, err := m.drainRingLocked(r, trace.GlobalCore)
+		// A failed per-ring drain must not poison the other tenants'
+		// rings, but it must not vanish either: count it and latch the
+		// first occurrence for diagnosis (Stats().RingDrainErrors,
+		// FirstDrainError).
+		m.noteDrainError(err)
 		total += n
 	}
 	return total

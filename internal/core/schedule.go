@@ -277,8 +277,14 @@ func (m *Monitor) runScheduled(budget int, cores []phys.CoreID) (map[phys.CoreID
 		// load — runs with no rings registered take this branch never
 		// and stay cycle-identical to pre-ring builds.
 		if firstErr == nil && m.ringCount.Load() > 0 {
+			pd := m.stats.ringParallelDrains.Load()
 			if n := m.DrainRings(); n > 0 {
 				q.RecordBarrierDrain(n)
+			}
+			// Attribute partitioned parallel rounds (opt-in pipeline) to
+			// the schedule's drain accounting.
+			if rounds := m.stats.ringParallelDrains.Load() - pd; rounds > 0 {
+				q.RecordParallelDrain(rounds, uint64(m.reclaimWorkers.Load()))
 			}
 		}
 		// Round barriers are where the runtime-verification service

@@ -89,6 +89,11 @@ type Machine struct {
 	// shootdown call site runs under — so a plain field suffices.
 	sdBatch *shootdownBatch
 
+	// sdBatchCache is the accumulator sdBatch arms — cached on the
+	// machine (its region slice reused across batches) so arming is
+	// allocation-free: the per-ring drain hot path pins 0 allocs/op.
+	sdBatchCache shootdownBatch
+
 	// ackSwallowed latches the seeded ackbug mutation (ack_bug.go) so
 	// exactly one shootdown round per machine loses core 0's ack. Dead
 	// weight in normal builds (ackDropOne is constant false).

@@ -118,7 +118,11 @@ func (m *Machine) ShootdownAll() {
 // shootdown call sites (the monitor's exclusive lock); batches do not
 // nest.
 func (m *Machine) BeginShootdownBatch() {
-	m.sdBatch = &shootdownBatch{}
+	b := &m.sdBatchCache
+	b.regions = b.regions[:0]
+	b.full = false
+	b.ops = 0
+	m.sdBatch = b
 }
 
 // EndShootdownBatch disarms coalescing and, if anything was recorded,

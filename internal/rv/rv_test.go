@@ -4,8 +4,10 @@ import (
 	"strings"
 	"testing"
 
+	"github.com/tyche-sim/tyche/internal/cap"
 	"github.com/tyche-sim/tyche/internal/core"
 	"github.com/tyche-sim/tyche/internal/hw"
+	"github.com/tyche-sim/tyche/internal/phys"
 	"github.com/tyche-sim/tyche/internal/tpm"
 	"github.com/tyche-sim/tyche/internal/trace"
 	"github.com/tyche-sim/tyche/internal/trace/check"
@@ -180,6 +182,101 @@ func TestShipErrorLatched(t *testing.T) {
 	}
 	if err := svc.Finalize(); err != errShipCut {
 		t.Fatalf("Finalize = %v, want the latched ship error", err)
+	}
+}
+
+// TestServiceParallelDrain audits the parallel reclamation pipeline
+// end to end: with drain workers opted in, a partitioned ring-drain
+// round plus a shared-grace kill storm must verify clean on-node, and
+// the shipped digests must carry the drain-frame tally to the remote
+// verifier so it reconciles like every other structural count.
+func TestServiceParallelDrain(t *testing.T) {
+	if !trace.Compiled {
+		t.Skip("tracing compiled out (notrace)")
+	}
+	mach, mon := bootPair(t)
+	ver := check.NewRemoteVerifier("drain-node")
+	svc, err := Attach(mach, mon, Options{
+		Node: "drain-node",
+		Ship: func(raw []byte) error { return ver.Consume(raw) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon.SetReclaimWorkers(2)
+	var memNode cap.NodeID
+	for _, n := range mon.OwnerNodes(core.InitialDomain) {
+		if n.Resource.Kind == cap.ResMemory {
+			memNode = n.ID
+			break
+		}
+	}
+	pageRes := func(page, pages uint64) cap.Resource {
+		return cap.MemResource(phys.MakeRegion(phys.Addr(page*phys.PageSize), pages*phys.PageSize))
+	}
+	const entries = 16
+	var doms []core.DomainID
+	for i := 0; i < 2; i++ {
+		d, err := mon.CreateDomain(core.InitialDomain, "tenant")
+		if err != nil {
+			t.Fatal(err)
+		}
+		page := uint64(400 + 2*i)
+		if _, err := mon.Grant(core.InitialDomain, memNode, d, pageRes(page, 1), cap.MemRW, cap.CleanNone); err != nil {
+			t.Fatal(err)
+		}
+		base := phys.Addr(page * phys.PageSize)
+		if err := mon.RingSetup(d, base, entries); err != nil {
+			t.Fatal(err)
+		}
+		var tail uint64
+		enqueue := func(desc ...uint64) {
+			off := base + phys.Addr(core.RingSQOff(entries, tail))
+			for w := 0; w < 6; w++ {
+				var v uint64
+				if w < len(desc) {
+					v = desc[w]
+				}
+				if err := mach.Mem.Write64(off+phys.Addr(8*w), v); err != nil {
+					t.Fatal(err)
+				}
+			}
+			tail++
+			if err := mach.Mem.Write64(base+core.RingOffSQTail, tail); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for j := 0; j < 2; j++ {
+			id, err := mon.Share(core.InitialDomain, memNode, d, pageRes(uint64(500+i*4+j), 1), cap.MemRW, cap.CleanFlushTLB)
+			if err != nil {
+				t.Fatal(err)
+			}
+			enqueue(core.CallRevoke, uint64(id))
+		}
+		enqueue(core.CallSelfID)
+		doms = append(doms, d)
+	}
+	if n := mon.DrainRings(); n != 6 {
+		t.Fatalf("DrainRings = %d, want 6", n)
+	}
+	st := mon.Stats()
+	if st.RingParallelDrains != 1 {
+		t.Fatalf("RingParallelDrains = %d, want 1", st.RingParallelDrains)
+	}
+	if _, err := mon.ForceKillAll(doms...); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Finalize(); err != nil {
+		t.Fatalf("parallel-drain run flagged: %v", err)
+	}
+	if got := svc.Checker().Counts().Drains; got != st.RingParallelDrains {
+		t.Fatalf("checker counted %d drain frames, stats say %d", got, st.RingParallelDrains)
+	}
+	if svc.Shipped() == 0 {
+		t.Fatal("no digests shipped")
+	}
+	if flags := ver.Finalize(); len(flags) != 0 {
+		t.Fatalf("verifier flagged a clean parallel-drain node: %q", flags)
 	}
 }
 

@@ -118,6 +118,9 @@ type Counters struct {
 	MaxQueueDepth uint64 // deepest any single run queue ever got
 	BarrierDrains uint64 // round barriers that drained submission rings
 	DrainedOps    uint64 // ring descriptors executed at those barriers
+
+	ParallelDrains  uint64 // barrier drains that ran as partitioned parallel rounds
+	MaxDrainWorkers uint64 // widest fan-out any parallel round was configured with
 }
 
 // Scheduler is the shared run-queue state. Safe for concurrent use;
@@ -363,6 +366,20 @@ func (s *Scheduler) RecordBarrierDrain(ops uint64) {
 	defer s.mu.Unlock()
 	s.ctr.BarrierDrains++
 	s.ctr.DrainedOps += ops
+}
+
+// RecordParallelDrain tallies barrier drains that ran as partitioned
+// parallel rounds (the monitor's opt-in reclamation pipeline) and the
+// widest worker fan-out the rounds used — schedule-shaped accounting
+// like RecordBarrierDrain, so experiments can attribute barrier time
+// to serial versus parallel drain work.
+func (s *Scheduler) RecordParallelDrain(rounds, workers uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ctr.ParallelDrains += rounds
+	if workers > s.ctr.MaxDrainWorkers {
+		s.ctr.MaxDrainWorkers = workers
+	}
 }
 
 // Records returns the dispatch schedule so far.

@@ -30,6 +30,16 @@
 //     op's — is fully acknowledged before the batch closes. Batches
 //     are also subject to dead-domain silence: a drain never runs for
 //     a killed ring owner.
+//  6. Cross-ring coalescing: a parallel drain round
+//     (KDrainBegin..KDrainEnd) performs at most one cross-ring
+//     shootdown round for all the revocations its partitioned ring
+//     drains deferred, fully acknowledged before the round closes.
+//
+// Shootdown rounds are attributed to the innermost open frame that can
+// legitimately own one — a revoke/kill operation, a ring-drain batch,
+// or a parallel drain round. Delegation frames never start rounds, so
+// a share/grant frame concurrently open on another core must not adopt
+// (and then fail) a round a destructive operation started.
 //
 // Alongside the properties the checker tallies event-derived counters
 // (Counts) that tests compare against Monitor.Stats(): the two are
@@ -76,6 +86,7 @@ type Counts struct {
 	Attests       uint64
 	Batches       uint64 // ring drains (KBatchBegin)
 	BatchedOps    uint64 // descriptors executed inside drains (KBatchEnd.Aux)
+	Drains        uint64 // parallel drain rounds (KDrainBegin)
 }
 
 // add accumulates o into c (used when merging shard-local tallies).
@@ -95,6 +106,7 @@ func (c *Counts) add(o Counts) {
 	c.Attests += o.Attests
 	c.Batches += o.Batches
 	c.BatchedOps += o.BatchedOps
+	c.Drains += o.Drains
 }
 
 // shootdown is one in-flight cross-core TLB shootdown.
@@ -103,11 +115,13 @@ type shootdown struct {
 	acks map[uint64]bool
 }
 
-// frame is one open monitor operation (KOpBegin..KOpEnd) or ring drain
-// (KBatchBegin..KBatchEnd).
+// frame is one open monitor operation (KOpBegin..KOpEnd), ring drain
+// (KBatchBegin..KBatchEnd), or parallel drain round
+// (KDrainBegin..KDrainEnd).
 type frame struct {
 	ev        trace.Event
 	batch     bool
+	drain     bool
 	shootdown []*shootdown
 }
 
@@ -184,6 +198,41 @@ func (c *engine) step(ev trace.Event) {
 		c.counts.Batches++
 		c.frames = append(c.frames, &frame{ev: ev, batch: true})
 
+	case trace.KDrainBegin:
+		c.counts.Drains++
+		c.frames = append(c.frames, &frame{ev: ev, drain: true})
+
+	case trace.KDrainEnd:
+		idx := -1
+		for i := len(c.frames) - 1; i >= 0; i-- {
+			if c.frames[i].drain && c.frames[i].ev.Node == ev.Node {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			c.violate(ev, "drain round end token %d matches no open drain round", ev.Node)
+			break
+		}
+		f := c.frames[idx]
+		c.frames = append(c.frames[:idx], c.frames[idx+1:]...)
+		// Property 6: one coalesced cross-ring shootdown round per
+		// parallel drain round, no matter how many rings deferred
+		// revocation shootdowns into it.
+		if len(f.shootdown) > 1 {
+			c.violate(ev, "drain round performed %d shootdown rounds (cross-ring coalescing requires at most 1)",
+				len(f.shootdown))
+		}
+		for _, sd := range f.shootdown {
+			if len(sd.acks) != c.cores {
+				c.violate(ev, "drain shootdown [%#x,+%d) acked by %d/%d cores when round completed",
+					sd.ev.Addr, sd.ev.Size, len(sd.acks), c.cores)
+			}
+			if c.last == sd {
+				c.last = nil
+			}
+		}
+
 	case trace.KBatchEnd:
 		c.counts.BatchedOps += ev.Aux
 		idx := -1
@@ -257,12 +306,11 @@ func (c *engine) step(ev trace.Event) {
 		c.counts.Shootdowns++
 		sd := &shootdown{ev: ev, acks: make(map[uint64]bool)}
 		c.last = sd
-		if len(c.frames) > 0 {
-			f := c.frames[len(c.frames)-1]
+		if f := c.roundOwner(); f != nil {
 			f.shootdown = append(f.shootdown, sd)
 		} else {
-			// Shootdown outside any operation: nothing closes it, so
-			// require full acknowledgement by End().
+			// Shootdown outside any round-owning frame: nothing closes
+			// it, so require full acknowledgement by End().
 			c.violateLater(sd)
 		}
 
@@ -334,6 +382,27 @@ func (c *engine) step(ev trace.Event) {
 	case trace.KAttest:
 		c.counts.Attests++
 	}
+}
+
+// roundOwner returns the innermost open frame that can own a shootdown
+// round: a ring-drain batch, a parallel drain round, or a destructive
+// (revoke/kill) operation. Delegation frames never start rounds —
+// under the fine-grained monitor they run concurrently with the
+// destructive family, so attributing a round to whichever frame opened
+// last would blame an innocent share/grant for an ack protocol it does
+// not take part in.
+func (c *engine) roundOwner() *frame {
+	for i := len(c.frames) - 1; i >= 0; i-- {
+		f := c.frames[i]
+		if f.batch || f.drain {
+			return f
+		}
+		if f.ev.Kind == trace.KOpBegin &&
+			(f.ev.Aux == trace.OpRevoke || f.ev.Aux == trace.OpKill) {
+			return f
+		}
+	}
+	return nil
 }
 
 // orphan shootdowns (started outside any operation) are validated at

@@ -124,6 +124,16 @@ const (
 	// KBatchEnd closes the drain: Domain = ring owner, Aux = descriptors
 	// executed, Node = the matching begin token.
 	KBatchEnd
+	// KDrainBegin opens one parallel drain round: rings partitioned
+	// across worker cores drain concurrently inside the frame (each
+	// still bracketed by its own KBatchBegin/KBatchEnd), and the round's
+	// deferred revocation shootdowns coalesce into at most one
+	// cross-ring KShootdown before the frame closes. Domain = 0
+	// (monitor context), Aux = rings in the round, Node = frame token.
+	KDrainBegin
+	// KDrainEnd closes the parallel round: Aux = descriptors executed
+	// across all rings, Node = the matching begin token.
+	KDrainEnd
 
 	numKinds
 )
@@ -140,6 +150,7 @@ var kindNames = [...]string{
 	KKill: "kill", KEPTMap: "ept-map", KEPTClear: "ept-clear",
 	KPMPWrite: "pmp-write", KAttest: "attest",
 	KBatchBegin: "batch-begin", KBatchEnd: "batch-end",
+	KDrainBegin: "drain-begin", KDrainEnd: "drain-end",
 }
 
 func (k Kind) String() string {
