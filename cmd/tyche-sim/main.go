@@ -21,6 +21,12 @@
 // doorbell per flush and the batch's TLB shootdowns coalesced into a
 // single cross-core round.
 //
+// With -fleet N it runs the datacenter fleet demo instead: N simulated
+// machines under one control plane serve a load-balanced confidential
+// workload, a tenant is live-migrated between nodes over an attested
+// channel, a node is machine-checked mid-serving, and every node's
+// hash-chained runtime-verification digests are audited centrally.
+//
 // Usage:
 //
 //	tyche-sim
@@ -30,6 +36,7 @@
 //	tyche-sim -faultschedule mc1@128
 //	tyche-sim -domains 12
 //	tyche-sim -batched
+//	tyche-sim -fleet 4
 //	tyche-sim -trace trace.json
 //
 // With -trace the whole run is recorded by the cycle-stamped monitor
@@ -42,12 +49,14 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	tyche "github.com/tyche-sim/tyche"
 	"github.com/tyche-sim/tyche/internal/attest"
 	"github.com/tyche-sim/tyche/internal/cap"
 	"github.com/tyche-sim/tyche/internal/core"
 	"github.com/tyche-sim/tyche/internal/fault"
+	"github.com/tyche-sim/tyche/internal/fleet"
 	"github.com/tyche-sim/tyche/internal/hw"
 	"github.com/tyche-sim/tyche/internal/phys"
 	"github.com/tyche-sim/tyche/internal/sched"
@@ -65,9 +74,17 @@ func main() {
 		faultSpec = flag.String("faultschedule", "", "explicit fault schedule (e.g. mc1@128,stall1@64); overrides -faultseed")
 		domains   = flag.Int("domains", 0, "run the multi-tenant scheduling demo with this many tenant domains time-multiplexed over the worker cores")
 		batched   = flag.Bool("batched", false, "run the batched-ABI demo: a submission ring carrying a share/revoke batch with one doorbell per flush and coalesced shootdowns")
+		fleetN    = flag.Int("fleet", 0, "run the datacenter fleet demo with this many simulated machines under one control plane")
 		tracePath = flag.String("trace", "", "record the run and write a Chrome trace-event file here")
 	)
 	flag.Parse()
+	if *fleetN > 0 {
+		if err := fleetDemo(*fleetN, core.BackendKind(*backend)); err != nil {
+			fmt.Fprintln(os.Stderr, "tyche-sim:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*backend, *memMiB, *cores, *emit, *faultSeed, *faultSpec, *domains, *batched, *tracePath); err != nil {
 		fmt.Fprintln(os.Stderr, "tyche-sim:", err)
 		os.Exit(1)
@@ -235,6 +252,97 @@ func run(backend string, memMiB uint64, cores int, emit string, faultSeed int64,
 			return fmt.Errorf("online invariant checker: %w", err)
 		}
 		fmt.Println("online invariant checker: every recorded monitor operation satisfied its invariants")
+	}
+	return nil
+}
+
+// fleetDemo boots n simulated machines under one control plane and
+// walks the whole fleet story: attested placement behind a load
+// balancer, serving, live migration over an attested channel, a node
+// kill mid-serving with automatic re-placement, and the central audit
+// of every node's hash-chained runtime-verification digests.
+func fleetDemo(n int, backend core.BackendKind) error {
+	if n < 2 {
+		return fmt.Errorf("fleet demo needs at least 2 nodes")
+	}
+	f, err := fleet.New(fleet.Config{Nodes: n, CoresPerNode: 3, MemBytes: 16 << 20, Backend: backend, Spin: 50})
+	if err != nil {
+		return err
+	}
+	replicas := 2
+	if n < replicas {
+		replicas = n
+	}
+	fmt.Printf("FLEET DEMO  %d nodes x 3 cores, 2 services x %d replicas, every placement attested\n", n, replicas)
+	if err := f.Deploy(fleet.ServiceSpec{Name: "alpha", Delta: 100}, replicas); err != nil {
+		return err
+	}
+	if err := f.Deploy(fleet.ServiceSpec{Name: "beta", Delta: 9000}, replicas); err != nil {
+		return err
+	}
+	for _, svc := range []string{"alpha", "beta"} {
+		for _, pl := range f.LB().Placements(svc) {
+			fmt.Printf("  placed %-5s on %s as domain %d (measurement verified against the node's TPM chain)\n",
+				svc, f.Nodes[pl.Node].Name, pl.Dom)
+		}
+	}
+	stats, err := f.Serve([]string{"alpha", "beta"}, 400, 4)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  served %d load-balanced requests, every reply carrying its tenant's transform\n", stats.Requests)
+
+	pl := f.LB().Placements("alpha")[0]
+	to := -1
+	hosts := f.LB().ReplicaNodes("alpha")
+	for i := range f.Nodes {
+		if i != pl.Node && !hosts[i] {
+			to = i
+			break
+		}
+	}
+	if to >= 0 {
+		if err := f.Migrate("alpha", pl.Node, to, nil); err != nil {
+			return err
+		}
+		fmt.Printf("  live-migrated alpha %s -> %s over the attested channel (re-attested on arrival, crypto-erased on departure), blackout %v\n",
+			f.Nodes[pl.Node].Name, f.Nodes[to].Name, time.Duration(f.Blackouts()[0]))
+	}
+
+	victim := 0
+	for i := range f.Nodes {
+		if f.LB().NodeCount(i) > 0 {
+			victim = i
+			break
+		}
+	}
+	f.ArmKill(victim, 2000)
+	stats, err = f.Serve([]string{"alpha", "beta"}, 400, 4)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  machine-checked %s mid-serving: %d/400 requests completed (%d retried), domains re-placed on survivors\n",
+		f.Nodes[victim].Name, stats.Requests, stats.Retries)
+
+	audits, err := f.Audit()
+	if err != nil {
+		return err
+	}
+	if !trace.Compiled {
+		fmt.Println("  runtime verification compiled out (notrace build)")
+		return nil
+	}
+	clean := 0
+	for _, a := range audits {
+		if a.SelfErr == nil && len(a.Flags) == 0 {
+			clean++
+		} else {
+			fmt.Printf("  AUDIT FLAG %s: self=%v flags=%v\n", a.Node, a.SelfErr, a.Flags)
+		}
+	}
+	fmt.Printf("  fleet verification: %d/%d node digest chains verified centrally, all verdicts clean\n", clean, len(audits))
+	if clean != len(audits) {
+		return fmt.Errorf("fleet audit flagged %d node(s)", len(audits)-clean)
 	}
 	return nil
 }

@@ -1,0 +1,9 @@
+//go:build race
+
+package bench
+
+// raceEnabled reports whether this binary was built with the race
+// detector. Wall-clock overhead gates are waived under it: the
+// detector multiplies every memory access's host cost, so a <5%
+// wall-clock bound measures the instrumentation, not the checker.
+const raceEnabled = true

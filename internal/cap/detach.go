@@ -38,6 +38,7 @@ type Detached struct {
 	tops    []*node
 	all     []*node
 	actions []CleanupAction
+	parents []OwnerID
 }
 
 // Actions returns the cleanup actions for the detached subtrees in
@@ -82,6 +83,29 @@ func (d *Detached) Owners() []OwnerID {
 	return out
 }
 
+// ParentOwners returns the distinct owners of the surviving parents the
+// detached tops hang off — the grantors whose suspended access Release
+// restores. Their hardware must be resynchronised after Release just
+// like the detached owners': the capability space says they have the
+// granted-back regions again, but their filters were programmed while
+// the suspension was in force. Captured at detach time, under the
+// structural lock.
+func (d *Detached) ParentOwners() []OwnerID {
+	if d == nil || len(d.parents) == 0 {
+		return nil
+	}
+	seen := make(map[OwnerID]bool, len(d.parents))
+	out := make([]OwnerID, 0, len(d.parents))
+	for _, o := range d.parents {
+		if !seen[o] {
+			seen[o] = true
+			out = append(out, o)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
 // detachSubtree walks children-first, removing every node from the
 // index and marking it detached, without touching any lineage link.
 // Caller holds the structural writer lock.
@@ -114,6 +138,9 @@ func (s *Space) Detach(id NodeID) (*Detached, error) {
 	det := &Detached{}
 	s.detachSubtree(n, det)
 	det.tops = append(det.tops, n)
+	if n.parent != nil && !n.parent.detached {
+		det.parents = append(det.parents, n.parent.owner)
+	}
 	s.limbo.Add(int64(len(det.all)))
 	s.mutate()
 	return det, nil
@@ -156,6 +183,9 @@ func (s *Space) DetachOwner(owner OwnerID) *Detached {
 		}
 		s.detachSubtree(n, det)
 		det.tops = append(det.tops, n)
+		if n.parent != nil && !n.parent.detached {
+			det.parents = append(det.parents, n.parent.owner)
+		}
 	}
 	if len(det.actions) > 0 {
 		s.mutate()

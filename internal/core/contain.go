@@ -99,6 +99,35 @@ func (m *Monitor) ForceKillAll(ids ...DomainID) (int, error) {
 	return len(ticks), firstErr
 }
 
+// DepartKill destroys a domain on migration departure: the source-side
+// crypto-erase of an attested live migration (migrate.go). It is
+// ForceKill with monitor authority plus the departure contract — the
+// domain's snapshot has been restored elsewhere, so the local copy's
+// exclusive memory MUST be scrubbed and its encryption key dropped
+// before the kill completes, or two plaintext instances of a
+// confidential workload exist at once. The scrub-before-kill trace
+// invariant audits exactly that: every planned region must be scrubbed
+// and shot down before the KKill closes the destruction (the
+// migratebug mutation elides the erase and both checkers must flag
+// it — see TestMigrateMutationOracle).
+func (m *Monitor) DepartKill(id DomainID) error {
+	m.denter()
+	defer m.dexit()
+	d, err := m.liveDomain(id)
+	if err != nil {
+		return err
+	}
+	if id == InitialDomain {
+		return m.deny("the initial domain cannot depart")
+	}
+	m.stats.forcedKills.Add(1)
+	m.emit(trace.KForceKill, id, 0, 0, 0, 0)
+	t := m.destroyPublish(d)
+	t.depart = true
+	m.ep.synchronize()
+	return m.destroyReclaim(t, true)
+}
+
 // scrubZero zeroes the planned scrub regions — serially by default,
 // sharded round-robin across reclaimWorkers host goroutines when the
 // parallel pipeline is opted in and there is more than one region.
@@ -158,6 +187,9 @@ type destroyTicket struct {
 	d   *Domain
 	tok uint64
 	pub uint64
+	// depart marks a migration-departure kill (DepartKill): the path the
+	// migratebug mutation elides the crypto-erase on.
+	depart bool
 }
 
 // destroyDomain is the shared kill path (destructive-family entry
@@ -245,34 +277,44 @@ func (m *Monitor) destroyReclaim(t destroyTicket, scrub bool) error {
 	// serial in plan order, so the trace and the cycle history are
 	// bit-identical to the serial scrub and every KScrub still precedes
 	// the KKill at each quiescent merge point.
-	if err := m.scrubZero(scrubRegions); err != nil {
-		return err
-	}
-	for i, r := range scrubRegions {
-		if scrubSkipFirst && i == 0 {
-			// Seeded mutation (scrubbug build tag): the first planned
-			// region is neither zeroed nor shot down — its KScrubPlan is
-			// still unmatched when KKill closes the destruction.
-			continue
+	//
+	// The migratebug mutation elides the whole erase on the departure
+	// path (scrub, shootdowns, key drop) AFTER the plan was announced:
+	// every KScrubPlan stays unmatched at the KKill, which is what both
+	// trace checkers must flag.
+	elide := departEraseElided && t.depart
+	if !elide {
+		if err := m.scrubZero(scrubRegions); err != nil {
+			return err
 		}
-		m.mach.Clock.Advance(r.Size() / hw.CacheLineSize * m.mach.Cost.ZeroLine)
-		m.mach.ShootdownRegion(r)
-		m.stats.pagesScrubbed.Add(r.Pages())
-		m.emit(trace.KScrub, d.id, 0, 0, uint64(r.Start), r.Size())
+		for i, r := range scrubRegions {
+			if scrubSkipFirst && i == 0 {
+				// Seeded mutation (scrubbug build tag): the first planned
+				// region is neither zeroed nor shot down — its KScrubPlan is
+				// still unmatched when KKill closes the destruction.
+				continue
+			}
+			m.mach.Clock.Advance(r.Size() / hw.CacheLineSize * m.mach.Cost.ZeroLine)
+			m.mach.ShootdownRegion(r)
+			m.stats.pagesScrubbed.Add(r.Pages())
+			m.emit(trace.KScrub, d.id, 0, 0, uint64(r.Start), r.Size())
+		}
 	}
 	// Scrub done: release the detached subtrees (parents regain access
 	// to granted-back regions), resynchronise the survivors' hardware,
 	// and queue the limbo records for reclamation after the next grace
 	// period.
 	m.space.Release(det)
-	if err := m.resyncAfterRevocation(det.Actions()); err != nil {
+	if err := m.resyncAfterRevocation(det.Actions(), det.ParentOwners()...); err != nil {
 		return err
 	}
 	m.ep.deferFree(func() { m.space.Reclaim(det) })
 	if err := m.bk.RemoveDomain(owner); err != nil {
 		return err
 	}
-	m.cryptoErase(d.id)
+	if !elide {
+		m.cryptoErase(d.id)
+	}
 	// Clear scheduling state referring to the dead domain. Core run
 	// loops hold their sched mutex only briefly — take each in turn.
 	for _, sc := range m.sched {

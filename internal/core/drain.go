@@ -254,6 +254,9 @@ func (m *Monitor) drainRingsParallel(workers int) (uint64, map[DomainID]ringDrai
 			for _, o := range p.det.Owners() {
 				affected[o] = true
 			}
+			for _, o := range p.det.ParentOwners() {
+				affected[o] = true
+			}
 			affected[p.owner] = true
 			m.space.Release(p.det)
 			det := p.det

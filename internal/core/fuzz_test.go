@@ -34,8 +34,10 @@ import (
 // revoke-heavy mix for the epoch-reclamation scheme (revoke bursts,
 // create+share+revoke churn, revocations interleaved with ring
 // drains); op 22 bursts concurrent doorbell flushes from every
-// ring-owning domain with the parallel reclamation pipeline opted in.
-// Widening the opcode space shifts how pre-existing corpus
+// ring-owning domain with the parallel reclamation pipeline opted in;
+// op 23 runs the migration pipeline (snapshot → transfer → restore on
+// a lazily-booted second monitor, sometimes followed by the departure
+// kill). Widening the opcode space shifts how pre-existing corpus
 // entries decode, which is fine — every decode is a valid program.
 func driveMonitorOps(tb testing.TB, m *Monitor, data []byte) {
 	domains := []DomainID{InitialDomain}
@@ -90,9 +92,12 @@ func driveMonitorOps(tb testing.TB, m *Monitor, data []byte) {
 		entries uint64
 	}{}
 	schedOn := false
+	// The migration peer (op 23): a second in-process monitor playing
+	// the destination node, booted on first use.
+	var peer *Monitor
 	steps := 0
 	for pos < len(data) {
-		switch next() % 23 {
+		switch next() % 24 {
 		case 0:
 			if len(domains) < 32 {
 				if id, err := m.CreateDomain(randDomain(), "fuzz"); err == nil {
@@ -289,6 +294,23 @@ func driveMonitorOps(tb testing.TB, m *Monitor, data []byte) {
 				if failed[i] {
 					delete(rings, d)
 				}
+			}
+		case 23:
+			// Migration pipeline: snapshot whatever domain the stream
+			// points at (most refuse — shared memory, active cores,
+			// rings, dom0 itself) and restore the survivors on the peer
+			// monitor. Every error is tolerated; what must hold is that
+			// a failed restore leaves no half-state and a departed
+			// source scrubs (both trace-checked on the source world).
+			snap, err := m.SnapshotDomain(randDomain())
+			if err != nil {
+				break
+			}
+			if peer == nil {
+				peer = bootWorld(tb, BackendVTX)
+			}
+			if id, err := peer.RestoreDomain(InitialDomain, dom0MemNode(tb, peer), nil, snap); err == nil && next()%2 == 0 {
+				_ = peer.ForceKill(id)
 			}
 		}
 		steps++

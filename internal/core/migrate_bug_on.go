@@ -1,0 +1,17 @@
+//go:build migratebug
+
+package core
+
+// Seeded mutation build: migration departure (DepartKill) announces
+// its scrub plan but completes the kill without zeroing the regions,
+// shooting down TLBs, or dropping the encryption key — the departed
+// domain's plaintext stays readable on the source machine. This exists
+// to prove the trace checkers' scrub-before-kill property covers the
+// migration departure path — see TestMigrateMutationOracle. Never ship
+// with this tag.
+
+// MigrateBugArmed reports whether the seeded departure-erase mutation
+// is compiled in.
+const MigrateBugArmed = true
+
+const departEraseElided = true

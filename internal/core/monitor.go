@@ -103,6 +103,10 @@ type Stats struct {
 	// Pre-validated transition cache (transcache.go; opt-in).
 	TransCacheHits   uint64 // switches that skipped full validation
 	TransCacheMisses uint64 // cached-mode switches that took the slow path
+
+	// Attested live migration (migrate.go).
+	MigrationsOut uint64 // domain snapshots captured for departure
+	MigrationsIn  uint64 // domains restored (and re-attested) on arrival
 }
 
 // statCounters is the monitor's live tally: one atomic per Stats field,
@@ -144,6 +148,9 @@ type statCounters struct {
 
 	tcHits   atomic.Uint64
 	tcMisses atomic.Uint64
+
+	migrationsOut atomic.Uint64
+	migrationsIn  atomic.Uint64
 }
 
 func (s *statCounters) snapshot() Stats {
@@ -182,6 +189,9 @@ func (s *statCounters) snapshot() Stats {
 
 		TransCacheHits:   s.tcHits.Load(),
 		TransCacheMisses: s.tcMisses.Load(),
+
+		MigrationsOut: s.migrationsOut.Load(),
+		MigrationsIn:  s.migrationsIn.Load(),
 	}
 }
 
@@ -308,7 +318,7 @@ type Monitor struct {
 	// Scheduler's own mutex is a leaf below it.
 	schedMu  sync.Mutex
 	schedPol *sched.Policy
-	schedSet []DomainID
+	schedSet []schedStaged
 	runq     *sched.Scheduler
 
 	// ringMu guards the submission-ring registry (ring.go). It is a
@@ -775,7 +785,8 @@ func (m *Monitor) revoke(caller DomainID, node cap.NodeID) error {
 		return err
 	}
 	m.space.Release(det)
-	if err := m.resyncAfterRevocation(det.Actions(), info.Owner); err != nil {
+	alsoSync := append(det.ParentOwners(), info.Owner)
+	if err := m.resyncAfterRevocation(det.Actions(), alsoSync...); err != nil {
 		return err
 	}
 	m.ep.deferFree(func() { m.space.Reclaim(det) })

@@ -1,12 +1,14 @@
 package core
 
 import (
+	"bytes"
 	"sort"
 	"strings"
 	"testing"
 
 	"github.com/tyche-sim/tyche/internal/cap"
 	"github.com/tyche-sim/tyche/internal/hw"
+	"github.com/tyche-sim/tyche/internal/phys"
 	"github.com/tyche-sim/tyche/internal/trace"
 	"github.com/tyche-sim/tyche/internal/trace/check"
 )
@@ -48,7 +50,7 @@ func bootDualTracedWorld(tb testing.TB, kind BackendKind) (*Monitor, *check.Chec
 // all four oracles; the three foreign ones skip here.
 func skipUnlessOnlyMutation(t *testing.T, own bool) {
 	t.Helper()
-	anyArmed := hw.ShootdownBugArmed || hw.AckBugArmed || ScrubBugArmed || EpochBugArmed || DrainBugArmed
+	anyArmed := hw.ShootdownBugArmed || hw.AckBugArmed || ScrubBugArmed || EpochBugArmed || DrainBugArmed || MigrateBugArmed
 	if anyArmed && !own {
 		t.Skip("a different seeded mutation is armed")
 	}
@@ -217,5 +219,62 @@ func TestAckMutationOracle(t *testing.T) {
 	}
 	if err != nil {
 		t.Fatalf("clean revoke flagged: %v", err)
+	}
+}
+
+// TestMigrateMutationOracle: under the migratebug build tag the
+// migration departure path (DepartKill) elides the source-side
+// crypto-erase — the exclusive regions are announced for scrubbing but
+// neither zeroed, shot down, nor key-erased, so the departed tenant's
+// plaintext outlives the migration. Both checkers must flag the
+// scrub-before-kill property; in normal builds the identical departure
+// must be clean and the plaintext gone.
+func TestMigrateMutationOracle(t *testing.T) {
+	if !trace.Compiled {
+		t.Skip("tracing compiled out (notrace)")
+	}
+	skipUnlessOnlyMutation(t, MigrateBugArmed)
+	m, ck, sh := bootDualTracedWorld(t, BackendVTX)
+	node := dom0MemNode(t, m)
+	dom, err := m.CreateDomain(InitialDomain, "departing")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The tenant's confidential working set: distinctive plaintext
+	// landed before the exclusive grant (after it, dom0 has no access).
+	secret := []byte("attested-migration-secret")
+	secretAddr := phys.Addr(160 * pg)
+	if err := m.CopyInto(InitialDomain, secretAddr, secret); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Grant(InitialDomain, node, dom, memRes(160, 2), cap.MemRW, cap.CleanNone); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.DepartKill(dom); err != nil {
+		t.Fatal(err)
+	}
+	view, err := m.Machine().Mem.View(phys.MakeRegion(secretAddr, uint64(len(secret))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaked := bytes.Contains(view, secret)
+	err = assertCheckersAgree(t, ck, sh)
+	if MigrateBugArmed {
+		if err == nil {
+			t.Fatal("seeded elided departure erase (migratebug) not flagged by the checkers")
+		}
+		if !strings.Contains(err.Error(), "killed with unscrubbed exclusive region") {
+			t.Fatalf("wrong violation for seeded bug: %v", err)
+		}
+		if !leaked {
+			t.Fatal("migratebug armed but the plaintext was erased — mutation not wired to the departure path")
+		}
+		return
+	}
+	if err != nil {
+		t.Fatalf("clean departure flagged: %v", err)
+	}
+	if leaked {
+		t.Fatal("departed tenant's plaintext survived a clean DepartKill")
 	}
 }

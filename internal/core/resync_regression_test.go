@@ -1,0 +1,84 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/tyche-sim/tyche/internal/cap"
+	"github.com/tyche-sim/tyche/internal/hw"
+	"github.com/tyche-sim/tyche/internal/phys"
+)
+
+// requireFilterMatchesSpace asserts that a domain's per-core hardware
+// filters agree with the capability space about addr. The fuzzer's
+// isolation invariant samples pages at a stride, which is how the
+// grantor-resync bug below hid for several releases.
+func requireFilterMatchesSpace(t *testing.T, m *Monitor, id DomainID, addr phys.Addr) {
+	t.Helper()
+	capOK := m.CheckAccess(id, addr, cap.RightRead)
+	for c := phys.CoreID(0); c < phys.CoreID(len(m.Machine().Cores)); c++ {
+		ctx, err := m.DomainContext(id, id, c)
+		if err != nil {
+			t.Fatalf("domain %d context on core %d: %v", id, c, err)
+		}
+		if hwOK := ctx.Filter.Check(addr, hw.PermR); hwOK != capOK {
+			t.Errorf("domain %d at %#x core %d: hardware=%v capability=%v",
+				id, addr, c, hwOK, capOK)
+		}
+	}
+}
+
+// TestKillResyncsGrantorFilter: regression for a latent revocation bug
+// found by FuzzMonitorAPI (kept as corpus seed-kill-grantor-resync).
+// When a domain holding an exclusive Grant dies, Release restores the
+// grantor's suspended access in the capability space — but the resync
+// pass only rebuilt filters for owners named in the detach's cleanup
+// actions, so the grantor's hardware filter permanently lacked the
+// granted-back region (hardware=false while capability=true). The fix
+// records the surviving parents at detach time (Detached.ParentOwners)
+// and resynchronises them too, on the kill, revoke, and parallel-drain
+// paths alike.
+func TestKillResyncsGrantorFilter(t *testing.T) {
+	m := bootWorld(t, BackendVTX)
+	node := dom0MemNode(t, m)
+	base := phys.Addr(666 * pg)
+
+	dom, err := m.CreateDomain(InitialDomain, "grantee")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Grant(InitialDomain, node, dom, cap.MemResource(phys.MakeRegion(base, pg)), cap.MemRW, cap.CleanNone); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.KillDomain(InitialDomain, dom); err != nil {
+		t.Fatal(err)
+	}
+	if !m.CheckAccess(InitialDomain, base, cap.RightRead) {
+		t.Fatal("grantor did not regain capability access after grantee's death")
+	}
+	requireFilterMatchesSpace(t, m, InitialDomain, base)
+}
+
+// TestRevokeResyncsGrantorFilter: the same property through the revoke
+// path — the grantor revokes its own grant and must see the region in
+// hardware again immediately.
+func TestRevokeResyncsGrantorFilter(t *testing.T) {
+	m := bootWorld(t, BackendVTX)
+	node := dom0MemNode(t, m)
+	base := phys.Addr(629 * pg)
+
+	dom, err := m.CreateDomain(InitialDomain, "grantee")
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := m.Grant(InitialDomain, node, dom, cap.MemResource(phys.MakeRegion(base, pg)), cap.MemRW, cap.CleanNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Revoke(InitialDomain, id); err != nil {
+		t.Fatal(err)
+	}
+	if !m.CheckAccess(InitialDomain, base, cap.RightRead) {
+		t.Fatal("grantor did not regain capability access after revoking its grant")
+	}
+	requireFilterMatchesSpace(t, m, InitialDomain, base)
+}

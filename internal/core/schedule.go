@@ -38,6 +38,18 @@ import (
 	"github.com/tyche-sim/tyche/internal/trace"
 )
 
+// schedStaged is one staged arrival: a vCPU scheduled before the run
+// queue materialises (Schedule) or restored from a migration snapshot
+// (ScheduleResumed), replayed in arrival order at the first scheduled
+// RunCores.
+type schedStaged struct {
+	id      DomainID
+	resumed bool
+	regs    [hw.NumRegs]uint64
+	pc      phys.Addr
+	ring    hw.Ring
+}
+
 // SetSchedPolicy installs (or, with nil, removes) the multi-tenant
 // scheduling policy. Installing a policy discards any previous run
 // queue; domains scheduled afterwards form a fresh arrival order.
@@ -72,7 +84,29 @@ func (m *Monitor) Schedule(id DomainID) error {
 	}
 	// The run queue materialises at the first scheduled RunCores, once
 	// the core set is known; until then arrivals are staged in order.
-	m.schedSet = append(m.schedSet, id)
+	m.schedSet = append(m.schedSet, schedStaged{id: id})
+	return nil
+}
+
+// ScheduleResumed enqueues a vCPU restored from a migration snapshot
+// (migrate.go): its saved architectural state dispatches via the
+// TransDispatch resume path instead of an entry-point launch. Same
+// staging rules as Schedule — the restored vCPU is a new arrival in
+// this monitor's determinism contract.
+func (m *Monitor) ScheduleResumed(id DomainID, regs [hw.NumRegs]uint64, pc phys.Addr, ring hw.Ring) error {
+	if _, err := m.liveDomain(id); err != nil {
+		return err
+	}
+	m.schedMu.Lock()
+	defer m.schedMu.Unlock()
+	if m.schedPol == nil {
+		return fmt.Errorf("core: no scheduling policy installed (SetSchedPolicy)")
+	}
+	if m.runq != nil {
+		m.runq.AddResumed(uint64(id), regs, pc, ring, m.mach.Clock.Cycles())
+		return nil
+	}
+	m.schedSet = append(m.schedSet, schedStaged{id: id, resumed: true, regs: regs, pc: pc, ring: ring})
 	return nil
 }
 
@@ -103,8 +137,12 @@ func (m *Monitor) schedQueue(cores []phys.CoreID) *sched.Scheduler {
 	if m.runq == nil {
 		m.runq = sched.New(*m.schedPol, cores)
 		now := m.mach.Clock.Cycles()
-		for _, id := range m.schedSet {
-			m.runq.Add(uint64(id), now)
+		for _, st := range m.schedSet {
+			if st.resumed {
+				m.runq.AddResumed(uint64(st.id), st.regs, st.pc, st.ring, now)
+			} else {
+				m.runq.Add(uint64(st.id), now)
+			}
 		}
 		m.schedSet = nil
 	}

@@ -30,6 +30,7 @@ import (
 
 	"github.com/tyche-sim/tyche/internal/attest"
 	"github.com/tyche-sim/tyche/internal/core"
+	"github.com/tyche-sim/tyche/internal/fault"
 	"github.com/tyche-sim/tyche/internal/phys"
 	"github.com/tyche-sim/tyche/internal/tpm"
 )
@@ -39,6 +40,11 @@ var (
 	ErrPeerUntrusted = errors.New("dist: peer attestation rejected")
 	ErrTampered      = errors.New("dist: message authentication failed")
 	ErrTooLarge      = errors.New("dist: message exceeds the registered buffer")
+	// ErrLinkLost means the frame never arrived (dropped or delayed in
+	// flight). Unlike ErrTampered it is not an integrity failure: the
+	// sender's sequence number is not consumed, so the caller may retry
+	// the same payload over the same channel.
+	ErrLinkLost = errors.New("dist: frame lost in flight")
 )
 
 // Endpoint is one side of a channel: a trust domain on a machine, with
@@ -63,7 +69,9 @@ type Endpoint struct {
 
 // Wire is the untrusted interconnect between two machines. Everything
 // that crosses it is observable (and corruptible) by the adversary; the
-// Sniff and Corrupt hooks let tests and experiments play that role.
+// Sniff and Corrupt hooks let tests and experiments play that role, and
+// Arm installs a deterministic schedule of link faults (drop, duplicate,
+// reorder) in the internal/fault grammar.
 type Wire struct {
 	frames [][]byte
 	// Taps receives a copy of every frame (the adversary's monitor
@@ -71,6 +79,71 @@ type Wire struct {
 	Taps [][]byte
 	// Corrupt, when set, may rewrite a frame in flight.
 	Corrupt func([]byte) []byte
+
+	// armed link faults count push events, mirroring the pure-counter
+	// determinism of fault.Injector: same schedule, same frame stream,
+	// same failures, forever.
+	armed []*linkArmed
+	held  [][]byte
+	// Dropped, Duped and Reordered count fired link faults.
+	Dropped   uint64
+	Duped     uint64
+	Reordered uint64
+}
+
+// linkArmed is one armed link fault with its event counters.
+type linkArmed struct {
+	f    fault.Fault
+	seen uint64
+	done uint64
+}
+
+func (a *linkArmed) count() uint64 {
+	if a.f.Count == 0 {
+		return 1
+	}
+	return a.f.Count
+}
+
+// Arm installs the link-kinded faults of a schedule (non-link kinds are
+// ignored, so one FromSeed schedule can drive machine and wire alike).
+func (w *Wire) Arm(faults []fault.Fault) {
+	for _, f := range faults {
+		if f.Kind.Link() {
+			w.armed = append(w.armed, &linkArmed{f: f})
+		}
+	}
+}
+
+// linkFault consumes one push event against the armed schedule. When
+// several faults match the same frame, drop dominates dup dominates
+// reorder — a discarded frame cannot also be replayed.
+func (w *Wire) linkFault() (fault.Kind, bool) {
+	var fired *linkArmed
+	rank := func(k fault.Kind) int {
+		switch k {
+		case fault.LinkDrop:
+			return 0
+		case fault.LinkDup:
+			return 1
+		default:
+			return 2
+		}
+	}
+	for _, a := range w.armed {
+		a.seen++
+		if a.done >= a.count() || a.seen <= a.f.After {
+			continue
+		}
+		if fired == nil || rank(a.f.Kind) < rank(fired.f.Kind) {
+			fired = a
+		}
+	}
+	if fired == nil {
+		return 0, false
+	}
+	fired.done++
+	return fired.f.Kind, true
 }
 
 func (w *Wire) push(frame []byte) {
@@ -79,7 +152,34 @@ func (w *Wire) push(frame []byte) {
 	if w.Corrupt != nil {
 		cp = w.Corrupt(cp)
 	}
-	w.frames = append(w.frames, cp)
+	k, fired := w.linkFault()
+	if !fired {
+		w.frames = append(w.frames, cp)
+		w.flushHeld()
+		return
+	}
+	switch k {
+	case fault.LinkDrop:
+		// The frame vanishes; the sender will find the wire empty.
+		w.Dropped++
+	case fault.LinkDup:
+		// Byte-exact replay: the second copy arrives behind the first
+		// and must die on the receiver's sequence check.
+		w.Duped++
+		w.frames = append(w.frames, cp, append([]byte(nil), cp...))
+		w.flushHeld()
+	case fault.LinkReorder:
+		// Held back: released behind the next frame that passes, so the
+		// pair arrives out of order.
+		w.Reordered++
+		w.held = append(w.held, cp)
+	}
+}
+
+// flushHeld releases reorder-held frames behind the frame just queued.
+func (w *Wire) flushHeld() {
+	w.frames = append(w.frames, w.held...)
+	w.held = nil
 }
 
 func (w *Wire) pop() ([]byte, bool) {
@@ -277,7 +377,7 @@ func (c *Conn) Send(from *Endpoint, plaintext []byte) ([]byte, error) {
 	// raises an interrupt for the owning domain.
 	rx, ok := c.wire.pop()
 	if !ok {
-		return nil, fmt.Errorf("dist: wire empty")
+		return nil, ErrLinkLost
 	}
 	if err := to.Monitor.Machine().Device(to.NIC).DMAWrite(to.Buffer.Start, rx); err != nil {
 		return nil, fmt.Errorf("dist: rx dma: %w", err)

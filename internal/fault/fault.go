@@ -46,11 +46,26 @@ const (
 	SpuriousIRQ
 	// QuoteFail makes the TPM's MakeQuote return a transient error.
 	QuoteFail
+	// LinkDrop silently discards a matching frame pushed onto an
+	// attested wire (dist.Wire.Arm). Link kinds count the wire's own
+	// push events — ordered by the sender's send sequence — so they
+	// obey the same pure-counter determinism as hardware kinds. The
+	// Injector itself never fires them; they exist so one schedule
+	// string can describe machine and network faults together.
+	LinkDrop
+	// LinkDup enqueues a matching frame twice: the receiver sees a
+	// byte-exact replay, which the channel's sequence check must
+	// reject as tampering.
+	LinkDup
+	// LinkReorder holds a matching frame back and releases it after
+	// the next frame passes, delivering the pair out of order.
+	LinkReorder
 )
 
 var kindNames = [...]string{
 	MachineCheck: "mc", CoreStall: "stall", DropIRQ: "dropirq",
 	SpuriousIRQ: "spurious", QuoteFail: "quote",
+	LinkDrop: "drop", LinkDup: "dup", LinkReorder: "reorder",
 }
 
 func (k Kind) String() string {
@@ -58,6 +73,13 @@ func (k Kind) String() string {
 		return kindNames[k]
 	}
 	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Link reports whether k targets an attested wire rather than the
+// simulated hardware. The Injector never fires link kinds; dist.Wire
+// consumes them via its own Arm.
+func (k Kind) Link() bool {
+	return k == LinkDrop || k == LinkDup || k == LinkReorder
 }
 
 // Fault is one armed injection: fire Count times against events that

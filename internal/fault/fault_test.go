@@ -20,6 +20,9 @@ func TestScheduleRoundTrip(t *testing.T) {
 		{"dropirq0@2x3", Fault{Kind: DropIRQ, Device: 0, After: 2, Count: 3}},
 		{"spurious1.7@1", Fault{Kind: SpuriousIRQ, Device: 1, Vector: 7, After: 1}},
 		{"quote@0x2", Fault{Kind: QuoteFail, After: 0, Count: 2}},
+		{"drop@1", Fault{Kind: LinkDrop, After: 1}},
+		{"dup@0x2", Fault{Kind: LinkDup, After: 0, Count: 2}},
+		{"reorder@3", Fault{Kind: LinkReorder, After: 3}},
 	}
 	for _, tc := range cases {
 		got, err := ParseFault(tc.spec)
@@ -44,7 +47,7 @@ func TestScheduleRoundTrip(t *testing.T) {
 	if fs, err := ParseSchedule("  "); err != nil || fs != nil {
 		t.Fatalf("empty schedule: %v, %v", fs, err)
 	}
-	for _, bad := range []string{"mc1", "bogus3@1", "mc@1", "spurious1@0", "quote7@1", "mc1@1x0", "mc1@-3"} {
+	for _, bad := range []string{"mc1", "bogus3@1", "mc@1", "spurious1@0", "quote7@1", "mc1@1x0", "mc1@-3", "drop1@0", "reorder.2@0"} {
 		if _, err := ParseSchedule(bad); err == nil {
 			t.Fatalf("ParseSchedule(%q): expected error", bad)
 		}
@@ -78,6 +81,16 @@ func TestFromSeedDeterministic(t *testing.T) {
 	for _, f := range FromSeed(7, 2, 0, 8) {
 		if f.Kind != MachineCheck && f.Kind != CoreStall {
 			t.Fatalf("device fault derived on device-less machine: %+v", f)
+		}
+	}
+	// Link schedules are deterministic too, and purely link-kinded.
+	la := FromSeedLinks(9, 6)
+	if !reflect.DeepEqual(la, FromSeedLinks(9, 6)) {
+		t.Fatal("same seed must derive identical link schedules")
+	}
+	for _, f := range la {
+		if !f.Kind.Link() {
+			t.Fatalf("FromSeedLinks derived a non-link fault: %+v", f)
 		}
 	}
 }

@@ -17,6 +17,9 @@ import (
 //	dropirq<dev>@<after>[x<count>]          drop device's raised IRQs
 //	spurious<dev>.<vector>@<after>[x<count>] phantom IRQ on poll
 //	quote@<after>[x<count>]                 transient TPM quote failure
+//	drop@<after>[x<count>]                  discard wire frame (link fault)
+//	dup@<after>[x<count>]                   replay wire frame (link fault)
+//	reorder@<after>[x<count>]               swap wire frame with its successor
 //
 // e.g. "mc1@128,dropirq0@2x3,quote@0x2" — machine-check core 1's 129th
 // access, drop nic 0's 3rd-5th raises, fail the first two quotes.
@@ -37,6 +40,8 @@ func FormatFault(f Fault) string {
 		fmt.Fprintf(&b, "spurious%d.%d", f.Device, f.Vector)
 	case QuoteFail:
 		b.WriteString("quote")
+	case LinkDrop, LinkDup, LinkReorder:
+		b.WriteString(f.Kind.String())
 	default:
 		fmt.Fprintf(&b, "kind%d", f.Kind)
 	}
@@ -82,6 +87,15 @@ func ParseFault(spec string) (Fault, error) {
 	case head == "quote":
 		f.Kind = QuoteFail
 		head = ""
+	case head == "drop":
+		f.Kind = LinkDrop
+		head = ""
+	case head == "dup":
+		f.Kind = LinkDup
+		head = ""
+	case head == "reorder":
+		f.Kind = LinkReorder
+		head = ""
 	default:
 		return bad("unknown kind")
 	}
@@ -116,6 +130,10 @@ func ParseFault(spec string) (Fault, error) {
 	case QuoteFail:
 		if head != "" {
 			return bad("quote takes no target")
+		}
+	case LinkDrop, LinkDup, LinkReorder:
+		if head != "" {
+			return bad("link faults take no target")
 		}
 	}
 	afters, counts, hasCount := strings.Cut(tail, "x")
@@ -185,6 +203,22 @@ func FromSeed(seed int64, cores, devices, n int) []Fault {
 			f.Count = uint64(1 + rng.Intn(2))
 		}
 		out = append(out, f)
+	}
+	return out
+}
+
+// FromSeedLinks derives a schedule of n link faults deterministically
+// from seed, for arming a dist.Wire. Offsets stay small so even a
+// short migration exchange (a handful of frames) hits the schedule.
+func FromSeedLinks(seed int64, n int) []Fault {
+	rng := rand.New(rand.NewSource(seed))
+	kinds := []Kind{LinkDrop, LinkDup, LinkReorder}
+	out := make([]Fault, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, Fault{
+			Kind:  kinds[rng.Intn(len(kinds))],
+			After: uint64(rng.Intn(4)),
+		})
 	}
 	return out
 }

@@ -192,6 +192,56 @@ func (s *Scheduler) Add(domain uint64, now uint64) uint64 {
 	return v.seq
 }
 
+// AddResumed enqueues a vCPU restored from a snapshot (live
+// migration): the saved architectural state arrives with the vCPU, so
+// its next dispatch is a TransDispatch resume, not an entry-point
+// launch. Placement follows the same seeded round-robin cursor as Add
+// and the arrival joins the same order — a restored vCPU is a new
+// arrival on this scheduler, part of this run's determinism contract
+// like any other. Returns the vCPU's arrival number.
+func (s *Scheduler) AddResumed(domain uint64, regs [hw.NumRegs]uint64, pc phys.Addr, ring hw.Ring, now uint64) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	home := s.cores[s.place%len(s.cores)]
+	s.place++
+	s.arrivals++
+	v := &VCPU{
+		Domain:   domain,
+		Running:  domain,
+		Regs:     regs,
+		PC:       pc,
+		Ring:     ring,
+		Home:     home,
+		Started:  true,
+		seq:      s.arrivals,
+		enqueued: now,
+	}
+	s.push(home, v)
+	return v.seq
+}
+
+// DomainVCPUs returns snapshot copies of every *queued* vCPU whose
+// Running domain is the given domain — the migration path's view of
+// the domain's runnable contexts. Copies, not aliases: the caller
+// serialises against dispatch (all cores quiescent) before trusting
+// the saved state, and the scheduler's own records never escape.
+func (s *Scheduler) DomainVCPUs(domain uint64) []VCPU {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []VCPU
+	for _, c := range s.cores {
+		for _, v := range s.queues[c] {
+			if v.Running != domain && v.Domain != domain {
+				continue
+			}
+			cp := *v
+			cp.Frames = append([]uint64(nil), v.Frames...)
+			out = append(out, cp)
+		}
+	}
+	return out
+}
+
 // push appends v to core's queue and maintains the depth high-water
 // mark. Caller holds s.mu.
 func (s *Scheduler) push(core phys.CoreID, v *VCPU) {
